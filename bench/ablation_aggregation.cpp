@@ -1,0 +1,77 @@
+// Ablation D4 (§3.3, footnote 10): percentile vs mean aggregation.
+//
+// The paper aggregates MinRTT/HDratio to medians because (a) tail MinRTT
+// reaches seconds (bufferbloat / last-mile timeouts) and (b) HDratio is
+// bimodal at {0, 1}. This bench injects a bufferbloated-session tail into
+// otherwise-identical aggregations and measures how often each aggregation
+// style produces a *false* routing-opportunity or degradation signal, and
+// how often the mean's inflated variance simply invalidates the window.
+#include <cstdio>
+
+#include "agg/comparison.h"
+#include "util/rng.h"
+
+using namespace fbedge;
+
+namespace {
+
+struct Tally {
+  int valid{0};
+  int false_events{0};
+  int invalid{0};
+};
+
+void run_trials(double tail_fraction, int trials, Tally& median_tally,
+                Tally& mean_tally) {
+  Rng rng(99);
+  for (int t = 0; t < trials; ++t) {
+    // Two routes with IDENTICAL underlying path quality; route A's sample
+    // happens to include bufferbloated sessions (multi-second MinRTT tail,
+    // §3.3), e.g. a burst of uploads from a few homes.
+    RouteWindowAgg a, b;
+    for (int i = 0; i < 200; ++i) {
+      const bool tail = rng.uniform() < tail_fraction;
+      a.add_session(tail ? rng.uniform(1.0, 3.0) : 0.050 + rng.normal(0, 0.003),
+                    0.9, 1000);
+      b.add_session(0.050 + rng.normal(0, 0.003), 0.9, 1000);
+    }
+    for (const bool use_mean : {false, true}) {
+      const Comparison cmp =
+          use_mean ? compare_minrtt_mean(a, b, {}) : compare_minrtt(a, b, {});
+      Tally& tally = use_mean ? mean_tally : median_tally;
+      if (!cmp.valid()) {
+        ++tally.invalid;
+        continue;
+      }
+      ++tally.valid;
+      // Any confident >= 5 ms difference is false: the paths are identical.
+      if (cmp.exceeds(0.005) || (-cmp.diff.upper) > 0.005) ++tally.false_events;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation D4: median vs mean aggregation ====\n");
+  std::printf("paper (footnote 10): average-based analysis is qualitatively\n");
+  std::printf("similar, but §3.3 aggregates to percentiles to avoid tail skew\n");
+  std::printf("(MinRTT tails on the order of seconds) and bimodal HDratio.\n\n");
+  std::printf("%-12s %-8s %8s %8s %8s\n", "tail share", "agg", "valid", "false",
+              "invalid");
+
+  for (const double tail : {0.0, 0.02, 0.05, 0.10}) {
+    Tally med, mean;
+    run_trials(tail, 300, med, mean);
+    std::printf("%-12.2f %-8s %8d %8d %8d\n", tail, "median", med.valid,
+                med.false_events, med.invalid);
+    std::printf("%-12s %-8s %8d %8d %8d\n", "", "mean", mean.valid,
+                mean.false_events, mean.invalid);
+  }
+
+  std::printf("\nThe median stays valid and quiet as the bufferbloat tail\n");
+  std::printf("grows; the mean either loses validity (CI blows up) or, with\n");
+  std::printf("enough samples, confidently reports a difference that is an\n");
+  std::printf("artifact of the tail — exactly the failure §3.3 designs out.\n");
+  return 0;
+}

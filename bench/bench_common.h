@@ -1,0 +1,64 @@
+// Shared configuration for the figure/table reproduction binaries.
+//
+// Each bench binary regenerates one figure or table of the paper from a
+// freshly synthesized dataset. Sizes are chosen so a single binary runs in
+// tens of seconds on one core; pass a positive integer argument to scale
+// the number of user groups per continent.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/generator.h"
+#include "workload/world.h"
+
+namespace fbedge::bench {
+
+struct RunConfig {
+  WorldConfig world;
+  DatasetConfig dataset;
+};
+
+/// Traffic-characterization runs (Figs. 1-3): modest world, full sessions.
+inline RunConfig traffic_run(int argc, char** argv) {
+  RunConfig rc;
+  rc.world.seed = 2019;
+  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 4;
+  rc.world.days = 2;
+  rc.dataset.seed = 2019;
+  rc.dataset.days = 2;
+  rc.dataset.session_scale = 0.5;
+  return rc;
+}
+
+/// Global-performance runs (Figs. 6-7): wider world for continent CDFs.
+inline RunConfig performance_run(int argc, char** argv) {
+  RunConfig rc;
+  rc.world.seed = 2019;
+  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 12;
+  rc.world.days = 2;
+  rc.dataset.seed = 2019;
+  rc.dataset.days = 2;
+  rc.dataset.session_scale = 0.4;
+  return rc;
+}
+
+/// Edge analysis runs (Figs. 8-10, Tables 1-2): full 10-day span so the
+/// temporal classifier has the paper's time base; fewer groups to
+/// compensate.
+inline RunConfig edge_run(int argc, char** argv) {
+  RunConfig rc;
+  rc.world.seed = 2019;
+  rc.world.days = 10;
+  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 10;
+  rc.dataset.seed = 2019;
+  rc.dataset.days = 10;
+  rc.dataset.session_scale = 1.0;
+  return rc;
+}
+
+inline void print_paper_note(const char* note) {
+  std::printf("paper: %s\n", note);
+}
+
+}  // namespace fbedge::bench

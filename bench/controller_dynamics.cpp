@@ -1,0 +1,79 @@
+// §6.2.2 reproduction: are routing opportunities practical?
+//
+// The paper argues that a controller naively chasing the best-performing
+// route risks congestion and oscillation, while an active system must
+// shift gradually and guarantee convergence — and that Edge Fabric's
+// overload-protection is the safe production behaviour. This bench runs
+// one peak period through all four shift policies and reports oscillation
+// flips, overloaded intervals, and traffic-weighted latency.
+#include <cstdio>
+#include <vector>
+
+#include "routing/controller.h"
+
+using namespace fbedge;
+
+namespace {
+
+/// Diurnal demand: baseline 70 Mbps, peak 165 Mbps for 4 "hours".
+BitsPerSecond demand_at(int interval) {
+  const int hour = (interval / 4) % 24;
+  const bool peak = hour >= 19 && hour < 23;
+  return (peak ? 165.0 : 70.0) * kMbps;
+}
+
+struct Summary {
+  int flips;
+  int overloaded;
+  double mean_rtt_ms;
+  double peak_rtt_ms;
+};
+
+Summary run(ShiftPolicy policy) {
+  // Preferred private peer (100 Mbps, 40 ms) + transit (200 Mbps, 44 ms).
+  EgressController controller({{100 * kMbps, 0.040}, {200 * kMbps, 0.044}},
+                              {.policy = policy});
+  double sum_rtt = 0, peak_rtt = 0;
+  const int intervals = 24 * 4 * 2;  // two days of 15-minute intervals
+  for (int i = 0; i < intervals; ++i) {
+    const auto step = controller.step(demand_at(i));
+    sum_rtt += step.weighted_rtt;
+    peak_rtt = std::max(peak_rtt, step.weighted_rtt);
+  }
+  return {controller.majority_flips(), controller.overloaded_intervals(),
+          1e3 * sum_rtt / intervals, 1e3 * peak_rtt};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== §6.2.2: controller dynamics over a diurnal peak ====\n");
+  std::printf("paper: shifting everything onto the best alternate \"may cause\n");
+  std::printf("congestion and risk oscillations\"; an active system must shift\n");
+  std::printf("gradually and converge; Edge Fabric detours only on overload.\n\n");
+  std::printf("%-22s %8s %12s %12s %12s\n", "policy", "flips", "overloaded",
+              "mean rtt", "peak rtt");
+
+  struct Row {
+    const char* name;
+    ShiftPolicy policy;
+  };
+  const Row rows[] = {
+      {"static BGP", ShiftPolicy::kStatic},
+      {"greedy performance", ShiftPolicy::kGreedyPerformance},
+      {"damped performance", ShiftPolicy::kDampedPerformance},
+      {"overload protection", ShiftPolicy::kOverloadProtection},
+  };
+  for (const auto& row : rows) {
+    const Summary s = run(row.policy);
+    std::printf("%-22s %8d %12d %9.1f ms %9.1f ms\n", row.name, s.flips,
+                s.overloaded, s.mean_rtt_ms, s.peak_rtt_ms);
+  }
+
+  std::printf(
+      "\nGreedy chases measurements into whichever route it just congested\n"
+      "(many flips); damped shifting converges with a handful of moves;\n"
+      "overload protection never congests and restores the preferred peer\n"
+      "off-peak — the production trade-off the paper describes.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 1 reproduction: CDFs of HTTP session duration (a) and of the
+// percentage of session time spent actively sending (b), split by HTTP
+// version.
+#include "analysis/figures.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::traffic_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto traffic = characterize_traffic(world, rc.dataset);
+
+  print_header("Figure 1(a): session duration CDF [s]");
+  print_cdf("All", traffic.duration_all);
+  print_cdf("HTTP/1.1", traffic.duration_h1);
+  print_cdf("HTTP/2", traffic.duration_h2);
+
+  print_header("Figure 1(a) checkpoints");
+  bench::print_paper_note(
+      "7.4% of sessions < 1 s; 33% < 60 s; 20% > 3 min; "
+      "HTTP/1.1 44% < 60 s vs HTTP/2 26% < 60 s");
+  print_fraction_at("measured: all", traffic.duration_all, {1.0, 60.0, 180.0});
+  print_fraction_at("measured: HTTP/1.1", traffic.duration_h1, {60.0});
+  print_fraction_at("measured: HTTP/2", traffic.duration_h2, {60.0});
+
+  print_header("Figure 1(b): percent of session time sending CDF");
+  print_cdf("All", traffic.busy_all);
+  print_cdf("HTTP/1.1", traffic.busy_h1);
+  print_cdf("HTTP/2", traffic.busy_h2);
+
+  print_header("Figure 1(b) checkpoints");
+  bench::print_paper_note(
+      "80% of HTTP/2 and 75% of HTTP/1.1 sessions active < 10% of lifetime");
+  print_fraction_at("measured: HTTP/2", traffic.busy_h2, {10.0});
+  print_fraction_at("measured: HTTP/1.1", traffic.busy_h1, {10.0});
+
+  std::printf("\nsessions analyzed: %llu\n",
+              static_cast<unsigned long long>(traffic.sessions));
+  return 0;
+}

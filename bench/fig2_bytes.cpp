@@ -1,0 +1,27 @@
+// Figure 2 reproduction: distribution of bytes transferred per session,
+// per HTTP response, and per media response.
+#include "analysis/figures.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::traffic_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto traffic = characterize_traffic(world, rc.dataset);
+
+  print_header("Figure 2: bytes per session / response / media response [bytes]");
+  print_cdf("Sessions", traffic.session_bytes);
+  print_cdf("All responses", traffic.response_bytes);
+  print_cdf("Media responses", traffic.media_response_bytes);
+
+  print_header("Figure 2 checkpoints");
+  bench::print_paper_note(
+      "58% of sessions < 10 KB; 6% of sessions > 1 MB; 50% of responses "
+      "< 6 KB; media median ~19 KB; 50% of objects < 3 KB");
+  print_fraction_at("measured: sessions", traffic.session_bytes, {10e3, 1e6});
+  print_fraction_at("measured: responses", traffic.response_bytes, {3e3, 6e3});
+  print_quantile_summary("measured: media [KB]", traffic.media_response_bytes, 1e-3);
+  return 0;
+}

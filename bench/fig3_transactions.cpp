@@ -1,0 +1,30 @@
+// Figure 3 reproduction: CDF of transactions per session by HTTP version,
+// plus the traffic share carried by sessions with >= 50 transactions.
+#include "analysis/figures.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::traffic_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto traffic = characterize_traffic(world, rc.dataset);
+
+  print_header("Figure 3: transactions per session CDF");
+  print_cdf("All", traffic.txns_all);
+  print_cdf("HTTP/1.1", traffic.txns_h1);
+  print_cdf("HTTP/2", traffic.txns_h2);
+
+  print_header("Figure 3 checkpoints");
+  bench::print_paper_note(
+      "over 87% of HTTP/1.1 and 75% of HTTP/2 sessions have < 5 "
+      "transactions; sessions with >= 50 transactions carry more than half "
+      "of all traffic");
+  print_fraction_at("measured: HTTP/1.1", traffic.txns_h1, {4.99});
+  print_fraction_at("measured: HTTP/2", traffic.txns_h2, {4.99});
+  std::printf("measured: traffic on sessions with >= 50 txns: %.3f\n",
+              static_cast<double>(traffic.traffic_sessions_50plus) /
+                  static_cast<double>(traffic.traffic_total));
+  return 0;
+}

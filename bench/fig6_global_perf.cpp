@@ -1,0 +1,58 @@
+// Figure 6 reproduction: distributions of MinRTT and HDratio over all
+// sessions and per continent, plus the §4 ablations (naive goodput, D1).
+#include "analysis/figures.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::performance_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto perf = measure_global_performance(world, rc.dataset);
+
+  print_header("Figure 6(a): MinRTT CDF, all sessions [ms]");
+  print_cdf("MinRTT", perf.minrtt_all, 20, 1e3);
+  bench::print_paper_note("50% of sessions < 39 ms; 80% < 78 ms");
+  std::printf("measured: p50=%.1f ms  p80=%.1f ms\n",
+              perf.minrtt_all.quantile(0.5) * 1e3, perf.minrtt_all.quantile(0.8) * 1e3);
+
+  print_header("Figure 6(b): MinRTT per continent [ms]");
+  bench::print_paper_note("medians: AF 58, AS 51, SA 40, others <= ~25");
+  for (const Continent c : kAllContinents) {
+    const auto& cdf = perf.minrtt_continent[static_cast<int>(c)];
+    if (cdf.empty()) continue;
+    print_quantile_summary(std::string(to_code(c)) + " MinRTT [ms]", cdf, 1e3);
+  }
+
+  print_header("Figure 6(a): HDratio CDF, all sessions");
+  print_cdf("HDratio", perf.hdratio_all);
+  bench::print_paper_note(">82% of sessions have HDratio > 0; 60% have HDratio = 1");
+  std::printf("measured: P(HDratio>0)=%.3f  P(HDratio=1)=%.3f\n",
+              1.0 - perf.hdratio_all.fraction_at_or_below(0.0),
+              1.0 - perf.hdratio_all.fraction_at_or_below(0.999));
+
+  print_header("Figure 6(c): HDratio per continent, P(HDratio = 0)");
+  bench::print_paper_note("HDratio=0 shares: AF 36%, AS 24%, SA 27%");
+  for (const Continent c : kAllContinents) {
+    const auto& cdf = perf.hdratio_continent[static_cast<int>(c)];
+    if (cdf.empty()) continue;
+    std::printf("%-4s P(HDratio=0)=%.3f  P(HDratio=1)=%.3f\n",
+                std::string(to_code(c)).c_str(), cdf.fraction_at_or_below(0.0),
+                1.0 - cdf.fraction_at_or_below(0.999));
+  }
+
+  print_header("Ablation D1 (§4): model-corrected vs naive goodput");
+  bench::print_paper_note("naive approach underestimates: median HDratio 0.69 vs 1.0");
+  std::printf("measured: corrected median=%.2f  naive median=%.2f\n",
+              perf.hdratio_all.quantile(0.5), perf.hdratio_naive_all.quantile(0.5));
+  std::printf("measured: corrected P(=1)=%.3f  naive P(=1)=%.3f\n",
+              1.0 - perf.hdratio_all.fraction_at_or_below(0.999),
+              1.0 - perf.hdratio_naive_all.fraction_at_or_below(0.999));
+
+  std::printf("\nsessions: %llu (HD-testable: %llu, hosting filtered: %llu)\n",
+              static_cast<unsigned long long>(perf.sessions_total),
+              static_cast<unsigned long long>(perf.sessions_hd_testable),
+              static_cast<unsigned long long>(perf.filtered_hosting));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 9 reproduction: per-aggregation performance difference between
+// the BGP-preferred route and the best alternate, traffic-weighted, with
+// CI bands — plus the §6.2 headline numbers.
+#include "analysis/edge_analysis.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::edge_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto result = run_edge_analysis(world, rc.dataset);
+
+  print_header(
+      "Figure 9(a): MinRTT_P50 difference CDF [ms, preferred - alternate; "
+      "positive = alternate faster]");
+  print_cdf("point estimate", result.opp_rtt, 20, 1e3);
+  print_cdf("CI lower band", result.opp_rtt_lower, 10, 1e3);
+  print_cdf("CI upper band", result.opp_rtt_upper, 10, 1e3);
+
+  print_header(
+      "Figure 9(b): HDratio_P50 difference CDF [alternate - preferred; "
+      "positive = alternate better]");
+  print_cdf("point estimate", result.opp_hd, 20);
+  print_cdf("CI lower band", result.opp_hd_lower, 10);
+  print_cdf("CI upper band", result.opp_hd_upper, 10);
+
+  print_header("§6.2 checkpoints");
+  bench::print_paper_note(
+      "preferred within 3 ms of optimal for 83.9% of traffic; within 0.025 "
+      "HDratio for 93.4%; MinRTT improvable >= 5 ms for only 2.0% of "
+      "traffic; HDratio improvable >= 0.05 for 0.2%; distributions "
+      "concentrated at 0 and skewed toward the preferred route");
+  std::printf("measured: within 3 ms of optimal:   %.3f\n", result.rtt_within_3ms);
+  std::printf("measured: within 0.025 of optimal:  %.3f\n", result.hd_within_0025);
+  std::printf("measured: improvable >= 5 ms:       %.3f\n", result.rtt_improvable_5ms);
+  std::printf("measured: improvable >= 0.05 HD:    %.3f\n", result.hd_improvable_005);
+  std::printf("measured: valid traffic rtt=%.3f hd=%.3f\n", result.opp_valid_traffic_rtt,
+              result.opp_valid_traffic_hd);
+  std::printf("measured: median diff rtt=%.2f ms (negative = preferred better)\n",
+              result.opp_rtt.empty() ? 0.0 : result.opp_rtt.quantile(0.5) * 1e3);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// §3.1/§4 extension: what do the MinRTT distributions mean for user
+// experience? Buckets sessions into the latency tiers implied by the
+// paper's rules of thumb (gaming 80 ms cutoff, ITU-T G.114 300 ms RTT),
+// globally and per continent.
+#include <array>
+#include <cstdio>
+
+#include "analysis/latency_quality.h"
+#include "analysis/session_metrics.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+int main(int argc, char** argv) {
+  const auto rc = bench::performance_run(argc, argv);
+  const World world = build_world(rc.world);
+  DatasetGenerator generator(world, rc.dataset);
+
+  LatencyTierTally global;
+  std::array<LatencyTierTally, kNumContinents> per_continent{};
+  generator.generate([&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) return;
+    if (s.route_index != 0) return;
+    global.add(s.min_rtt);
+    per_continent[static_cast<std::size_t>(s.client.continent)].add(s.min_rtt);
+  });
+
+  std::printf("==== Latency experience tiers (§3.1 rules of thumb) ====\n");
+  bench::print_paper_note(
+      "most users reach Facebook over routes with low MinRTT, enabling "
+      "real-time applications such as video calls; 80 ms is a gaming "
+      "cutoff, 300 ms RTT the ITU-T G.114 telephony bound");
+  std::printf("\n%-6s", "");
+  for (int t = 0; t < kNumLatencyTiers; ++t) {
+    std::printf(" %26s", std::string(to_string(static_cast<LatencyTier>(t))).c_str());
+  }
+  std::printf("\n%-6s", "all");
+  for (int t = 0; t < kNumLatencyTiers; ++t) {
+    std::printf(" %25.1f%%", 100.0 * global.fraction(static_cast<LatencyTier>(t)));
+  }
+  std::printf("\n");
+  for (const Continent c : kAllContinents) {
+    const auto& tally = per_continent[static_cast<std::size_t>(c)];
+    if (tally.total() == 0) continue;
+    std::printf("%-6s", std::string(to_code(c)).c_str());
+    for (int t = 0; t < kNumLatencyTiers; ++t) {
+      std::printf(" %25.1f%%", 100.0 * tally.fraction(static_cast<LatencyTier>(t)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nsessions: %llu\n", static_cast<unsigned long long>(global.total()));
+  return 0;
+}

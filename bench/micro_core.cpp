@@ -1,0 +1,156 @@
+// google-benchmark microbenchmarks for the hot paths: the goodput solver,
+// t-digest ingestion/queries, the fluid TCP model, the packet-level
+// simulator, coalescing, and route ranking. These bound the cost of running
+// the methodology inline at a load balancer (the paper's deployment runs it
+// on production traffic at every PoP).
+#include <benchmark/benchmark.h>
+
+#include "goodput/hdratio.h"
+#include "goodput/tmodel.h"
+#include "routing/policy.h"
+#include "sampler/coalescer.h"
+#include "stats/tdigest.h"
+#include "tcp/fluid_model.h"
+#include "tcp/tcp.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+void BM_TDigestAdd(benchmark::State& state) {
+  Rng rng(1);
+  TDigest digest(100);
+  for (auto _ : state) {
+    digest.add(rng.lognormal(0, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TDigestAdd);
+
+void BM_TDigestQuantile(benchmark::State& state) {
+  Rng rng(1);
+  TDigest digest(100);
+  for (int i = 0; i < 100000; ++i) digest.add(rng.lognormal(0, 1));
+  digest.compress();
+  double q = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(digest.quantile(q));
+    q += 0.013;
+    if (q > 0.99) q = 0.01;
+  }
+}
+BENCHMARK(BM_TDigestQuantile);
+
+void BM_TDigestMerge(benchmark::State& state) {
+  Rng rng(1);
+  TDigest base(100);
+  for (int i = 0; i < 100000; ++i) base.add(rng.lognormal(0, 1));
+  base.compress();
+  for (auto _ : state) {
+    TDigest copy = base;
+    copy.merge(base);
+    benchmark::DoNotOptimize(copy.quantile(0.5));
+  }
+}
+BENCHMARK(BM_TDigestMerge);
+
+void BM_TmodelCheck(benchmark::State& state) {
+  const TxnTiming txn{120000, 0.25, 15000, 0.060};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(achieved_rate(txn, 2.5e6));
+  }
+}
+BENCHMARK(BM_TmodelCheck);
+
+void BM_EstimateDeliveryRate(benchmark::State& state) {
+  const TxnTiming txn{120000, 0.25, 15000, 0.060};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_delivery_rate(txn));
+  }
+}
+BENCHMARK(BM_EstimateDeliveryRate);
+
+void BM_HdEvaluatorSession(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    HdEvaluator eval;
+    for (int i = 0; i < txns; ++i) {
+      eval.evaluate({30000 + i * 1000, 0.100, 14400, 0.040});
+    }
+    benchmark::DoNotOptimize(eval.result());
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_HdEvaluatorSession)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_FluidTransfer(benchmark::State& state) {
+  PathConditions path;
+  path.min_rtt = 0.050;
+  path.bottleneck = 10e6;
+  path.loss_rate = 0.002;
+  path.jitter = 0.001;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    FluidTcpConnection conn({}, ++seed);
+    benchmark::DoNotOptimize(conn.transfer(100 * 1440, 0, path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FluidTransfer);
+
+void BM_PacketSimTransfer(benchmark::State& state) {
+  const Bytes size = state.range(0) * 1440;
+  for (auto _ : state) {
+    Simulator sim;
+    TcpConnection conn(sim, {}, {.rate = 10e6, .delay = 0.025, .queue_capacity = 1 << 20},
+                       {.rate = 0, .delay = 0.025});
+    bool done = false;
+    conn.sender().write(size, [&](const TransferReport&) { done = true; });
+    sim.run_until(600.0);
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_PacketSimTransfer)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Coalescer(benchmark::State& state) {
+  std::vector<ResponseWrite> writes;
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    ResponseWrite w;
+    w.first_byte_nic = t;
+    w.last_byte_nic = t + 0.0004;
+    w.second_last_ack = t + 0.050;
+    w.last_ack = t + 0.055;
+    w.bytes = 8000;
+    w.last_packet_bytes = 800;
+    w.wnic = 14400;
+    t += (i % 3 == 0) ? 0.0004 : 0.5;
+    writes.push_back(w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coalesce_session(writes, 0.040));
+  }
+}
+BENCHMARK(BM_Coalescer);
+
+void BM_PolicyRank(benchmark::State& state) {
+  std::vector<Route> routes;
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    Route r;
+    r.prefix = {0x0a000000, 20};
+    r.relationship = static_cast<Relationship>(rng.uniform_int(0, 2));
+    r.as_path = {static_cast<std::uint32_t>(rng.uniform_int(1000, 4000)), 65001};
+    if (rng.bernoulli(0.3)) r.as_path.push_back(65001);
+    routes.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoutingPolicy::rank(routes));
+  }
+}
+BENCHMARK(BM_PolicyRank);
+
+}  // namespace
+}  // namespace fbedge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 2 reproduction: opportunity to improve MinRTT_P50 / HDratio_P50
+// broken down by the (preferred, alternate) relationship pair, with the
+// fraction of opportunity where the alternate lost the policy decision on
+// AS-path length and where it was prepended more than the preferred route.
+#include <cstdio>
+
+#include "analysis/edge_analysis.h"
+#include "analysis/format.h"
+#include "bench_common.h"
+
+using namespace fbedge;
+
+namespace {
+
+void print_rows(const std::map<std::pair<Relationship, Relationship>, Table2Row>& rows) {
+  double total_abs = 0;
+  for (const auto& [pair, row] : rows) total_abs += row.absolute;
+  std::printf("%-22s %9s %9s %8s %10s\n", "Relationships", "Absolute", "Relative",
+              "Longer", "Prepended");
+  for (const auto& [pair, row] : rows) {
+    const bool as_path_applicable = pair.first == pair.second ||
+                                    (pair.first != Relationship::kTransit &&
+                                     pair.second != Relationship::kTransit);
+    std::printf("%-9s -> %-9s %9.4f %9.3f", to_string(pair.first),
+                to_string(pair.second), row.absolute,
+                total_abs > 0 ? row.absolute / total_abs : 0.0);
+    if (as_path_applicable) {
+      std::printf(" %8.3f %10.3f\n", row.longer, row.prepended);
+    } else {
+      std::printf(" %8s %10s\n", "N/A", "N/A");
+    }
+  }
+  if (rows.empty()) std::printf("(no opportunity windows at this threshold)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto rc = bench::edge_run(argc, argv);
+  const World world = build_world(rc.world);
+  const auto result = run_edge_analysis(world, rc.dataset);
+
+  bench::print_paper_note(
+      "a significant fraction of opportunity is on same-relationship pairs "
+      "(often alternates that lost on AS-path length); an additional share "
+      "is peer traffic that would do better on transit");
+
+  print_header("Table 2: MinRTT_P50 opportunity (>= 5 ms) by relationship pair");
+  print_rows(result.table2_rtt);
+
+  print_header("Table 2: HDratio_P50 opportunity (>= 0.05) by relationship pair");
+  print_rows(result.table2_hd);
+
+  std::printf("\ngroups analyzed: %d\n", result.groups_analyzed);
+  return 0;
+}

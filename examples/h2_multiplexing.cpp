@@ -1,0 +1,60 @@
+// HTTP/2 multiplexing and why §3.2.5 coalescing exists.
+//
+// Two equal-priority responses share one HTTP/2 connection. Measured
+// individually, each response's wall-clock transfer time includes the
+// other's bytes — naive per-transaction goodput says the path is slow
+// when it is not. Coalescing the multiplexed pair restores the truth.
+#include <cstdio>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+int main() {
+  constexpr Duration kRtt = 0.050;
+  constexpr BitsPerSecond kPathRate = 8 * kMbps;  // genuinely HD-capable
+
+  // Proxygen's scheduler interleaves two equal-priority 96 KB images.
+  const auto schedule = schedule_h2_writes(
+      {{1, 0.0, 96 * 1024, 16}, {2, 0.0, 96 * 1024, 16}}, 16 * 1024, kPathRate);
+
+  std::printf("HTTP/2 write schedule (16 KB chunks, equal priority):\n  ");
+  for (const auto& chunk : schedule.chunks) std::printf("[s%d]", chunk.stream_id);
+  std::printf("\n  stream 1 multiplexed=%s, stream 2 multiplexed=%s\n\n",
+              schedule.outcomes[0].multiplexed ? "yes" : "no",
+              schedule.outcomes[1].multiplexed ? "yes" : "no");
+
+  // What the load balancer records: each response's first NIC write to its
+  // final ACK spans the *whole interleaved region*.
+  const Bytes each = 96 * 1024;
+  const Duration both_done = to_bits(2 * each) / kPathRate + kRtt;
+  ResponseWrite w1, w2;
+  w1.bytes = w2.bytes = each;
+  w1.last_packet_bytes = w2.last_packet_bytes = 1024;
+  w1.wnic = w2.wnic = 14400;
+  w1.first_byte_nic = 0.000;
+  w2.first_byte_nic = 0.016;  // second chunk slot
+  w1.last_byte_nic = w2.last_byte_nic = both_done - kRtt;
+  w1.second_last_ack = w2.second_last_ack = both_done - 0.002;
+  w1.last_ack = w2.last_ack = both_done;
+  w1.multiplexed = schedule.outcomes[0].multiplexed;
+  w2.multiplexed = schedule.outcomes[1].multiplexed;
+
+  // Naive per-transaction view: blame each response for the full duration.
+  std::printf("naive per-transaction goodput: %.2f Mbps each (path is %.0f Mbps!)\n",
+              to_mbps(to_bits(each) / both_done), to_mbps(kPathRate));
+
+  // The §3.2.5 pipeline coalesces the pair and evaluates once.
+  const auto coalesced = coalesce_session({w1, w2}, kRtt);
+  HdEvaluator evaluator;
+  for (const auto& txn : coalesced.txns) evaluator.evaluate(txn);
+  std::printf("coalesced transactions: %zu (merged %d writes)\n",
+              coalesced.txns.size(), coalesced.coalesced_writes);
+  std::printf("coalesced verdict: tested=%d achieved=%d -> HDratio %.1f\n",
+              evaluator.result().tested, evaluator.result().achieved,
+              evaluator.result().hdratio().value_or(-1));
+  std::printf("\nMultiplexing inflated each response's Ttotal with the other's\n"
+              "bytes; coalescing measures the pair as one large transfer and\n"
+              "correctly certifies the 8 Mbps path as HD-capable (§3.2.5).\n");
+  return 0;
+}

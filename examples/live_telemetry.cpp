@@ -1,0 +1,74 @@
+// Streaming telemetry scenario: the measurement pipeline as an operations
+// dashboard. Sessions stream in; per-window t-digest sketches maintain
+// MinRTT_P50/HDratio_P50 (footnote 11's streaming-analytics design); a
+// degradation detector alerts when a window's performance departs from the
+// group baseline with statistical confidence.
+#include <cstdio>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+int main() {
+  // A group with an afternoon fiber-cut episode on top of normal diurnal
+  // behaviour.
+  WorldConfig wc;
+  wc.seed = 23;
+  wc.groups_per_continent = 1;
+  wc.dest_diurnal_fraction = 0;
+  wc.route_diurnal_fraction = 0;
+  wc.continuous_opportunity_fraction = 0;
+  wc.episodic_fraction = 0;
+  World world = build_world(wc);
+  UserGroupProfile& group = world.groups.front();
+  group.base_rtt = 0.038;
+  group.sessions_per_window = 380;
+  group.episodes.push_back({.start_window = 56,   // 14:00
+                            .end_window = 64,     // 16:00
+                            .route_index = -1,
+                            .extra_delay = 0.022,
+                            .extra_loss = 0.01});
+
+  DatasetConfig dc;
+  dc.seed = 23;
+  dc.days = 1;
+  DatasetGenerator generator(world, dc);
+
+  // Streaming ingest: one t-digest pair per window, fed session by session.
+  GroupSeries series;
+  std::uint64_t sessions = 0;
+  generator.generate_group(group, [&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) return;
+    if (s.route_index != 0) return;  // dashboard tracks the serving route
+    const SessionMetrics m = compute_session_metrics(s);
+    series.windows[window_index(s.established_at)].route(0).add_session(
+        m.min_rtt, m.hdratio, m.traffic);
+    ++sessions;
+  });
+
+  const DegradationResult degr = analyze_degradation(series, {});
+  std::printf("ingested %llu sampled sessions across %zu windows\n",
+              static_cast<unsigned long long>(sessions), series.windows.size());
+  std::printf("baseline: MinRTT_P50=%.1f ms  HDratio_P50=%.2f\n\n",
+              to_ms(degr.baseline_minrtt_p50), degr.baseline_hdratio_p50);
+
+  std::printf("%-7s %-10s %-9s %-24s %s\n", "window", "MinRTT_P50", "HDratio",
+              "degradation CI [ms]", "status");
+  for (const auto& dw : degr.windows) {
+    if (dw.window % 4 != 0 && !(dw.rtt.exceeds(0.005))) continue;
+    const auto& agg = series.windows.at(dw.window).route(0);
+    const char* status = !dw.rtt.valid()        ? "…"
+                         : dw.rtt.exceeds(0.020) ? "ALERT: major degradation"
+                         : dw.rtt.exceeds(0.005) ? "warn: degraded"
+                                                 : "ok";
+    std::printf("%02d:%02d   %7.1f ms %8.2f  [%+6.1f, %+6.1f]          %s\n",
+                (dw.window * 15) / 60, (dw.window * 15) % 60,
+                to_ms(agg.minrtt_p50()), agg.hdratio_p50(),
+                dw.rtt.valid() ? to_ms(dw.rtt.diff.lower) : 0.0,
+                dw.rtt.valid() ? to_ms(dw.rtt.diff.upper) : 0.0, status);
+  }
+
+  std::printf("\nThe 14:00-16:00 episode trips the alert; ordinary window-to-\n");
+  std::printf("window noise stays inside the confidence interval and does not.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 5 scenario: why user groups include the client country (§3.3).
+//
+// One /16 BGP prefix serves clients in two regions — "California" (20 ms
+// from the PoP) and "Hawaii" (60 ms). Each region's share of traffic peaks
+// at its own local evening, so the *prefix-level* median MinRTT oscillates
+// between ~20 ms and ~60 ms even though every client's path is perfectly
+// stable. Splitting the aggregation by country removes the artifact —
+// design decision D6 in DESIGN.md.
+#include <cstdio>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+namespace {
+
+/// Relative traffic intensity for a region whose local evening peak is at
+/// `peak_hour` (UTC): 1.0 at peak, 0.15 at the trough.
+double intensity(double hour_utc, double peak_hour) {
+  double d = std::fmod(std::abs(hour_utc - peak_hour), 24.0);
+  d = std::min(d, 24.0 - d);  // circular distance in hours
+  return 0.15 + 0.85 * std::max(0.0, 1.0 - d / 6.0);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2019);
+
+  constexpr Duration kCaliforniaRtt = 0.020;
+  constexpr Duration kHawaiiRtt = 0.060;
+  constexpr double kCaliforniaPeakUtc = 4.0;  // 20:00 PT
+  constexpr double kHawaiiPeakUtc = 8.0;      // 22:00 HST
+
+  // Prefix-level aggregation (the mistake) vs per-country aggregation.
+  std::printf("hour   sessions(CA/HI)   prefix-median   CA-median   HI-median\n");
+
+  double prefix_min = 1e9, prefix_max = 0;
+  double ca_min = 1e9, ca_max = 0, hi_min = 1e9, hi_max = 0;
+
+  for (int hour = 0; hour < 24; ++hour) {
+    TDigest prefix_level(100), california(100), hawaii(100);
+    const int ca_sessions =
+        static_cast<int>(600 * intensity(hour, kCaliforniaPeakUtc));
+    const int hi_sessions = static_cast<int>(500 * intensity(hour, kHawaiiPeakUtc));
+    for (int i = 0; i < ca_sessions; ++i) {
+      const double rtt = kCaliforniaRtt + rng.exponential(0.002);
+      prefix_level.add(rtt);
+      california.add(rtt);
+    }
+    for (int i = 0; i < hi_sessions; ++i) {
+      const double rtt = kHawaiiRtt + rng.exponential(0.002);
+      prefix_level.add(rtt);
+      hawaii.add(rtt);
+    }
+
+    const double p = prefix_level.quantile(0.5) * 1e3;
+    const double ca = california.quantile(0.5) * 1e3;
+    const double hi = hawaii.quantile(0.5) * 1e3;
+    prefix_min = std::min(prefix_min, p);
+    prefix_max = std::max(prefix_max, p);
+    ca_min = std::min(ca_min, ca);
+    ca_max = std::max(ca_max, ca);
+    hi_min = std::min(hi_min, hi);
+    hi_max = std::max(hi_max, hi);
+
+    if (hour % 2 == 0) {
+      std::printf("%02d:00     %4d/%-4d        %6.1f ms     %6.1f ms   %6.1f ms\n",
+                  hour, ca_sessions, hi_sessions, p, ca, hi);
+    }
+  }
+
+  std::printf("\nprefix-level median swings %.1f ms (%.1f..%.1f) purely from\n",
+              prefix_max - prefix_min, prefix_min, prefix_max);
+  std::printf("population shift; per-country medians move only %.1f / %.1f ms.\n",
+              ca_max - ca_min, hi_max - hi_min);
+  std::printf("A degradation detector on the prefix alone would page twice a\n");
+  std::printf("day for a network that never changed — hence (PoP, prefix,\n");
+  std::printf("country) user groups (§3.3).\n");
+  return 0;
+}

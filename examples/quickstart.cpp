@@ -1,0 +1,48 @@
+// Quickstart: evaluate whether an HTTP session's transactions demonstrate
+// HD-capable goodput from server-side passive measurements.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The inputs are exactly what a load balancer can capture per response
+// (§2.2.2): bytes sent (minus the final packet), elapsed time from the
+// first NIC write to the ACK of the second-to-last packet, the congestion
+// window at the first write (Wnic), and the connection's windowed MinRTT.
+#include <cstdio>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+int main() {
+  // Target: 2.5 Mbps, the minimum bitrate for HD video (§3.2.1).
+  HdEvaluator evaluator(GoodputConfig{.target_goodput = 2.5 * kMbps});
+
+  // A session with a 45 ms MinRTT serving three responses.
+  const Duration min_rtt = 0.045;
+
+  const TxnTiming transactions[] = {
+      // A 4 KB API response: too small to say anything about goodput.
+      {.btotal = 4 * kKiB, .ttotal = 0.046, .wnic = 14400, .min_rtt = min_rtt},
+      // A 60 KB image delivered in ~2.1 RTTs: fast.
+      {.btotal = 60 * kKiB, .ttotal = 0.095, .wnic = 14400, .min_rtt = min_rtt},
+      // A 200 KB video chunk that took 1.9 s: the path is struggling.
+      {.btotal = 200 * kKiB, .ttotal = 1.9, .wnic = 28800, .min_rtt = min_rtt},
+  };
+
+  for (const auto& txn : transactions) {
+    const TxnVerdict verdict = evaluator.evaluate(txn);
+    std::printf("%6lld bytes in %6.1f ms: Gtestable=%5.2f Mbps -> %s\n",
+                static_cast<long long>(txn.btotal), to_ms(txn.ttotal),
+                to_mbps(verdict.gtestable),
+                !verdict.can_test      ? "cannot test for HD goodput"
+                : verdict.achieved     ? "achieved HD goodput"
+                                       : "FAILED to achieve HD goodput");
+  }
+
+  const SessionHd& session = evaluator.result();
+  std::printf("\nsession HDratio: %.2f (%d of %d testable transactions)\n",
+              session.hdratio().value_or(0.0), session.achieved, session.tested);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Performance-aware routing scenario (§6): a PoP serves one user group
+// over a policy-preferred private peer plus two transit alternates. The
+// peering link congests at the destination's peak hours; the example runs
+// the paper's measurement + comparison pipeline and shows when (and when
+// not) shifting to an alternate is statistically justified.
+#include <cstdio>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+int main() {
+  // --- the user group and its routes -------------------------------------
+  WorldConfig wc;
+  wc.seed = 11;
+  wc.groups_per_continent = 1;
+  wc.dest_diurnal_fraction = 0;
+  wc.route_diurnal_fraction = 0;
+  wc.continuous_opportunity_fraction = 0;
+  wc.episodic_fraction = 0;
+  World world = build_world(wc);
+
+  UserGroupProfile& group = world.groups.front();
+  group.base_rtt = 0.042;
+  group.tz_offset_hours = 0;
+  group.sessions_per_window = 420;
+  // Congest the preferred route at peak hours: +12 ms and 1.5% loss.
+  group.routes.front().diurnal_congestion = true;
+  group.routes.front().peak_extra_delay = 0.012;
+  group.routes.front().peak_extra_loss = 0.015;
+
+  std::printf("Routes for %s (policy order):\n",
+              group.key.prefix.to_string().c_str());
+  for (std::size_t i = 0; i < group.routes.size(); ++i) {
+    const Route& r = group.routes[i].route;
+    std::printf("  %zu. %-8s as_path_len=%d%s\n", i, to_string(r.relationship),
+                r.as_path_length(), i == 0 ? "   <- preferred (§6.1)" : "");
+  }
+
+  // --- generate one day of measured traffic ------------------------------
+  DatasetConfig dc;
+  dc.seed = 11;
+  dc.days = 1;
+  DatasetGenerator generator(world, dc);
+
+  GroupSeries series;
+  series.continent = group.continent;
+  generator.generate_group(group, [&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) return;
+    const SessionMetrics m = compute_session_metrics(s);
+    series.windows[window_index(s.established_at)]
+        .route(s.route_index)
+        .add_session(m.min_rtt, m.hdratio, m.traffic);
+  });
+
+  // --- §3.4 comparison per 15-minute window ------------------------------
+  const auto opportunities = analyze_opportunity(series, {});
+  std::printf("\n%-8s %-12s %-12s %-22s %s\n", "window", "pref p50", "alt p50",
+              "diff CI [ms]", "decision");
+  int shown = 0;
+  int opportunity_windows = 0;
+  for (const auto& ow : opportunities) {
+    if (ow.rtt_opportunity(0.005)) ++opportunity_windows;
+    // Print a readable subset: every 8th window.
+    if (ow.window % 8 != 0) continue;
+    const auto& agg = series.windows.at(ow.window);
+    const char* decision = !ow.rtt.valid()         ? "insufficient data"
+                           : ow.rtt_opportunity(0.005) ? "SHIFT to alternate"
+                                                       : "keep preferred";
+    std::printf("%02d:%02d    %8.1f ms  %8.1f ms  [%+6.1f, %+6.1f]        %s\n",
+                (ow.window * 15) / 60, (ow.window * 15) % 60,
+                to_ms(agg.route(0)->minrtt_p50()),
+                ow.rtt_alternate > 0
+                    ? to_ms(agg.route(ow.rtt_alternate)->minrtt_p50())
+                    : 0.0,
+                ow.rtt.valid() ? to_ms(ow.rtt.diff.lower) : 0.0,
+                ow.rtt.valid() ? to_ms(ow.rtt.diff.upper) : 0.0, decision);
+    ++shown;
+  }
+
+  std::printf("\nwindows with a statistically confirmed >= 5 ms opportunity: "
+              "%d of %zu\n", opportunity_windows, opportunities.size());
+  std::printf("(they cluster in the 19:00-23:00 local peak, when the peering\n"
+              " link congests; off-peak, default BGP routing is optimal — the\n"
+              " paper's §6 conclusion.)\n");
+  return 0;
+}

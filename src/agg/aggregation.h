@@ -1,0 +1,140 @@
+// Per-(user group, window, route) measurement aggregation (§3.3).
+//
+// For each aggregation we keep t-digest sketches of per-session MinRTT and
+// HDratio (as a streaming production system would, footnote 11), the
+// session count, and the traffic volume used to weight results. Medians
+// (MinRTTP50 / HDratioP50) are read from the sketches; confidence intervals
+// come from stats/median_ci.h.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/user_group.h"
+#include "stats/median_ci.h"
+#include "stats/tdigest.h"
+#include "stats/welford.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Sketches for one (user group, window, route) cell.
+class RouteWindowAgg {
+ public:
+  RouteWindowAgg() : minrtt_(100), hdratio_(100) {}
+
+  /// Adds one session's metrics. `hdratio` is nullopt when no transaction
+  /// could test for the target goodput (§3.2.4) — such sessions still
+  /// contribute MinRTT and traffic volume.
+  void add_session(Duration min_rtt, std::optional<double> hdratio, Bytes traffic) {
+    minrtt_.add(min_rtt);
+    minrtt_mean_.add(min_rtt);
+    if (hdratio) {
+      hdratio_.add(*hdratio);
+      hdratio_mean_.add(*hdratio);
+    }
+    traffic_bytes_ += traffic;
+    ++sessions_;
+  }
+
+  /// Median MinRTT across sessions (MinRTT_P50). NaN if empty.
+  Duration minrtt_p50() const { return minrtt_.quantile(0.5); }
+  /// Median HDratio across HD-testable sessions (HDratio_P50). NaN if none.
+  double hdratio_p50() const { return hdratio_.quantile(0.5); }
+
+  /// Mean-based aggregates (the paper's footnote-10 ablation: comparing
+  /// average HDratio across aggregations gives qualitatively similar
+  /// results to medians, but is exposed to tail-RTT skew and the bimodal
+  /// HDratio distribution).
+  const Welford& minrtt_mean() const { return minrtt_mean_; }
+  const Welford& hdratio_mean() const { return hdratio_mean_; }
+
+  int sessions() const { return sessions_; }
+  int hd_sessions() const { return static_cast<int>(hdratio_.count()); }
+  Bytes traffic() const { return traffic_bytes_; }
+
+  const TDigest& minrtt_digest() const { return minrtt_; }
+  const TDigest& hdratio_digest() const { return hdratio_; }
+
+  /// Merges another cell into this one (sketches merge loss-bounded;
+  /// counts and traffic add) — the primitive behind window rollups.
+  void merge(const RouteWindowAgg& other) {
+    minrtt_.merge(other.minrtt_);
+    hdratio_.merge(other.hdratio_);
+    minrtt_mean_.merge(other.minrtt_mean_);
+    hdratio_mean_.merge(other.hdratio_mean_);
+    traffic_bytes_ += other.traffic_bytes_;
+    sessions_ += other.sessions_;
+  }
+
+ private:
+  TDigest minrtt_;
+  TDigest hdratio_;
+  Welford minrtt_mean_;
+  Welford hdratio_mean_;
+  Bytes traffic_bytes_{0};
+  int sessions_{0};
+};
+
+/// All routes measured for one (user group, window): index 0 is the
+/// policy-preferred route, 1..k the ranked alternates (§2.2.3).
+struct WindowAgg {
+  std::vector<RouteWindowAgg> routes;
+
+  RouteWindowAgg& route(int index) {
+    if (static_cast<int>(routes.size()) <= index) routes.resize(index + 1);
+    return routes[static_cast<std::size_t>(index)];
+  }
+
+  const RouteWindowAgg* route(int index) const {
+    if (index < 0 || index >= static_cast<int>(routes.size())) return nullptr;
+    return &routes[static_cast<std::size_t>(index)];
+  }
+
+  /// Traffic across all routes in this window.
+  Bytes total_traffic() const {
+    Bytes total = 0;
+    for (const auto& r : routes) total += r.traffic();
+    return total;
+  }
+};
+
+/// Time series of windows for one user group, plus static group metadata.
+struct GroupSeries {
+  Continent continent{Continent::kNorthAmerica};
+  /// window index -> aggregation (sparse; groups can be idle off-hours).
+  std::map<int, WindowAgg> windows;
+
+  Bytes total_traffic() const {
+    Bytes total = 0;
+    for (const auto& [w, agg] : windows) total += agg.total_traffic();
+    return total;
+  }
+};
+
+/// The dataset-wide aggregation store fed by the measurement pipeline.
+class AggregationStore {
+ public:
+  /// Adds one session's metrics to its aggregation cell.
+  void add_session(const UserGroupKey& key, Continent continent, SimTime at,
+                   int route_index, Duration min_rtt, std::optional<double> hdratio,
+                   Bytes traffic) {
+    auto& series = groups_[key];
+    series.continent = continent;
+    series.windows[window_index(at)].route(route_index).add_session(min_rtt, hdratio,
+                                                                    traffic);
+  }
+
+  const std::unordered_map<UserGroupKey, GroupSeries, UserGroupKeyHash>& groups() const {
+    return groups_;
+  }
+
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::unordered_map<UserGroupKey, GroupSeries, UserGroupKeyHash> groups_;
+};
+
+}  // namespace fbedge

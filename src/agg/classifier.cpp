@@ -1,0 +1,62 @@
+#include "agg/classifier.h"
+
+#include <map>
+#include <set>
+
+#include "agg/user_group.h"
+
+namespace fbedge {
+
+Classification classify_temporal(const std::vector<WindowObservation>& windows,
+                                 const ClassifierConfig& config) {
+  Classification out;
+
+  int traffic_windows = 0;
+  // slot-of-day -> set of days with an event in that slot.
+  std::map<int, std::set<int>> slot_event_days;
+
+  for (const auto& w : windows) {
+    if (w.has_traffic) {
+      ++traffic_windows;
+      out.total_traffic += w.traffic;
+    }
+    if (w.valid) ++out.valid_windows;
+    if (w.event) {
+      ++out.event_windows;
+      out.event_traffic += w.traffic;
+      slot_event_days[window_slot_of_day(w.window, config.windows_per_day)].insert(
+          window_day(w.window, config.windows_per_day));
+    }
+  }
+
+  const double coverage =
+      static_cast<double>(traffic_windows) / static_cast<double>(config.total_windows);
+  if (coverage < config.min_coverage) {
+    out.cls = TemporalClass::kExcluded;
+    return out;
+  }
+
+  if (out.event_windows == 0) {
+    out.cls = TemporalClass::kUneventful;
+    return out;
+  }
+
+  if (out.valid_windows > 0 &&
+      static_cast<double>(out.event_windows) >=
+          config.continuous_fraction * static_cast<double>(out.valid_windows)) {
+    out.cls = TemporalClass::kContinuous;
+    return out;
+  }
+
+  for (const auto& [slot, days] : slot_event_days) {
+    if (static_cast<int>(days.size()) >= config.diurnal_days) {
+      out.cls = TemporalClass::kDiurnal;
+      return out;
+    }
+  }
+
+  out.cls = TemporalClass::kEpisodic;
+  return out;
+}
+
+}  // namespace fbedge

@@ -1,0 +1,81 @@
+// Temporal behavior classification (§3.4.2).
+//
+// User groups are classified by when their degradation/opportunity events
+// occur, checking the class conditions in order:
+//   uneventful  - no valid window has an event
+//   continuous  - events in >= 75% of valid windows (persistent)
+//   diurnal     - some fixed 15-minute slot-of-day has an event on >= 5
+//                 distinct days
+//   episodic    - everything else with at least one event
+// Groups with traffic in fewer than 60% of windows are excluded: sporadic
+// traffic (off-hours business networks, Cartographer re-mapping) leaves no
+// representative view of the group's behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+enum class TemporalClass : std::uint8_t {
+  kExcluded = 0,
+  kUneventful,
+  kContinuous,
+  kDiurnal,
+  kEpisodic,
+};
+
+constexpr const char* to_string(TemporalClass c) {
+  switch (c) {
+    case TemporalClass::kExcluded: return "Excluded";
+    case TemporalClass::kUneventful: return "Uneventful";
+    case TemporalClass::kContinuous: return "Continuous";
+    case TemporalClass::kDiurnal: return "Diurnal";
+    case TemporalClass::kEpisodic: return "Episodic";
+  }
+  return "?";
+}
+
+/// One window's inputs to the classifier.
+struct WindowObservation {
+  int window{0};
+  /// The aggregation had traffic (regardless of statistical validity).
+  bool has_traffic{false};
+  /// The comparison met the §3.4.1 validity requirements.
+  bool valid{false};
+  /// Degradation / opportunity event at the threshold under study.
+  bool event{false};
+  /// Traffic delivered in this window (for Table 1's impacted-traffic
+  /// weighting).
+  Bytes traffic{0};
+};
+
+struct ClassifierConfig {
+  /// Total windows in the study span (10 days of 15-min windows by default).
+  int total_windows{10 * 96};
+  int windows_per_day{96};
+  /// Minimum fraction of windows with traffic for classification.
+  double min_coverage{0.6};
+  /// Event fraction (of valid windows) for the continuous class.
+  double continuous_fraction{0.75};
+  /// Days a fixed slot must repeat an event for the diurnal class.
+  int diurnal_days{5};
+};
+
+struct Classification {
+  TemporalClass cls{TemporalClass::kExcluded};
+  /// Traffic over all observed windows.
+  Bytes total_traffic{0};
+  /// Traffic in windows where the event was active.
+  Bytes event_traffic{0};
+  int valid_windows{0};
+  int event_windows{0};
+};
+
+/// Classifies one user group's window series at one event threshold.
+Classification classify_temporal(const std::vector<WindowObservation>& windows,
+                                 const ClassifierConfig& config);
+
+}  // namespace fbedge

@@ -1,0 +1,71 @@
+#include "agg/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantiles.h"
+
+namespace fbedge {
+
+namespace {
+
+/// Picks the window whose metric value is nearest the requested quantile of
+/// the per-window series (only windows meeting the sample minimum count).
+int baseline_window(const GroupSeries& series, bool use_hd, double q, int min_samples) {
+  std::vector<std::pair<double, int>> values;  // (metric, window)
+  for (const auto& [w, agg] : series.windows) {
+    const RouteWindowAgg* pref = agg.route(0);
+    if (!pref) continue;
+    if (use_hd) {
+      if (pref->hd_sessions() < min_samples) continue;
+      values.emplace_back(pref->hdratio_p50(), w);
+    } else {
+      if (pref->sessions() < min_samples) continue;
+      values.emplace_back(pref->minrtt_p50(), w);
+    }
+  }
+  if (values.empty()) return -1;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  return values[static_cast<std::size_t>(std::llround(pos))].second;
+}
+
+}  // namespace
+
+DegradationResult analyze_degradation(const GroupSeries& series,
+                                      const ComparisonConfig& config) {
+  DegradationResult out;
+  // Baseline: best observed performance at stable quantiles (p10 RTT, p90 HD).
+  out.baseline_rtt_window = baseline_window(series, /*use_hd=*/false, 0.10,
+                                            config.min_samples);
+  out.baseline_hd_window = baseline_window(series, /*use_hd=*/true, 0.90,
+                                           config.min_samples);
+
+  const RouteWindowAgg* base_rtt = nullptr;
+  const RouteWindowAgg* base_hd = nullptr;
+  if (out.baseline_rtt_window >= 0) {
+    base_rtt = series.windows.at(out.baseline_rtt_window).route(0);
+    out.baseline_minrtt_p50 = base_rtt->minrtt_p50();
+  }
+  if (out.baseline_hd_window >= 0) {
+    base_hd = series.windows.at(out.baseline_hd_window).route(0);
+    out.baseline_hdratio_p50 = base_hd->hdratio_p50();
+  }
+
+  for (const auto& [w, agg] : series.windows) {
+    const RouteWindowAgg* pref = agg.route(0);
+    if (!pref || pref->sessions() == 0) continue;
+    DegradationWindow dw;
+    dw.window = w;
+    dw.traffic = pref->traffic();
+    if (base_rtt) dw.rtt = compare_minrtt(*pref, *base_rtt, config);
+    if (base_hd) {
+      // Degradation direction: baseline - current (HD drops when degraded).
+      dw.hd = compare_hdratio(*base_hd, *pref, config);
+    }
+    out.windows.push_back(std::move(dw));
+  }
+  return out;
+}
+
+}  // namespace fbedge

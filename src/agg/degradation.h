@@ -1,0 +1,43 @@
+// Performance-degradation analysis over time (§3.4, §5).
+//
+// For each user group, baseline performance is the 10th percentile of the
+// per-window MinRTT_P50 series of the preferred route (90th percentile for
+// HDratio_P50) — i.e. the group at its best. Each window is then compared
+// against the baseline window with a difference-of-medians CI; the window
+// is degraded at threshold X when the CI lower bound exceeds X.
+#pragma once
+
+#include <vector>
+
+#include "agg/comparison.h"
+
+namespace fbedge {
+
+/// Degradation verdicts for one window of one user group.
+struct DegradationWindow {
+  int window{0};
+  /// Preferred-route traffic in this window (Table 1 weighting).
+  Bytes traffic{0};
+  /// current - baseline MinRTT_P50 (positive = slower than baseline).
+  Comparison rtt;
+  /// baseline - current HDratio_P50 (positive = worse than baseline).
+  Comparison hd;
+};
+
+struct DegradationResult {
+  std::vector<DegradationWindow> windows;
+  /// Window indices whose aggregations serve as the baselines.
+  int baseline_rtt_window{-1};
+  int baseline_hd_window{-1};
+  Duration baseline_minrtt_p50{0};
+  double baseline_hdratio_p50{0};
+};
+
+/// Analyzes the preferred route (index 0) of one group's series.
+/// Windows without preferred-route data are skipped. Requires at least
+/// `config.min_samples` in the baseline window; otherwise every comparison
+/// is invalid.
+DegradationResult analyze_degradation(const GroupSeries& series,
+                                      const ComparisonConfig& config);
+
+}  // namespace fbedge

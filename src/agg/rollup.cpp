@@ -1,0 +1,26 @@
+#include "agg/rollup.h"
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+void merge_route_aggs(RouteWindowAgg& dst, const RouteWindowAgg& src) {
+  dst.merge(src);
+}
+
+void WindowRollup::add(int window, int route_index, const RouteWindowAgg& agg) {
+  FBEDGE_EXPECT(factor_ >= 1, "rollup factor must be >= 1");
+  coarse_[window / factor_].route(route_index).merge(agg);
+}
+
+void WindowRollup::add_series(const GroupSeries& series) {
+  for (const auto& [window, agg] : series.windows) {
+    for (int r = 0; r < static_cast<int>(agg.routes.size()); ++r) {
+      const RouteWindowAgg& cell = agg.routes[static_cast<std::size_t>(r)];
+      if (cell.sessions() == 0) continue;
+      add(window, r, cell);
+    }
+  }
+}
+
+}  // namespace fbedge

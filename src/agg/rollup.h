@@ -1,0 +1,42 @@
+// Window rollups: merging 15-minute aggregations into coarser spans.
+//
+// Production telemetry keeps fine windows hot and rolls them into hourly/
+// daily sketches for retention — the mergeability of t-digests (footnote
+// 11) is what makes this cheap and loss-bounded. Rollups also serve the
+// analyzers when a single 15-minute window is too thin for §3.4.1
+// validity: four merged windows quadruple the sample count.
+#pragma once
+
+#include <map>
+
+#include "agg/aggregation.h"
+
+namespace fbedge {
+
+/// Merges every `factor` consecutive windows of a group's series into one
+/// coarser window (indexes divided by `factor`). Route cells merge
+/// sketch-to-sketch; counts and traffic add.
+class WindowRollup {
+ public:
+  explicit WindowRollup(int factor) : factor_(factor) {}
+
+  /// Rolls one route cell into the coarse store.
+  void add(int window, int route_index, const RouteWindowAgg& agg);
+
+  /// Rolls a whole series.
+  void add_series(const GroupSeries& series);
+
+  /// The rolled-up windows (coarse index -> WindowAgg).
+  const std::map<int, WindowAgg>& windows() const { return coarse_; }
+
+  int factor() const { return factor_; }
+
+ private:
+  int factor_;
+  std::map<int, WindowAgg> coarse_;
+};
+
+/// Merges `src` into `dst` (sketches merge; counts and traffic add).
+void merge_route_aggs(RouteWindowAgg& dst, const RouteWindowAgg& src);
+
+}  // namespace fbedge

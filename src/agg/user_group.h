@@ -1,0 +1,59 @@
+// User groups and time windows (§3.3).
+//
+// A user group aggregates users likely to share performance: same serving
+// PoP, same client BGP prefix (which fixes the AS and the available egress
+// routes), and same client country (network address space only loosely
+// correlates with location — the paper's Fig. 5 shows a /16 serving both
+// California and Hawaii whose prefix-level median MinRTT oscillates with
+// the two populations' peak hours). Measurements are grouped into 15-minute
+// windows to balance visibility into brief events against sample counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "routing/route.h"
+#include "util/geo.h"
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Aggregation key: (PoP, BGP prefix, country).
+struct UserGroupKey {
+  PopId pop{};
+  IpPrefix prefix;
+  CountryId country{};
+
+  friend bool operator==(const UserGroupKey& a, const UserGroupKey& b) {
+    return a.pop == b.pop && a.prefix == b.prefix && a.country == b.country;
+  }
+};
+
+struct UserGroupKeyHash {
+  std::size_t operator()(const UserGroupKey& k) const noexcept {
+    std::uint64_t h = hash_mix(k.pop.value);
+    h = hash_combine(h, k.prefix.addr);
+    h = hash_combine(h, static_cast<std::uint64_t>(k.prefix.length));
+    h = hash_combine(h, k.country.value);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The paper's aggregation window.
+constexpr Duration kWindowLength = 15.0 * kMinute;
+
+/// Index of the window containing absolute time `t`.
+constexpr int window_index(SimTime t) { return static_cast<int>(t / kWindowLength); }
+
+/// Slot-of-day of a window (for diurnal detection): 0..95 with 15-min
+/// windows.
+constexpr int window_slot_of_day(int window, int windows_per_day = 96) {
+  return window % windows_per_day;
+}
+
+constexpr int window_day(int window, int windows_per_day = 96) {
+  return window / windows_per_day;
+}
+
+}  // namespace fbedge

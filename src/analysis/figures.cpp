@@ -1,0 +1,70 @@
+#include "analysis/figures.h"
+
+namespace fbedge {
+
+TrafficCharacterization characterize_traffic(const World& world,
+                                             const DatasetConfig& config) {
+  TrafficCharacterization out;
+  DatasetGenerator generator(world, config);
+  generator.generate([&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) return;
+    ++out.sessions;
+    const bool h2 = s.version == HttpVersion::kHttp2;
+
+    out.duration_all.add(s.duration);
+    (h2 ? out.duration_h2 : out.duration_h1).add(s.duration);
+
+    const double busy_pct = 100.0 * std::clamp(s.busy_time / s.duration, 0.0, 1.0);
+    out.busy_all.add(busy_pct);
+    (h2 ? out.busy_h2 : out.busy_h1).add(busy_pct);
+
+    if (s.total_bytes > 0) out.session_bytes.add(static_cast<double>(s.total_bytes));
+    for (const auto& w : s.writes) {
+      out.response_bytes.add(static_cast<double>(w.bytes));
+      if (s.endpoint == EndpointClass::kMedia) {
+        out.media_response_bytes.add(static_cast<double>(w.bytes));
+      }
+    }
+
+    out.txns_all.add(s.num_transactions);
+    (h2 ? out.txns_h2 : out.txns_h1).add(s.num_transactions);
+
+    out.traffic_total += s.total_bytes;
+    if (s.num_transactions >= 50) out.traffic_sessions_50plus += s.total_bytes;
+  });
+  return out;
+}
+
+GlobalPerformance measure_global_performance(const World& world,
+                                             const DatasetConfig& config,
+                                             GoodputConfig goodput) {
+  GlobalPerformance out;
+  DatasetGenerator generator(world, config);
+  generator.generate([&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) {
+      ++out.filtered_hosting;
+      return;
+    }
+    // §4 uses measurements from the policy-preferred route only.
+    if (s.route_index != 0) return;
+    const SessionMetrics m = compute_session_metrics(s, goodput);
+    ++out.sessions_total;
+
+    const int continent = static_cast<int>(s.client.continent);
+    out.minrtt_all.add(m.min_rtt);
+    out.minrtt_continent[static_cast<std::size_t>(continent)].add(m.min_rtt);
+
+    if (m.hdratio) {
+      ++out.sessions_hd_testable;
+      out.hdratio_all.add(*m.hdratio);
+      out.hdratio_continent[static_cast<std::size_t>(continent)].add(*m.hdratio);
+      out.hdratio_by_rtt[static_cast<std::size_t>(
+                            GlobalPerformance::rtt_bucket(m.min_rtt))]
+          .add(*m.hdratio);
+      if (m.hdratio_naive) out.hdratio_naive_all.add(*m.hdratio_naive);
+    }
+  });
+  return out;
+}
+
+}  // namespace fbedge

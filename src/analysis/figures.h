@@ -1,0 +1,63 @@
+// Experiment runners for the paper's traffic-characterization and global-
+// performance figures (Figs. 1-3, 6, 7). Each runner streams the synthetic
+// dataset through the measurement pipeline and accumulates the published
+// distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/session_metrics.h"
+#include "stats/cdf.h"
+#include "util/geo.h"
+#include "workload/generator.h"
+
+namespace fbedge {
+
+/// Figures 1-3: session duration, busy time, bytes, transaction counts.
+struct TrafficCharacterization {
+  WeightedCdf duration_all, duration_h1, duration_h2;      // Fig. 1(a), seconds
+  WeightedCdf busy_all, busy_h1, busy_h2;                  // Fig. 1(b), percent
+  WeightedCdf session_bytes, response_bytes, media_response_bytes;  // Fig. 2
+  WeightedCdf txns_all, txns_h1, txns_h2;                  // Fig. 3
+  Bytes traffic_total{0};
+  /// Traffic on sessions with >= 50 transactions (§2.3: more than half).
+  Bytes traffic_sessions_50plus{0};
+  std::uint64_t sessions{0};
+};
+
+TrafficCharacterization characterize_traffic(const World& world,
+                                             const DatasetConfig& config);
+
+/// Figures 6-7 plus the §4 ablations.
+struct GlobalPerformance {
+  WeightedCdf minrtt_all;  // per-session MinRTT, seconds
+  std::array<WeightedCdf, kNumContinents> minrtt_continent;
+  WeightedCdf hdratio_all;  // sessions with >= 1 testable transaction
+  std::array<WeightedCdf, kNumContinents> hdratio_continent;
+
+  /// D1 ablation: naive Btotal/Ttotal goodput (paper: median 0.69 vs 1.0).
+  WeightedCdf hdratio_naive_all;
+
+  /// Fig. 7: HDratio distribution by MinRTT bucket
+  /// (0-30 ms, 31-50 ms, 51-80 ms, 81+ ms).
+  std::array<WeightedCdf, 4> hdratio_by_rtt;
+
+  std::uint64_t sessions_total{0};
+  std::uint64_t sessions_hd_testable{0};
+  std::uint64_t filtered_hosting{0};
+
+  static int rtt_bucket(Duration min_rtt) {
+    const double ms_value = to_ms(min_rtt);
+    if (ms_value <= 30) return 0;
+    if (ms_value <= 50) return 1;
+    if (ms_value <= 80) return 2;
+    return 3;
+  }
+};
+
+GlobalPerformance measure_global_performance(const World& world,
+                                             const DatasetConfig& config,
+                                             GoodputConfig goodput = {});
+
+}  // namespace fbedge

@@ -1,0 +1,46 @@
+#include "analysis/format.h"
+
+namespace fbedge {
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_cdf(const std::string& label, const WeightedCdf& cdf, int points,
+               double value_scale) {
+  if (cdf.empty()) {
+    std::printf("%s: (no data)\n", label.c_str());
+    return;
+  }
+  std::printf("%s:\n", label.c_str());
+  for (const auto& [value, frac] : cdf.series(points)) {
+    std::printf("  %12.4f  %.3f\n", value * value_scale, frac);
+  }
+}
+
+void print_quantile_summary(const std::string& label, const WeightedCdf& cdf,
+                            double value_scale) {
+  if (cdf.empty()) {
+    std::printf("%-28s (no data)\n", label.c_str());
+    return;
+  }
+  std::printf("%-28s p10=%.3f p25=%.3f p50=%.3f p75=%.3f p90=%.3f\n", label.c_str(),
+              cdf.quantile(0.10) * value_scale, cdf.quantile(0.25) * value_scale,
+              cdf.quantile(0.50) * value_scale, cdf.quantile(0.75) * value_scale,
+              cdf.quantile(0.90) * value_scale);
+}
+
+void print_fraction_at(const std::string& label, const WeightedCdf& cdf,
+                       const std::vector<double>& xs, double value_scale) {
+  if (cdf.empty()) {
+    std::printf("%-28s (no data)\n", label.c_str());
+    return;
+  }
+  std::printf("%-28s", label.c_str());
+  for (const double x : xs) {
+    std::printf(" P(<=%g)=%.3f", x * value_scale, cdf.fraction_at_or_below(x));
+  }
+  std::printf("\n");
+}
+
+}  // namespace fbedge

@@ -1,0 +1,30 @@
+// Plain-text output helpers shared by the bench binaries: every paper
+// figure is printed as a CDF series or a table of rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.h"
+
+namespace fbedge {
+
+/// Prints a section header.
+void print_header(const std::string& title);
+
+/// Prints one CDF as "value fraction" rows at `points` quantiles, with a
+/// label column.
+void print_cdf(const std::string& label, const WeightedCdf& cdf, int points = 20,
+               double value_scale = 1.0);
+
+/// Prints several labelled quantiles of a CDF on one line
+/// (p10/p25/p50/p75/p90).
+void print_quantile_summary(const std::string& label, const WeightedCdf& cdf,
+                            double value_scale = 1.0);
+
+/// Prints "fraction of weight <= x" probes.
+void print_fraction_at(const std::string& label, const WeightedCdf& cdf,
+                       const std::vector<double>& xs, double value_scale = 1.0);
+
+}  // namespace fbedge

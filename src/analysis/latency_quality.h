@@ -1,0 +1,73 @@
+// Latency quality-of-experience tiers (§3.1).
+//
+// The paper anchors its latency interpretation on three rules of thumb:
+//   - beyond ~8 Mbps, latency is the primary bottleneck for page loads,
+//     so MinRTT drives interactive experience;
+//   - an online gaming provider uses 80 ms as the cutoff for good
+//     real-time performance;
+//   - ITU-T G.114 recommends at most 150 ms one-way (300 ms RTT) for
+//     telecommunication; beyond that, experience degrades significantly.
+// This module buckets sessions into the tiers those anchors imply.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+enum class LatencyTier : std::uint8_t {
+  /// <= 40 ms: comfortable for everything, including competitive gaming.
+  kRealtime = 0,
+  /// <= 80 ms: good for real-time applications (gaming cutoff).
+  kInteractive,
+  /// <= 300 ms: acceptable for calls per ITU-T G.114; sluggish for games.
+  kConversational,
+  /// > 300 ms: degraded experience for any interactive use.
+  kDegraded,
+};
+
+constexpr int kNumLatencyTiers = 4;
+
+constexpr LatencyTier latency_tier(Duration min_rtt) {
+  if (min_rtt <= 0.040) return LatencyTier::kRealtime;
+  if (min_rtt <= 0.080) return LatencyTier::kInteractive;
+  if (min_rtt <= 0.300) return LatencyTier::kConversational;
+  return LatencyTier::kDegraded;
+}
+
+constexpr std::string_view to_string(LatencyTier t) {
+  switch (t) {
+    case LatencyTier::kRealtime: return "realtime (<=40ms)";
+    case LatencyTier::kInteractive: return "interactive (<=80ms)";
+    case LatencyTier::kConversational: return "conversational (<=300ms)";
+    case LatencyTier::kDegraded: return "degraded (>300ms)";
+  }
+  return "?";
+}
+
+/// Session-count tallies per tier.
+struct LatencyTierTally {
+  std::array<std::uint64_t, kNumLatencyTiers> sessions{};
+
+  void add(Duration min_rtt) {
+    ++sessions[static_cast<std::size_t>(latency_tier(min_rtt))];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto n : sessions) sum += n;
+    return sum;
+  }
+
+  double fraction(LatencyTier t) const {
+    const auto sum = total();
+    return sum == 0 ? 0.0
+                    : static_cast<double>(sessions[static_cast<std::size_t>(t)]) /
+                          static_cast<double>(sum);
+  }
+};
+
+}  // namespace fbedge

@@ -1,0 +1,34 @@
+#include "goodput/hdratio.h"
+
+namespace fbedge {
+
+TxnVerdict HdEvaluator::evaluate(const TxnTiming& txn) {
+  TxnVerdict v;
+  if (txn.btotal <= 0 || txn.wnic <= 0 || txn.min_rtt <= 0) return v;
+
+  // Gtestable uses Wstart from ideal growth: a session that has had the
+  // opportunity to grow its window is held to that standard even if real
+  // conditions shrank the actual cwnd (§3.2.2).
+  v.wstart = wstart_.next(txn.wnic, txn.btotal);
+  v.gtestable = ideal::testable_goodput(txn.btotal, v.wstart, txn.min_rtt);
+  v.can_test = v.gtestable >= config_.target_goodput;
+  if (!v.can_test) return v;
+
+  ++session_.tested;
+  v.achieved = achieved_rate(txn, config_.target_goodput);
+  if (v.achieved) ++session_.achieved;
+
+  if (txn.ttotal > 0) {
+    v.achieved_naive = to_bits(txn.btotal) / txn.ttotal >= config_.target_goodput;
+    if (v.achieved_naive) ++session_.achieved_naive;
+  }
+  return v;
+}
+
+SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig config) {
+  HdEvaluator eval(config);
+  for (const auto& t : txns) eval.evaluate(t);
+  return eval.result();
+}
+
+}  // namespace fbedge

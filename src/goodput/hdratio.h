@@ -1,0 +1,95 @@
+// HDratio: per-session target-goodput capability metric (§3.2.4).
+//
+// For each (coalesced, eligible) transaction of a session the evaluator
+// determines:
+//   1. whether the transaction was *capable of testing* for the target
+//      goodput — Gtestable >= target, computed with Wstart from ideal
+//      window growth (§3.2.2, goodput/ideal_model.h);
+//   2. for capable transactions, whether the target was *achieved* —
+//      Ttotal <= Tmodel(target), with the model window grown from the
+//      measured Wnic (§3.2.3, goodput/tmodel.h).
+//
+// HDratio = achieved / tested over the session. Sessions where no
+// transaction could test are reported as "no signal" (std::nullopt), not as
+// zero: small objects failing to demonstrate HD goodput is not evidence of
+// a bad path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "goodput/ideal_model.h"
+#include "goodput/tmodel.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Parameters of the goodput methodology.
+struct GoodputConfig {
+  /// Target goodput; 2.5 Mbps is the minimum bitrate for HD video (§3.2.1).
+  BitsPerSecond target_goodput{2.5 * kMbps};
+};
+
+/// Per-transaction outcome.
+struct TxnVerdict {
+  /// Wstart used for Gtestable (ideal growth, not the measured Wnic).
+  Bytes wstart{0};
+  /// Maximum goodput the transaction could test for (Eq. 3).
+  BitsPerSecond gtestable{0};
+  /// Gtestable >= target.
+  bool can_test{false};
+  /// Target goodput demonstrably achieved (only meaningful if can_test).
+  bool achieved{false};
+  /// Naive estimate Btotal/Ttotal >= target — the strawman the paper's
+  /// model-corrected approach improves on (§4: median HDratio 0.69 naive
+  /// vs 1.0 corrected). Only meaningful if can_test.
+  bool achieved_naive{false};
+};
+
+/// Session-level summary.
+struct SessionHd {
+  int tested{0};
+  int achieved{0};
+  int achieved_naive{0};
+
+  /// HDratio (§3.2.4); nullopt when no transaction could test.
+  std::optional<double> hdratio() const {
+    if (tested == 0) return std::nullopt;
+    return static_cast<double>(achieved) / tested;
+  }
+
+  std::optional<double> hdratio_naive() const {
+    if (tested == 0) return std::nullopt;
+    return static_cast<double>(achieved_naive) / tested;
+  }
+};
+
+/// Streaming per-session evaluator. Feed transactions in order; read
+/// result() at session end. Reuse across sessions via reset().
+class HdEvaluator {
+ public:
+  explicit HdEvaluator(GoodputConfig config = {}) : config_(config) {}
+
+  /// Evaluates one coalesced, eligible transaction. `txn` carries the
+  /// §3.2.5-adjusted bytes/duration, the measured Wnic, and the session
+  /// MinRTT. Transactions with non-positive adjusted size are skipped
+  /// (single-packet responses cannot test for anything).
+  TxnVerdict evaluate(const TxnTiming& txn);
+
+  const SessionHd& result() const { return session_; }
+
+  void reset() {
+    session_ = {};
+    wstart_ = {};
+  }
+
+ private:
+  GoodputConfig config_;
+  SessionHd session_;
+  ideal::WstartTracker wstart_;
+};
+
+/// Convenience: evaluates a whole session's transactions at once.
+SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig config = {});
+
+}  // namespace fbedge

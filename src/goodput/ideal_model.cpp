@@ -1,0 +1,49 @@
+#include "goodput/ideal_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace fbedge::ideal {
+
+int rounds(Bytes btotal, Bytes wstart) {
+  FBEDGE_EXPECT(btotal > 0 && wstart > 0, "rounds() requires positive sizes");
+  const double ratio = static_cast<double>(btotal) / static_cast<double>(wstart) + 1.0;
+  return std::max(1, static_cast<int>(std::ceil(std::log2(ratio) - 1e-12)));
+}
+
+double window_at_round(int n, Bytes wstart) {
+  FBEDGE_EXPECT(n >= 1, "rounds are 1-based");
+  return std::ldexp(static_cast<double>(wstart), n - 1);  // 2^(n-1) * wstart
+}
+
+Bytes end_window(Bytes btotal, Bytes wstart) {
+  const int m = rounds(btotal, wstart);
+  return static_cast<Bytes>(window_at_round(m, wstart));
+}
+
+BitsPerSecond testable_goodput(Bytes btotal, Bytes wstart, Duration min_rtt) {
+  FBEDGE_EXPECT(min_rtt > 0, "testable_goodput requires positive MinRTT");
+  const int m = rounds(btotal, wstart);
+  if (m == 1) {
+    // Whole response fits in the initial window: it can only demonstrate
+    // its own size per round-trip.
+    return to_bits(btotal) / min_rtt;
+  }
+  // sum_{i=1}^{m-1} WSS(i) = wstart * (2^(m-1) - 1)
+  const double sent_before_last =
+      static_cast<double>(wstart) * (std::ldexp(1.0, m - 1) - 1.0);
+  const double penultimate = window_at_round(m - 1, wstart);
+  const double last_round = static_cast<double>(btotal) - sent_before_last;
+  return std::max(penultimate, last_round) * 8.0 / min_rtt;
+}
+
+Bytes WstartTracker::next(Bytes wnic, Bytes btotal) {
+  FBEDGE_EXPECT(wnic > 0 && btotal > 0, "WstartTracker requires positive sizes");
+  const Bytes wstart = std::max(wnic, prev_end_);
+  prev_end_ = end_window(btotal, wstart);
+  return wstart;
+}
+
+}  // namespace fbedge::ideal

@@ -1,0 +1,55 @@
+// Ideal-conditions TCP transfer model (§3.2.2, Equations 1-3).
+//
+// Under ideal conditions (fixed RTT, no loss, no bottleneck) a connection
+// never leaves slow start and the cwnd doubles whenever it is cwnd-limited.
+// Given a response of Btotal bytes and a window of Wstart bytes when its
+// first byte is sent:
+//
+//   m        = ceil(log2(Btotal/Wstart + 1))            rounds to transfer  (Eq. 1)
+//   WSS(n)   = 2^(n-1) * Wstart                         cwnd at round n     (Eq. 2)
+//   Gtestable = max{WSS(m-1), Btotal - sum_{i=1}^{m-1} WSS(i)} / MinRTT     (Eq. 3)
+//
+// Gtestable is the highest goodput the transaction can demonstrate — the
+// max bytes deliverable in a single round-trip under ideal conditions.
+// (For m == 1 the whole response fits in the first window and Eq. 3
+// degenerates to Btotal / MinRTT; see the Figure 4 worked example where
+// transaction 1 tests for 2 packets / 60 ms = 0.4 Mbps.)
+#pragma once
+
+#include "util/units.h"
+
+namespace fbedge::ideal {
+
+/// Number of round-trips m required to transfer `btotal` bytes starting
+/// from a window of `wstart` bytes (Eq. 1). Both must be > 0.
+int rounds(Bytes btotal, Bytes wstart);
+
+/// WSS(n): window size in bytes at the start of the nth round-trip,
+/// 1-based (Eq. 2).
+double window_at_round(int n, Bytes wstart);
+
+/// Ideal cwnd at the *end* of the transfer: WSS(m). Used as the lower bound
+/// for the next transaction's Wstart (§3.2.2, footnote 4).
+Bytes end_window(Bytes btotal, Bytes wstart);
+
+/// Gtestable (Eq. 3): the maximum goodput this transaction can test for.
+BitsPerSecond testable_goodput(Bytes btotal, Bytes wstart, Duration min_rtt);
+
+/// Tracks Wstart across a session's transactions (§3.2.2): the first
+/// transaction uses Wnic; later ones use max(Wnic, ideal end window of the
+/// previous transaction), so that poor network conditions (which shrink the
+/// real cwnd) do not mask evidence of poor performance.
+class WstartTracker {
+ public:
+  /// Returns Wstart for a transaction with the given measured Wnic and
+  /// size, and advances the ideal-growth state.
+  Bytes next(Bytes wnic, Bytes btotal);
+
+  /// Ideal window at the end of the last observed transaction (0 before any).
+  Bytes ideal_end() const { return prev_end_; }
+
+ private:
+  Bytes prev_end_{0};
+};
+
+}  // namespace fbedge::ideal

@@ -1,0 +1,56 @@
+#include "goodput/rate_ladder.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+std::vector<RateTarget> default_video_ladder() {
+  return {
+      {"audio-0.128", 0.128 * kMbps},
+      {"sd-1.1", 1.1 * kMbps},
+      {"hd-2.5", 2.5 * kMbps},  // the paper's HD goodput
+      {"fhd-5.0", 5.0 * kMbps},
+      {"uhd-16", 16.0 * kMbps},
+  };
+}
+
+RateLadderEvaluator::RateLadderEvaluator(std::vector<RateTarget> targets) {
+  FBEDGE_EXPECT(!targets.empty(), "rate ladder needs at least one rung");
+  std::sort(targets.begin(), targets.end(),
+            [](const RateTarget& a, const RateTarget& b) { return a.rate < b.rate; });
+  rungs_.reserve(targets.size());
+  for (auto& t : targets) rungs_.push_back(RungResult{std::move(t), 0, 0});
+}
+
+void RateLadderEvaluator::evaluate(const TxnTiming& txn) {
+  if (txn.btotal <= 0 || txn.wnic <= 0 || txn.min_rtt <= 0) return;
+  const Bytes wstart = wstart_.next(txn.wnic, txn.btotal);
+  const BitsPerSecond gtestable =
+      ideal::testable_goodput(txn.btotal, wstart, txn.min_rtt);
+  for (auto& rung : rungs_) {
+    if (gtestable < rung.target.rate) break;  // ascending: higher rungs gated too
+    ++rung.tested;
+    if (achieved_rate(txn, rung.target.rate)) ++rung.achieved;
+  }
+}
+
+int RateLadderEvaluator::highest_sustained(double threshold) const {
+  int best = -1;
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    const auto r = rungs_[i].ratio();
+    if (r && *r >= threshold) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+void RateLadderEvaluator::reset() {
+  for (auto& rung : rungs_) {
+    rung.tested = 0;
+    rung.achieved = 0;
+  }
+  wstart_ = {};
+}
+
+}  // namespace fbedge

@@ -1,0 +1,62 @@
+// Multi-target goodput evaluation.
+//
+// §3.2.1: "Although we focus on HD goodput, our methodology is generic and
+// can work for any target goodput." This evaluator runs the full gate +
+// achievement determination for a ladder of target rates simultaneously
+// (e.g. audio / SD / HD / FHD), sharing one Wstart tracker per session so
+// every rung sees identical inputs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "goodput/ideal_model.h"
+#include "goodput/tmodel.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// One rung of the ladder.
+struct RateTarget {
+  std::string name;
+  BitsPerSecond rate{0};
+};
+
+/// The standard video rate ladder used by the examples and benches.
+std::vector<RateTarget> default_video_ladder();
+
+/// Per-session tally for one rung.
+struct RungResult {
+  RateTarget target;
+  int tested{0};
+  int achieved{0};
+
+  std::optional<double> ratio() const {
+    if (tested == 0) return std::nullopt;
+    return static_cast<double>(achieved) / tested;
+  }
+};
+
+/// Evaluates a session's transactions against every rung at once.
+class RateLadderEvaluator {
+ public:
+  explicit RateLadderEvaluator(std::vector<RateTarget> targets);
+
+  /// Evaluates one coalesced, eligible transaction against all rungs.
+  void evaluate(const TxnTiming& txn);
+
+  const std::vector<RungResult>& results() const { return rungs_; }
+
+  /// Highest rung with ratio >= `threshold` (e.g. the best bitrate this
+  /// session could sustain); -1 if none. Assumes rungs sorted ascending.
+  int highest_sustained(double threshold = 0.5) const;
+
+  void reset();
+
+ private:
+  std::vector<RungResult> rungs_;
+  ideal::WstartTracker wstart_;
+};
+
+}  // namespace fbedge

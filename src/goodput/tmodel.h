@@ -1,0 +1,50 @@
+// Best-case transaction model Tmodel(R) and the achieved-rate solver
+// (§3.2.3).
+//
+// To decide whether a real transaction delivered traffic at rate R, the
+// paper compares its measured transfer time Ttotal against the transfer
+// time of a best-case model transaction through a bottleneck of available
+// bandwidth R:
+//
+//   Tmodel(R) = n * MinRTT  +  (Btotal - slow-start bytes) / R  +  MinRTT
+//
+// where the model congestion control doubles the cwnd from Wnic for n
+// round-trips until it is large enough to sustain R, then delivers the
+// remaining bytes at exactly R. If Ttotal <= Tmodel(R), the real
+// transaction delivered at a rate of at least R.
+//
+// The *estimated delivery rate* is the largest R satisfying the inequality.
+// For single-round transfers (n = 0) this reduces to the closed form
+// R = Btotal / (Ttotal - MinRTT).
+#pragma once
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Inputs of the model comparison for one (coalesced, eligible) transaction.
+/// Byte and time fields are the §3.2.5-adjusted values (last packet and its
+/// possibly-delayed ACK excluded).
+struct TxnTiming {
+  Bytes btotal{0};        // adjusted bytes
+  Duration ttotal{0};     // first NIC write -> ACK of second-to-last packet
+  Bytes wnic{0};          // cwnd in bytes at first NIC write
+  Duration min_rtt{0};    // session MinRTT (§3.1)
+};
+
+/// Transfer time of the best-case model transaction through a bottleneck of
+/// rate `r` (bits/s). Monotonically non-increasing in r (up to the
+/// round-quantization of n).
+Duration t_model(const TxnTiming& txn, BitsPerSecond r);
+
+/// True iff the transaction demonstrably delivered at >= `r`:
+/// Ttotal <= Tmodel(r).
+bool achieved_rate(const TxnTiming& txn, BitsPerSecond r);
+
+/// Largest rate R such that Ttotal <= Tmodel(R); the transaction's
+/// estimated delivery rate. Returns 0 if even a negligible rate was not
+/// achieved (Ttotal enormous), and caps the search at `max_rate`.
+BitsPerSecond estimate_delivery_rate(const TxnTiming& txn,
+                                     BitsPerSecond max_rate = 100 * kGbps);
+
+}  // namespace fbedge

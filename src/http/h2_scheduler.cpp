@@ -1,0 +1,105 @@
+#include "http/h2_scheduler.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+H2Schedule schedule_h2_writes(std::vector<H2Response> responses, Bytes chunk_bytes,
+                              BitsPerSecond drain_rate) {
+  FBEDGE_EXPECT(chunk_bytes > 0 && drain_rate > 0, "invalid scheduler config");
+  H2Schedule out;
+  out.outcomes.resize(responses.size());
+
+  struct Stream {
+    std::size_t input_index;
+    Bytes remaining;
+    int last_served_round{-1};  // for round-robin among equals
+    bool started{false};
+  };
+  std::vector<Stream> streams;
+  streams.reserve(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    FBEDGE_EXPECT(responses[i].bytes > 0, "empty response stream");
+    out.outcomes[i].stream_id = responses[i].stream_id;
+    streams.push_back({i, responses[i].bytes, -1, false});
+  }
+
+  Duration clock = 0;
+  int round = 0;
+  int current = -1;  // stream index served by the previous chunk
+
+  auto pending = [&]() {
+    for (const auto& s : streams) {
+      if (s.remaining > 0) return true;
+    }
+    return false;
+  };
+
+  while (pending()) {
+    // Candidates: ready responses with bytes left.
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(streams.size()); ++i) {
+      const auto& s = streams[static_cast<std::size_t>(i)];
+      if (s.remaining <= 0) continue;
+      if (responses[s.input_index].ready_at > clock + 1e-12) continue;
+      if (best < 0) {
+        best = i;
+        continue;
+      }
+      const auto& b = streams[static_cast<std::size_t>(best)];
+      const int pi = responses[s.input_index].priority;
+      const int pb = responses[b.input_index].priority;
+      if (pi < pb ||
+          (pi == pb && s.last_served_round < b.last_served_round)) {
+        best = i;  // more urgent, or least-recently-served among equals
+      }
+    }
+    if (best < 0) {
+      // Nothing ready yet: advance the clock to the next arrival.
+      Duration next_ready = 1e18;
+      for (const auto& s : streams) {
+        if (s.remaining > 0) {
+          next_ready = std::min(next_ready, responses[s.input_index].ready_at);
+        }
+      }
+      clock = next_ready;
+      continue;
+    }
+
+    auto& s = streams[static_cast<std::size_t>(best)];
+    auto& outcome = out.outcomes[s.input_index];
+
+    // Flag detection against the previously served stream.
+    if (current >= 0 && current != best) {
+      auto& prev = streams[static_cast<std::size_t>(current)];
+      if (prev.remaining > 0) {
+        const int p_new = responses[s.input_index].priority;
+        const int p_prev = responses[prev.input_index].priority;
+        if (p_new < p_prev) {
+          // The interrupted stream is preempted.
+          out.outcomes[prev.input_index].preempted = true;
+        } else if (p_new == p_prev) {
+          out.outcomes[prev.input_index].multiplexed = true;
+          outcome.multiplexed = true;
+        }
+      }
+    }
+
+    const Bytes sent = std::min(chunk_bytes, s.remaining);
+    s.remaining -= sent;
+    s.last_served_round = round++;
+    if (!s.started) {
+      s.started = true;
+      outcome.first_chunk_index = static_cast<int>(out.chunks.size());
+    }
+    outcome.last_chunk_index = static_cast<int>(out.chunks.size());
+    out.chunks.push_back({responses[s.input_index].stream_id, sent});
+    clock += to_bits(sent) / drain_rate;
+    current = best;
+  }
+  return out;
+}
+
+}  // namespace fbedge

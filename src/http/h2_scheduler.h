@@ -1,0 +1,69 @@
+// HTTP/2 response write scheduling (§2.1, §3.2.5).
+//
+// Proxygen multiplexes an HTTP/2 connection's send window across
+// concurrent responses by priority: a strictly more urgent response
+// *preempts* (pauses) the current one; equal-priority responses are
+// *multiplexed* (round-robin interleaved). The §3.2.5 coalescing rules
+// exist precisely because these two behaviours inflate a single
+// transaction's wall-clock transfer time.
+//
+// This scheduler turns a set of (arrival, size, priority) response streams
+// into the ordered chunk sequence the transport would write, annotating
+// each response with the multiplexed/preempted flags the sampler records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// One response stream handed to the scheduler.
+struct H2Response {
+  int stream_id{0};
+  /// When the response became ready to send (server-side).
+  Duration ready_at{0};
+  Bytes bytes{0};
+  /// Lower value = more urgent (HTTP/2 priority-ish).
+  int priority{16};
+};
+
+/// One scheduled write chunk.
+struct H2Chunk {
+  int stream_id{0};
+  Bytes bytes{0};
+};
+
+/// Per-response outcome flags (what the load balancer instrumentation
+/// would set on the ResponseWrite record).
+struct H2Outcome {
+  int stream_id{0};
+  /// Shared the connection with an equal-priority response.
+  bool multiplexed{false};
+  /// Paused for a strictly higher-priority response.
+  bool preempted{false};
+  /// Order of first chunk in the schedule (0-based).
+  int first_chunk_index{-1};
+  /// Order of last chunk.
+  int last_chunk_index{-1};
+};
+
+struct H2Schedule {
+  std::vector<H2Chunk> chunks;
+  std::vector<H2Outcome> outcomes;  // one per input response, same order
+};
+
+/// Produces the write schedule for a set of responses.
+///
+/// Model: the connection drains `chunk_bytes` at a time at a fixed
+/// `drain_rate` (bits/s). At each chunk boundary the scheduler picks the
+/// highest-priority ready response; ties rotate round-robin (multiplexing).
+/// A response that was mid-flight when a strictly higher-priority response
+/// arrived is marked preempted; responses that shared chunk boundaries
+/// with equal-priority peers are marked multiplexed.
+H2Schedule schedule_h2_writes(std::vector<H2Response> responses,
+                              Bytes chunk_bytes = 16 * 1024,
+                              BitsPerSecond drain_rate = 50e6);
+
+}  // namespace fbedge

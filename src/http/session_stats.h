@@ -1,0 +1,43 @@
+// Session-level activity accounting for the Figure 1 reproduction.
+#pragma once
+
+#include <algorithm>
+
+#include "http/types.h"
+
+namespace fbedge {
+
+/// Accumulates the intervals during which the load balancer is actively
+/// sending for a session (data to send and/or unacked data in flight) and
+/// reports the busy fraction of the session lifetime (Fig. 1(b)).
+class SessionActivity {
+ public:
+  /// Records an active interval [start, end); overlapping intervals are
+  /// merged by construction when fed in nondecreasing start order.
+  void add_active(Duration start, Duration end) {
+    if (end <= start) return;
+    if (start <= open_end_) {
+      open_end_ = std::max(open_end_, end);
+    } else {
+      busy_ += open_end_ - open_start_;
+      open_start_ = start;
+      open_end_ = end;
+    }
+  }
+
+  /// Total busy time across all recorded intervals.
+  Duration busy_time() const { return busy_ + (open_end_ - open_start_); }
+
+  /// Busy fraction of a session lasting `duration` (clamped to [0, 1]).
+  double busy_fraction(Duration duration) const {
+    if (duration <= 0) return 0.0;
+    return std::clamp(busy_time() / duration, 0.0, 1.0);
+  }
+
+ private:
+  Duration busy_{0};
+  Duration open_start_{0};
+  Duration open_end_{0};
+};
+
+}  // namespace fbedge

@@ -1,0 +1,51 @@
+// HTTP session and transaction vocabulary (§2.1, §2.3).
+//
+// A client establishes an HTTP *session* (HTTP/1.1 or HTTP/2 over TLS/TCP)
+// with an endpoint; each session carries one or more *transactions*
+// (request/response pairs). These types describe the workload-facing view;
+// the transport-level timings live in tcp/ and sampler/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+enum class HttpVersion : std::uint8_t { kHttp1_1, kHttp2 };
+
+/// Endpoint classes with distinct response-size profiles (§2.3): dynamic
+/// content (API responses, rendered HTML; median ~6 KB) vs media (images
+/// and video; median ~19 KB with a heavy tail).
+enum class EndpointClass : std::uint8_t { kDynamic, kMedia };
+
+/// One HTTP transaction as the workload generator plans it.
+struct TransactionSpec {
+  /// When the request arrives at the load balancer, relative to session
+  /// establishment.
+  Duration at{0};
+  /// Response body size.
+  Bytes response_bytes{0};
+  /// HTTP/2 priority (lower value = more urgent); ignored for HTTP/1.1.
+  int priority{16};
+};
+
+/// One HTTP session as the workload generator plans it.
+struct SessionSpec {
+  SessionId id{};
+  HttpVersion version{HttpVersion::kHttp1_1};
+  EndpointClass endpoint{EndpointClass::kDynamic};
+  /// Time from TCP establishment to termination.
+  Duration duration{0};
+  std::vector<TransactionSpec> transactions;
+
+  Bytes total_response_bytes() const {
+    Bytes total = 0;
+    for (const auto& t : transactions) total += t.response_bytes;
+    return total;
+  }
+};
+
+}  // namespace fbedge

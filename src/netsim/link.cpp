@@ -1,0 +1,53 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+
+namespace fbedge {
+
+void Link::send(const Packet& packet) {
+  if (config_.loss_rate > 0 && rng_.bernoulli(config_.loss_rate)) {
+    ++dropped_loss_;
+    return;
+  }
+  if (config_.policer_rate > 0) {
+    const Bytes burst = config_.policer_burst > 0 ? config_.policer_burst : 8192;
+    if (policer_tokens_ < 0) policer_tokens_ = static_cast<double>(burst);
+    // Refill since the last arrival, capped at the bucket depth.
+    policer_tokens_ += (sim_.now() - policer_refill_at_) * config_.policer_rate / 8.0;
+    policer_tokens_ = std::min(policer_tokens_, static_cast<double>(burst));
+    policer_refill_at_ = sim_.now();
+    if (static_cast<double>(packet.wire_size()) > policer_tokens_) {
+      ++dropped_policer_;  // policers drop; they never queue
+      return;
+    }
+    policer_tokens_ -= static_cast<double>(packet.wire_size());
+  }
+  const SimTime now = sim_.now();
+  if (config_.queue_capacity > 0 && busy_until_ > now &&
+      queued_bytes_ + packet.wire_size() > config_.queue_capacity) {
+    ++dropped_queue_;
+    return;
+  }
+
+  const SimTime start = std::max(now, busy_until_);
+  const Duration serialize =
+      config_.rate > 0 ? transmission_time(packet.wire_size(), config_.rate) : 0.0;
+  busy_until_ = start + serialize;
+  queued_bytes_ += packet.wire_size();
+
+  Duration extra = config_.delay;
+  if (config_.jitter > 0) extra += rng_.uniform(0.0, config_.jitter);
+  // FIFO guarantee: never deliver before a previously sent packet.
+  SimTime delivery = std::max(busy_until_ + extra, last_delivery_);
+  last_delivery_ = delivery;
+  ++sent_;
+
+  Packet copy = packet;
+  const SimTime dequeue_at = busy_until_;
+  sim_.schedule(dequeue_at - now, [this, size = packet.wire_size()] {
+    queued_bytes_ -= size;
+  });
+  sim_.schedule(delivery - now, [this, copy] { deliver_(copy); });
+}
+
+}  // namespace fbedge

@@ -1,0 +1,78 @@
+// Point-to-point link with finite rate, propagation delay, a droptail
+// queue, optional random loss, and optional jitter.
+//
+// This is the "bottleneck link" of §3.2.3: serialization at the link rate is
+// exactly the transmission-time effect the goodput model corrects for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "netsim/packet.h"
+#include "netsim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Configuration for a Link.
+struct LinkConfig {
+  /// Serialization rate. <= 0 means infinite (no serialization delay).
+  BitsPerSecond rate{0};
+  /// One-way propagation delay.
+  Duration delay{0};
+  /// Droptail queue capacity in bytes (on top of the packet in service).
+  /// <= 0 means unbounded.
+  Bytes queue_capacity{0};
+  /// Independent per-packet drop probability (applied before enqueue).
+  double loss_rate{0};
+  /// Extra per-packet delay drawn uniformly from [0, jitter].
+  Duration jitter{0};
+  /// Token-bucket traffic policer (Flach et al., cited as [31]: policing is
+  /// a prime suspect for non-HD goodput at high RTT, §4). <= 0 disables.
+  /// Unlike a shaper, a policer never queues: packets beyond the bucket
+  /// are dropped outright, which interacts brutally with slow start.
+  BitsPerSecond policer_rate{0};
+  /// Bucket depth in bytes (burst allowance). Defaults to ~8 KB if a
+  /// policer_rate is set but no burst given.
+  Bytes policer_burst{0};
+};
+
+/// Unidirectional link. Delivery order is FIFO even with jitter (jitter is
+/// clamped so packets cannot overtake).
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Link(Simulator& sim, LinkConfig config, DeliverFn deliver, std::uint64_t rng_seed = 1)
+      : sim_(sim), config_(config), deliver_(std::move(deliver)), rng_(rng_seed) {}
+
+  /// Offers a packet to the link; it may be dropped (loss or full queue).
+  void send(const Packet& packet);
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t packets_dropped_loss() const { return dropped_loss_; }
+  std::uint64_t packets_dropped_queue() const { return dropped_queue_; }
+  std::uint64_t packets_dropped_policer() const { return dropped_policer_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+
+  LinkConfig& config() { return config_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  Simulator& sim_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  Rng rng_;
+  SimTime busy_until_{0};
+  SimTime last_delivery_{0};
+  Bytes queued_bytes_{0};
+  double policer_tokens_{-1};  // lazily initialized to the burst size
+  SimTime policer_refill_at_{0};
+  std::uint64_t sent_{0};
+  std::uint64_t dropped_loss_{0};
+  std::uint64_t dropped_queue_{0};
+  std::uint64_t dropped_policer_{0};
+};
+
+}  // namespace fbedge

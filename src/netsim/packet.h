@@ -1,0 +1,32 @@
+// Packet representation for the simulated transport.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// A simulated packet. Sequence/ack numbers are in bytes, TCP-style.
+struct Packet {
+  /// First byte of payload carried (data packets).
+  std::int64_t seq{0};
+  /// Payload bytes carried (0 for pure ACKs).
+  Bytes payload{0};
+  /// Header overhead contributing to serialization time.
+  Bytes header{40};
+  /// Cumulative acknowledgment: all bytes < ack received (ACK packets).
+  std::int64_t ack{0};
+  bool is_ack{false};
+  /// Time the packet left the sender (for RTT sampling).
+  SimTime sent_at{0};
+  /// Marks retransmissions; RTT samples from them are ambiguous (Karn).
+  bool retransmit{false};
+  /// Handshake echo: a ping reply carries the ping's send time here so the
+  /// sender can take an RTT sample from a header-only exchange (< 0 = none).
+  SimTime echo{-1};
+
+  Bytes wire_size() const { return payload + header; }
+};
+
+}  // namespace fbedge

@@ -1,0 +1,59 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+std::uint64_t Simulator::schedule(Duration delay, Action action) {
+  FBEDGE_EXPECT(delay >= 0, "cannot schedule events in the past");
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{now_ + delay, id, std::move(action)});
+  ++live_events_;
+  return id;
+}
+
+void Simulator::cancel(std::uint64_t id) { cancelled_.push_back(id); }
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we need to move the action out. The
+    // const_cast is confined here and safe because we pop immediately.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev{top.time, top.seq, std::move(top.action)};
+    queue_.pop();
+    --live_events_;
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  Event ev;
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) break;
+    if (!pop_next(ev)) break;
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulator::run() {
+  Event ev;
+  while (pop_next(ev)) {
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+}
+
+}  // namespace fbedge

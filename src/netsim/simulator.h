@@ -1,0 +1,70 @@
+// Minimal discrete-event simulation engine.
+//
+// The engine drives the packet-level TCP model used for (a) the §3.2.3
+// validation sweep (the paper used NS3; we build our own) and (b) generating
+// ground-truth transfer timings that the goodput estimator is tested
+// against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Single-threaded event loop with a monotonically advancing clock.
+///
+/// Events scheduled for the same instant run in scheduling order (stable
+/// FIFO tie-break), which keeps simulations deterministic.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` seconds from now. Returns an event id
+  /// usable with cancel(). delay must be >= 0.
+  std::uint64_t schedule(Duration delay, Action action);
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a
+  /// no-op (timers race with the events that would cancel them).
+  void cancel(std::uint64_t id);
+
+  /// Runs events until the queue drains or `deadline` is passed.
+  void run_until(SimTime deadline);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Number of events executed so far (for tests and benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  bool empty() const { return live_events_ == 0; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break + cancellation handle
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  SimTime now_{0};
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  std::uint64_t live_events_{0};
+};
+
+}  // namespace fbedge

@@ -1,0 +1,33 @@
+#include "netsim/trace.h"
+
+#include <cstdio>
+
+namespace fbedge {
+
+std::string TraceRecorder::dump(std::size_t max_lines) const {
+  std::string out;
+  std::size_t lines = 0;
+  for (const auto& e : events_) {
+    if (lines++ >= max_lines) {
+      out += "... (truncated)\n";
+      break;
+    }
+    char buf[160];
+    if (e.packet.is_ack) {
+      std::snprintf(buf, sizeof(buf), "%10.3fms  %s  ack=%lld\n", e.at * 1e3,
+                    e.kind == TraceEvent::Kind::kSend ? ">" : "<",
+                    static_cast<long long>(e.packet.ack));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%10.3fms  %s  seq=%lld..%lld (%lldB)%s\n",
+                    e.at * 1e3, e.kind == TraceEvent::Kind::kSend ? ">" : "<",
+                    static_cast<long long>(e.packet.seq),
+                    static_cast<long long>(e.packet.seq + e.packet.payload),
+                    static_cast<long long>(e.packet.payload),
+                    e.packet.retransmit ? " RETX" : "");
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fbedge

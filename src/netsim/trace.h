@@ -1,0 +1,85 @@
+// Packet trace recording — tcpdump for the simulator.
+//
+// A TraceRecorder can be interposed on any Link callback to log
+// send/deliver events. Tests use it to assert ordering and timing
+// invariants; humans use dump() to read a time-sequence view when
+// debugging congestion-control changes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// One recorded packet event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSend, kDeliver } kind;
+  SimTime at{0};
+  Packet packet;
+};
+
+/// Accumulates packet events and renders simple views of them.
+class TraceRecorder {
+ public:
+  void record_send(SimTime at, const Packet& p) {
+    events_.push_back({TraceEvent::Kind::kSend, at, p});
+  }
+  void record_deliver(SimTime at, const Packet& p) {
+    events_.push_back({TraceEvent::Kind::kDeliver, at, p});
+  }
+
+  /// Wraps a deliver callback so every delivery is recorded before being
+  /// forwarded. `now` supplies the clock (usually [&sim]{return sim.now();}).
+  std::function<void(const Packet&)> tap(std::function<void(const Packet&)> next,
+                                         std::function<SimTime()> now) {
+    return [this, next = std::move(next), now = std::move(now)](const Packet& p) {
+      record_deliver(now(), p);
+      next(p);
+    };
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Count of data (non-ACK) deliveries.
+  int data_deliveries() const {
+    int n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == TraceEvent::Kind::kDeliver && !e.packet.is_ack) ++n;
+    }
+    return n;
+  }
+
+  /// Bytes of payload delivered.
+  Bytes payload_delivered() const {
+    Bytes total = 0;
+    for (const auto& e : events_) {
+      if (e.kind == TraceEvent::Kind::kDeliver) total += e.packet.payload;
+    }
+    return total;
+  }
+
+  /// Renders one line per event: "12.345ms  >  seq=1440..2880 (1440B)".
+  std::string dump(std::size_t max_lines = 200) const;
+
+  /// True iff delivery timestamps are non-decreasing (FIFO links).
+  bool deliveries_monotone() const {
+    SimTime last = -1;
+    for (const auto& e : events_) {
+      if (e.kind != TraceEvent::Kind::kDeliver) continue;
+      if (e.at < last) return false;
+      last = e.at;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace fbedge

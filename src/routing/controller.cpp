@@ -1,0 +1,121 @@
+#include "routing/controller.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+EgressController::EgressController(std::vector<ControlledRoute> routes,
+                                   ControllerConfig config)
+    : routes_(std::move(routes)), config_(config), rng_(config.seed) {
+  FBEDGE_EXPECT(routes_.size() >= 2, "controller needs at least two routes");
+  shares_.assign(routes_.size(), 0.0);
+  shares_[0] = 1.0;  // BGP-preferred carries everything initially
+}
+
+Duration EgressController::congested_rtt(const ControlledRoute& route,
+                                         double utilization) {
+  // Below the knee the standing queue is negligible (§3.1's smooth
+  // backbone-arrivals argument); past it, queueing delay grows steeply and
+  // saturates at a bufferbloat-ish cap.
+  constexpr double kKnee = 0.90;
+  if (utilization <= kKnee) return route.base_rtt;
+  const double excess = std::min(utilization, 1.5) - kKnee;
+  return route.base_rtt + excess * excess * 2.0;  // +72 ms at u=1.08, capped
+}
+
+int EgressController::best_route(const std::vector<Duration>& measured) const {
+  return static_cast<int>(std::min_element(measured.begin(), measured.end()) -
+                          measured.begin());
+}
+
+ControlStep EgressController::step(BitsPerSecond demand) {
+  const std::size_t n = routes_.size();
+  ControlStep out;
+  out.shares = shares_;
+  out.measured_rtt.resize(n);
+
+  // Measure the *current* assignment.
+  std::vector<double> utilization(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    utilization[i] = demand * shares_[i] / routes_[i].capacity;
+    const Duration true_rtt = congested_rtt(routes_[i], utilization[i]);
+    out.measured_rtt[i] =
+        std::max(0.001, true_rtt + rng_.normal(0.0, config_.measurement_noise));
+    out.weighted_rtt += shares_[i] * true_rtt;
+    if (utilization[i] > config_.overload_threshold) out.overloaded = true;
+  }
+  if (out.overloaded) ++overloaded_intervals_;
+
+  // Decide the next assignment.
+  std::vector<double> next = shares_;
+  switch (config_.policy) {
+    case ShiftPolicy::kStatic:
+      break;
+
+    case ShiftPolicy::kGreedyPerformance: {
+      // Chase the best measurement with everything.
+      std::fill(next.begin(), next.end(), 0.0);
+      next[static_cast<std::size_t>(best_route(out.measured_rtt))] = 1.0;
+      break;
+    }
+
+    case ShiftPolicy::kDampedPerformance: {
+      const int best = best_route(out.measured_rtt);
+      // Move a bounded slice from the worst in-use route toward the best,
+      // only when the measured gap clears the hysteresis threshold.
+      int worst = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shares_[i] <= 1e-9) continue;
+        if (worst < 0 ||
+            out.measured_rtt[i] > out.measured_rtt[static_cast<std::size_t>(worst)]) {
+          worst = static_cast<int>(i);
+        }
+      }
+      if (worst >= 0 && worst != best &&
+          out.measured_rtt[static_cast<std::size_t>(worst)] -
+                  out.measured_rtt[static_cast<std::size_t>(best)] >
+              config_.hysteresis) {
+        const double moved =
+            std::min(config_.max_step, next[static_cast<std::size_t>(worst)]);
+        next[static_cast<std::size_t>(worst)] -= moved;
+        next[static_cast<std::size_t>(best)] += moved;
+      }
+      break;
+    }
+
+    case ShiftPolicy::kOverloadProtection: {
+      // Edge Fabric: detour the minimum traffic needed to bring every
+      // overloaded route back under the threshold, preferring earlier
+      // (more-preferred) spill targets; pull traffic *back* to more
+      // preferred routes when they have headroom.
+      // First, return traffic to the most preferred routes greedily.
+      std::fill(next.begin(), next.end(), 0.0);
+      double remaining = 1.0;
+      for (std::size_t i = 0; i < n && remaining > 1e-12; ++i) {
+        const double cap_share =
+            config_.overload_threshold * routes_[i].capacity / std::max(demand, 1.0);
+        const double take = std::min(remaining, cap_share);
+        next[i] = take;
+        remaining -= take;
+      }
+      // Demand beyond all thresholds lands on the last (transit) route.
+      next[n - 1] += remaining;
+      break;
+    }
+  }
+
+  shares_ = std::move(next);
+
+  // Oscillation accounting: which route carries the plurality now?
+  const int majority = static_cast<int>(
+      std::max_element(shares_.begin(), shares_.end()) - shares_.begin());
+  if (intervals_ > 0 && majority != last_majority_) ++majority_flips_;
+  last_majority_ = majority;
+  ++intervals_;
+  return out;
+}
+
+}  // namespace fbedge

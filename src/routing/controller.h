@@ -1,0 +1,108 @@
+// Egress traffic controller dynamics (§2.2.3, §6.2.2).
+//
+// Edge Fabric shifts traffic off an interconnection that is at risk of
+// congesting. §6.2.2 warns what happens if a controller instead chases
+// performance naively: "a traffic engineering system that simply shifts
+// traffic onto the best performing alternate route may cause congestion
+// and risk oscillations. An active system would need to gradually shift
+// traffic, continuously monitor, and guarantee convergence."
+//
+// This module models that control loop at the granularity the paper
+// reasons about: per-interval route utilizations, a congestion-delay
+// response, measurement noise, and four shift policies — static BGP,
+// greedy performance-chasing, damped performance-aware, and Edge Fabric's
+// overload-protection. The bench and tests quantify oscillation vs
+// convergence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// One egress route's static properties for the controller model.
+struct ControlledRoute {
+  /// Usable capacity toward the destination.
+  BitsPerSecond capacity{100 * kMbps};
+  /// Propagation RTT when uncongested.
+  Duration base_rtt{0.040};
+};
+
+enum class ShiftPolicy : std::uint8_t {
+  /// Never move traffic: BGP-preferred carries everything (the baseline
+  /// whose near-optimality §6 establishes).
+  kStatic,
+  /// Each interval, move *all* traffic to the best-measured route.
+  kGreedyPerformance,
+  /// Move at most `max_step` of total traffic per interval toward the
+  /// best-measured route, with a switching hysteresis.
+  kDampedPerformance,
+  /// Edge Fabric: keep traffic on the preferred route, detouring just
+  /// enough to hold utilization below the overload threshold.
+  kOverloadProtection,
+};
+
+struct ControllerConfig {
+  ShiftPolicy policy{ShiftPolicy::kOverloadProtection};
+  /// Utilization above which a route is considered at risk (Edge Fabric
+  /// drains above ~95%).
+  double overload_threshold{0.95};
+  /// Damped policy: max fraction of total demand moved per interval.
+  double max_step{0.10};
+  /// Damped policy: required measured improvement before moving (the
+  /// §3.4-style threshold; suppresses noise chasing).
+  Duration hysteresis{0.005};
+  /// Std-dev of per-interval latency measurement noise.
+  Duration measurement_noise{0.002};
+  std::uint64_t seed{1};
+};
+
+/// Outcome of one control interval.
+struct ControlStep {
+  /// Traffic share per route (sums to 1).
+  std::vector<double> shares;
+  /// Measured (noisy) latency per route.
+  std::vector<Duration> measured_rtt;
+  /// True latency experienced by the traffic-weighted average flow.
+  Duration weighted_rtt{0};
+  /// Any route above the overload threshold this interval.
+  bool overloaded{false};
+};
+
+/// Discrete-time egress control loop over a fixed route set.
+class EgressController {
+ public:
+  EgressController(std::vector<ControlledRoute> routes, ControllerConfig config);
+
+  /// Advances one interval with the given aggregate demand; returns the
+  /// post-decision state. Route 0 starts with all traffic.
+  ControlStep step(BitsPerSecond demand);
+
+  /// Number of intervals in which the majority route changed.
+  int majority_flips() const { return majority_flips_; }
+  /// Intervals with any route overloaded.
+  int overloaded_intervals() const { return overloaded_intervals_; }
+  int intervals() const { return intervals_; }
+  const std::vector<double>& shares() const { return shares_; }
+
+  /// Congestion-response model: latency a route exhibits at utilization u
+  /// (standing queue grows steeply past the knee; hard-capped beyond 1).
+  static Duration congested_rtt(const ControlledRoute& route, double utilization);
+
+ private:
+  int best_route(const std::vector<Duration>& measured) const;
+
+  std::vector<ControlledRoute> routes_;
+  ControllerConfig config_;
+  std::vector<double> shares_;
+  Rng rng_;
+  int last_majority_{0};
+  int majority_flips_{0};
+  int overloaded_intervals_{0};
+  int intervals_{0};
+};
+
+}  // namespace fbedge

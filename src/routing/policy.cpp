@@ -1,0 +1,49 @@
+#include "routing/policy.h"
+
+#include <algorithm>
+
+namespace fbedge {
+
+int RoutingPolicy::compare(const Route& a, const Route& b, DecisionReason* reason) {
+  auto decide = [&](int result, DecisionReason r) {
+    if (reason) *reason = r;
+    return result;
+  };
+
+  // 1. Longest matching prefix.
+  if (a.prefix.length != b.prefix.length) {
+    return decide(a.prefix.length > b.prefix.length ? -1 : 1, DecisionReason::kLongerPrefix);
+  }
+  // 2. Prefer peer routes over transit.
+  if (is_peer(a.relationship) != is_peer(b.relationship)) {
+    return decide(is_peer(a.relationship) ? -1 : 1, DecisionReason::kPeerOverTransit);
+  }
+  // 3. Prefer shorter AS paths (prepending counts).
+  if (a.as_path_length() != b.as_path_length()) {
+    return decide(a.as_path_length() < b.as_path_length() ? -1 : 1,
+                  DecisionReason::kShorterAsPath);
+  }
+  // 4. Prefer private interconnects over public exchanges.
+  if (a.relationship != b.relationship) {
+    const bool a_private = a.relationship == Relationship::kPrivatePeer;
+    const bool b_private = b.relationship == Relationship::kPrivatePeer;
+    if (a_private != b_private) {
+      return decide(a_private ? -1 : 1, DecisionReason::kPrivateOverPublic);
+    }
+  }
+  return decide(0, DecisionReason::kEqual);
+}
+
+std::vector<Route> RoutingPolicy::rank(std::vector<Route> routes) {
+  std::stable_sort(routes.begin(), routes.end(),
+                   [](const Route& a, const Route& b) { return compare(a, b) < 0; });
+  return routes;
+}
+
+bool RoutingPolicy::lost_on_as_path(const Route& preferred, const Route& alternate) {
+  DecisionReason reason = DecisionReason::kEqual;
+  const int cmp = compare(preferred, alternate, &reason);
+  return cmp < 0 && reason == DecisionReason::kShorterAsPath;
+}
+
+}  // namespace fbedge

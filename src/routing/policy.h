@@ -1,0 +1,42 @@
+// Facebook's static egress routing policy (§6.1).
+//
+// When a PoP knows multiple routes to a user, it decides among them with
+// four ordered tiebreakers:
+//   1. prefer the longest matching prefix,
+//   2. prefer peer routes over transit,
+//   3. prefer shorter AS paths,
+//   4. prefer routes via a private interconnect (PNI) over public exchanges.
+#pragma once
+
+#include <vector>
+
+#include "routing/route.h"
+
+namespace fbedge {
+
+/// Reason a route won a pairwise comparison (for Table 2's "Longer" column).
+enum class DecisionReason : std::uint8_t {
+  kEqual,
+  kLongerPrefix,
+  kPeerOverTransit,
+  kShorterAsPath,
+  kPrivateOverPublic,
+};
+
+class RoutingPolicy {
+ public:
+  /// Returns <0 if `a` is preferred over `b`, >0 if `b` over `a`, 0 if tied.
+  /// `reason`, when non-null, receives the deciding tiebreaker.
+  static int compare(const Route& a, const Route& b, DecisionReason* reason = nullptr);
+
+  /// Sorts routes from most to least preferred (stable; ties keep input
+  /// order). Index 0 is the *preferred* route; the rest are alternates in
+  /// policy order.
+  static std::vector<Route> rank(std::vector<Route> routes);
+
+  /// True iff `a` beats `b` purely on AS-path length (used for Table 2's
+  /// breakdown of why alternates lost).
+  static bool lost_on_as_path(const Route& preferred, const Route& alternate);
+};
+
+}  // namespace fbedge

@@ -1,0 +1,86 @@
+// Binary trie keyed by IPv4 prefixes with longest-prefix-match lookup —
+// the FIB-shaped substrate under route selection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "routing/route.h"
+
+namespace fbedge {
+
+/// Maps IpPrefix -> T with longest-prefix-match semantics.
+template <typename T>
+class PrefixTrie {
+ public:
+  /// Inserts or replaces the value at `prefix`.
+  void insert(const IpPrefix& prefix, T value) {
+    Node* node = &root_;
+    for (int bit = 0; bit < prefix.length; ++bit) {
+      const int b = (prefix.addr >> (31 - bit)) & 1;
+      if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+      node = node->child[b].get();
+    }
+    node->value = std::move(value);
+    size_ += node->value ? 0 : 0;  // recomputed below
+    recount();
+  }
+
+  /// Most-specific value covering `ip`, or nullptr.
+  const T* lookup(std::uint32_t ip) const {
+    const Node* node = &root_;
+    const T* best = node->value ? &*node->value : nullptr;
+    for (int bit = 0; bit < 32 && node; ++bit) {
+      const int b = (ip >> (31 - bit)) & 1;
+      node = node->child[b].get();
+      if (node && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Exact-match value at `prefix`, or nullptr.
+  const T* find(const IpPrefix& prefix) const {
+    const Node* node = &root_;
+    for (int bit = 0; bit < prefix.length && node; ++bit) {
+      const int b = (prefix.addr >> (31 - bit)) & 1;
+      node = node->child[b].get();
+    }
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  T* find(const IpPrefix& prefix) {
+    return const_cast<T*>(static_cast<const PrefixTrie*>(this)->find(prefix));
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Visits every (prefix, value) pair in prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_, 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  template <typename Fn>
+  static void visit(const Node& node, std::uint32_t addr, int depth, Fn& fn) {
+    if (node.value) fn(IpPrefix{addr, depth}, *node.value);
+    if (node.child[0]) visit(*node.child[0], addr, depth + 1, fn);
+    if (node.child[1]) visit(*node.child[1], addr | (1u << (31 - depth)), depth + 1, fn);
+  }
+
+  void recount() {
+    size_ = 0;
+    for_each([this](const IpPrefix&, const T&) { ++size_; });
+  }
+
+  Node root_;
+  std::size_t size_{0};
+};
+
+}  // namespace fbedge

@@ -1,0 +1,78 @@
+// BGP route representation at a PoP's edge (§6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// An IPv4 prefix (address in host byte order, mask length 0-32).
+struct IpPrefix {
+  std::uint32_t addr{0};
+  int length{0};
+
+  /// True if `ip` falls inside this prefix.
+  bool contains(std::uint32_t ip) const {
+    if (length == 0) return true;
+    const std::uint32_t mask = length >= 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1);
+    return (ip & mask) == (addr & mask);
+  }
+
+  friend bool operator==(const IpPrefix& a, const IpPrefix& b) {
+    return a.addr == b.addr && a.length == b.length;
+  }
+
+  std::string to_string() const {
+    return std::to_string((addr >> 24) & 0xff) + "." + std::to_string((addr >> 16) & 0xff) +
+           "." + std::to_string((addr >> 8) & 0xff) + "." + std::to_string(addr & 0xff) +
+           "/" + std::to_string(length);
+  }
+};
+
+/// Interconnection type of the next hop (§6.1, Table 2). Private
+/// interconnects (PNIs) allow capacity monitoring and are preferred over
+/// public exchange (IXP) peers; both peer types are preferred over transit.
+enum class Relationship : std::uint8_t {
+  kPrivatePeer = 0,  // PNI
+  kPublicPeer,       // IXP
+  kTransit,
+};
+
+constexpr const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kPrivatePeer: return "Private";
+    case Relationship::kPublicPeer: return "Public";
+    case Relationship::kTransit: return "Transit";
+  }
+  return "?";
+}
+
+constexpr bool is_peer(Relationship r) { return r != Relationship::kTransit; }
+
+/// One egress route learned at a PoP.
+struct Route {
+  IpPrefix prefix;
+  std::vector<std::uint32_t> as_path;  // may contain prepending (repeats)
+  Relationship relationship{Relationship::kTransit};
+
+  /// AS-path length including prepending, the BGP tiebreaker input.
+  int as_path_length() const { return static_cast<int>(as_path.size()); }
+
+  /// Number of prepended (repeated) hops: path length minus unique-AS count
+  /// of consecutive runs.
+  int prepend_count() const {
+    int prepends = 0;
+    for (std::size_t i = 1; i < as_path.size(); ++i) {
+      if (as_path[i] == as_path[i - 1]) ++prepends;
+    }
+    return prepends;
+  }
+
+  bool is_prepended() const { return prepend_count() > 0; }
+};
+
+}  // namespace fbedge

@@ -1,0 +1,51 @@
+// Per-PoP routing table: longest-prefix-match from a client address to the
+// policy-ranked route set serving it — the FIB-shaped view a load balancer
+// consults when stamping samples with egress-route metadata (§2.2.2).
+#pragma once
+
+#include <vector>
+
+#include "routing/policy.h"
+#include "routing/prefix_trie.h"
+
+namespace fbedge {
+
+/// The policy-ranked routes available for one destination prefix.
+struct RankedRoutes {
+  /// Index 0 is the preferred route (§6.1 tiebreakers), the rest are
+  /// alternates in policy order.
+  std::vector<Route> routes;
+
+  const Route* preferred() const { return routes.empty() ? nullptr : &routes.front(); }
+  int alternates() const { return std::max(0, static_cast<int>(routes.size()) - 1); }
+};
+
+/// Longest-prefix-match table of ranked route sets.
+class RouteTable {
+ public:
+  /// Installs (or replaces) the route set for the routes' shared prefix.
+  /// Routes are ranked by policy on insertion; they must all carry the
+  /// same prefix.
+  void install(std::vector<Route> routes) {
+    if (routes.empty()) return;
+    const IpPrefix prefix = routes.front().prefix;
+    RankedRoutes ranked;
+    ranked.routes = RoutingPolicy::rank(std::move(routes));
+    trie_.insert(prefix, std::move(ranked));
+  }
+
+  /// Route set serving `client_ip`, or nullptr if no covering prefix.
+  const RankedRoutes* lookup(std::uint32_t client_ip) const {
+    return trie_.lookup(client_ip);
+  }
+
+  /// Exact-prefix access (e.g. for withdrawals / updates in tests).
+  const RankedRoutes* find(const IpPrefix& prefix) const { return trie_.find(prefix); }
+
+  std::size_t size() const { return trie_.size(); }
+
+ private:
+  PrefixTrie<RankedRoutes> trie_;
+};
+
+}  // namespace fbedge

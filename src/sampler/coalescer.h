@@ -1,0 +1,43 @@
+// Transaction coalescing and eligibility (§3.2.5).
+//
+// HTTP/2 preemption and multiplexing inflate a transaction's Ttotal with
+// time spent sending *other* responses, so multiplexed/preempted responses
+// are coalesced into one larger transaction. Responses written back-to-back
+// (no gap at the transport layer) are also coalesced, letting a burst of
+// small responses be measured as one large one. A response whose first byte
+// was sent while a previous response still had bytes in flight — without
+// meeting the coalescing conditions — is ineligible for goodput
+// measurement.
+#pragma once
+
+#include <vector>
+
+#include "goodput/tmodel.h"
+#include "sampler/record.h"
+
+namespace fbedge {
+
+/// Configuration for coalescing decisions.
+struct CoalescerConfig {
+  /// Max gap between one response's last NIC write and the next response's
+  /// first NIC write for them to count as back-to-back.
+  Duration back_to_back_gap{50 * kMicrosecond};
+};
+
+/// Result of coalescing one session's responses.
+struct CoalescedSession {
+  /// Eligible, coalesced transactions ready for goodput evaluation.
+  std::vector<TxnTiming> txns;
+  /// Responses discarded because a prior response was still in flight.
+  int ineligible_groups{0};
+  /// Number of raw responses merged away by coalescing.
+  int coalesced_writes{0};
+};
+
+/// Coalesces a session's response writes (ordered by first_byte_nic) into
+/// goodput-eligible transactions. `min_rtt` is the session's windowed
+/// MinRTT, stamped into each output TxnTiming.
+CoalescedSession coalesce_session(const std::vector<ResponseWrite>& writes,
+                                  Duration min_rtt, CoalescerConfig config = {});
+
+}  // namespace fbedge

@@ -1,0 +1,140 @@
+#include "sampler/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace fbedge {
+
+namespace {
+
+constexpr int kSessionFields = 16;
+constexpr int kWriteFields = 9;
+
+void append_write(std::string& out, const ResponseWrite& w) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\t%.17g\t%.17g\t%.17g\t%.17g\t%lld\t%lld\t%lld\t%d\t%d",
+                w.first_byte_nic, w.last_byte_nic, w.second_last_ack, w.last_ack,
+                static_cast<long long>(w.bytes),
+                static_cast<long long>(w.last_packet_bytes),
+                static_cast<long long>(w.wnic), w.multiplexed ? 1 : 0,
+                w.preempted ? 1 : 0);
+  out += buf;
+}
+
+}  // namespace
+
+std::string serialize_sample(const SessionSample& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%" PRIu64 "\t%u\t%u\t%u\t%d\t%u\t%u\t%d\t%d\t%d\t%.17g\t%.17g\t%.17g\t%lld\t%d\t%.17g",
+      s.id.value, s.pop.value, s.client.ip, s.client.bgp_prefix.addr,
+      s.client.bgp_prefix.length, s.client.asn.value, s.client.country.value,
+      static_cast<int>(s.client.continent), s.client.hosting_provider ? 1 : 0,
+      static_cast<int>(s.version) * 2 + static_cast<int>(s.endpoint),
+      s.established_at, s.duration, s.busy_time, static_cast<long long>(s.total_bytes),
+      s.route_index, s.min_rtt);
+  std::string out(buf);
+  char count[32];
+  std::snprintf(count, sizeof(count), "\t%d", s.num_transactions);
+  out += count;
+  for (const auto& w : s.writes) append_write(out, w);
+  return out;
+}
+
+std::optional<SessionSample> parse_sample(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  // Header fields + txn count, then 9 fields per write.
+  if (fields.size() < kSessionFields + 1) return std::nullopt;
+  const std::size_t write_fields = fields.size() - kSessionFields - 1;
+  if (write_fields % kWriteFields != 0) return std::nullopt;
+
+  auto to_u64 = [](const std::string& f, bool& ok) -> std::uint64_t {
+    char* end = nullptr;
+    const auto v = std::strtoull(f.c_str(), &end, 10);
+    ok = ok && end && *end == '\0' && !f.empty();
+    return v;
+  };
+  auto to_d = [](const std::string& f, bool& ok) -> double {
+    char* end = nullptr;
+    const double v = std::strtod(f.c_str(), &end);
+    ok = ok && end && *end == '\0' && !f.empty();
+    return v;
+  };
+
+  bool ok = true;
+  SessionSample s;
+  int i = 0;
+  s.id = SessionId{to_u64(fields[i++], ok)};
+  s.pop = PopId{static_cast<std::uint32_t>(to_u64(fields[i++], ok))};
+  s.client.ip = static_cast<std::uint32_t>(to_u64(fields[i++], ok));
+  s.client.bgp_prefix.addr = static_cast<std::uint32_t>(to_u64(fields[i++], ok));
+  s.client.bgp_prefix.length = static_cast<int>(to_u64(fields[i++], ok));
+  s.client.asn = Asn{static_cast<std::uint32_t>(to_u64(fields[i++], ok))};
+  s.client.country = CountryId{static_cast<std::uint32_t>(to_u64(fields[i++], ok))};
+  const auto continent = to_u64(fields[i++], ok);
+  if (continent >= static_cast<std::uint64_t>(kNumContinents)) return std::nullopt;
+  s.client.continent = static_cast<Continent>(continent);
+  s.client.hosting_provider = to_u64(fields[i++], ok) != 0;
+  const auto version_endpoint = to_u64(fields[i++], ok);
+  s.version = static_cast<HttpVersion>(version_endpoint / 2);
+  s.endpoint = static_cast<EndpointClass>(version_endpoint % 2);
+  s.established_at = to_d(fields[i++], ok);
+  s.duration = to_d(fields[i++], ok);
+  s.busy_time = to_d(fields[i++], ok);
+  s.total_bytes = static_cast<Bytes>(to_u64(fields[i++], ok));
+  s.route_index = static_cast<int>(to_u64(fields[i++], ok));
+  s.min_rtt = to_d(fields[i++], ok);
+  s.num_transactions = static_cast<int>(to_u64(fields[i++], ok));
+
+  s.writes.reserve(write_fields / kWriteFields);
+  for (std::size_t w = 0; w < write_fields / kWriteFields; ++w) {
+    ResponseWrite rw;
+    rw.first_byte_nic = to_d(fields[i++], ok);
+    rw.last_byte_nic = to_d(fields[i++], ok);
+    rw.second_last_ack = to_d(fields[i++], ok);
+    rw.last_ack = to_d(fields[i++], ok);
+    rw.bytes = static_cast<Bytes>(to_u64(fields[i++], ok));
+    rw.last_packet_bytes = static_cast<Bytes>(to_u64(fields[i++], ok));
+    rw.wnic = static_cast<Bytes>(to_u64(fields[i++], ok));
+    rw.multiplexed = to_u64(fields[i++], ok) != 0;
+    rw.preempted = to_u64(fields[i++], ok) != 0;
+    s.writes.push_back(rw);
+  }
+  if (!ok) return std::nullopt;
+  return s;
+}
+
+void write_samples(std::ostream& out, const std::vector<SessionSample>& samples) {
+  for (const auto& s : samples) out << serialize_sample(s) << '\n';
+}
+
+ReadResult read_samples(std::istream& in) {
+  ReadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto sample = parse_sample(line)) {
+      result.samples.push_back(std::move(*sample));
+    } else {
+      ++result.malformed;
+    }
+  }
+  return result;
+}
+
+}  // namespace fbedge

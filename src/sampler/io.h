@@ -1,0 +1,36 @@
+// Sample (de)serialization.
+//
+// The paper's pipeline ships captured samples from the load balancers to
+// an analytics tier (§2.2.2). This module provides a compact line-based
+// text format for SessionSample so datasets can be exported, inspected,
+// and re-ingested; the round-trip is exact for every field the analyzers
+// consume.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sampler/record.h"
+
+namespace fbedge {
+
+/// Serializes one sample as a single line (fields tab-separated; writes
+/// appended as repeated groups). Never contains '\n'.
+std::string serialize_sample(const SessionSample& sample);
+
+/// Parses a line produced by serialize_sample(). Returns nullopt on
+/// malformed input (wrong field count or unparseable numbers).
+std::optional<SessionSample> parse_sample(const std::string& line);
+
+/// Streams every sample of `samples` to `out`, one line each.
+void write_samples(std::ostream& out, const std::vector<SessionSample>& samples);
+
+/// Reads samples until EOF; malformed lines are skipped and counted.
+struct ReadResult {
+  std::vector<SessionSample> samples;
+  int malformed{0};
+};
+ReadResult read_samples(std::istream& in);
+
+}  // namespace fbedge

@@ -1,0 +1,79 @@
+// Measurement records captured by the load-balancer instrumentation
+// (§2.2.2).
+//
+// For sampled sessions, Proxygen captures TCP state at the start and end of
+// the session and, per transaction, timestamps and TCP state at prescribed
+// points (socket and NIC timestamps, cwnd at first response byte, ACK
+// arrival times). On connection close the final TCP state is captured and
+// the record is annotated with the egress route used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "http/types.h"
+#include "routing/route.h"
+#include "util/geo.h"
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Client-side metadata attached to a sample (geolocation + BGP).
+struct ClientInfo {
+  std::uint32_t ip{0};
+  IpPrefix bgp_prefix;
+  Asn asn{};
+  CountryId country{};
+  Continent continent{Continent::kNorthAmerica};
+  /// Flagged by the commercial geolocation service as a hosting provider /
+  /// VPN relay; such samples are filtered before analysis (§2.2.4).
+  bool hosting_provider{false};
+};
+
+/// Per-response instrumentation points (one per HTTP transaction response).
+struct ResponseWrite {
+  /// First response byte written to the NIC (Ttotal clock start).
+  SimTime first_byte_nic{0};
+  /// Last response byte written to the NIC (back-to-back detection).
+  SimTime last_byte_nic{0};
+  /// ACK covering the second-to-last packet received (§3.2.5 clock end).
+  SimTime second_last_ack{0};
+  /// ACK covering the final byte received.
+  SimTime last_ack{0};
+  Bytes bytes{0};
+  Bytes last_packet_bytes{0};
+  /// cwnd in bytes when the first response byte was written to the NIC.
+  Bytes wnic{0};
+  /// HTTP/2 send window shared with an equal-priority transaction.
+  bool multiplexed{false};
+  /// Paused mid-response for a higher-priority transaction.
+  bool preempted{false};
+};
+
+/// Everything captured for one sampled HTTP session.
+struct SessionSample {
+  SessionId id{};
+  PopId pop{};
+  ClientInfo client;
+  HttpVersion version{HttpVersion::kHttp1_1};
+  EndpointClass endpoint{EndpointClass::kDynamic};
+
+  /// Absolute dataset time of TCP establishment.
+  SimTime established_at{0};
+  Duration duration{0};
+  Duration busy_time{0};
+  Bytes total_bytes{0};
+  int num_transactions{0};
+
+  /// Index into the user group's policy-ranked route set actually used to
+  /// deliver this session; 0 = preferred route (§2.2.3 route override).
+  int route_index{0};
+
+  /// Windowed MinRTT from the final TCP state (§3.1).
+  Duration min_rtt{0};
+
+  std::vector<ResponseWrite> writes;
+};
+
+}  // namespace fbedge

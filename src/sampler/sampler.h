@@ -1,0 +1,69 @@
+// Session sampling and alternate-route assignment (§2.2.2, §2.2.3).
+//
+// Servers randomly select HTTP sessions to sample at a defined rate. To
+// measure alternate paths, a fraction of sampled sessions is pinned (in
+// coordination with the egress controller, overriding Edge Fabric's
+// shifts) to the k best alternate routes; the rest use the policy-preferred
+// route. Assignment is hash-based on the session id so it is deterministic,
+// unbiased, and reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "sampler/record.h"
+#include "util/ids.h"
+
+namespace fbedge {
+
+struct SamplerConfig {
+  /// Fraction of HTTP sessions sampled.
+  double sample_rate{0.05};
+  /// Number of alternate routes continuously measured (paper default: the
+  /// two next-best paths, §6.2).
+  int num_alternates{2};
+  /// Fraction of *sampled* sessions kept on the preferred route (§6.2:
+  /// "approximately 47% of sampled HTTP sessions are routed via the best
+  /// path"); the remainder is split evenly across alternates.
+  double preferred_fraction{0.47};
+  std::uint64_t salt{0x5eed5eed5eedULL};
+};
+
+/// Deterministic sampling / route-override decisions.
+class SessionSampler {
+ public:
+  explicit SessionSampler(SamplerConfig config = {}) : config_(config) {}
+
+  /// Whether this session is selected for measurement.
+  bool should_sample(SessionId id) const {
+    return hash01(id, 0x01) < config_.sample_rate;
+  }
+
+  /// Route index this sampled session must use: 0 = preferred, 1..k =
+  /// policy-ranked alternates. `available_routes` is the size of the user
+  /// group's route set; with a single route the answer is always 0.
+  int choose_route(SessionId id, int available_routes) const {
+    const int alternates =
+        std::min(config_.num_alternates, available_routes - 1);
+    if (alternates <= 0) return 0;
+    const double u = hash01(id, 0x02);
+    if (u < config_.preferred_fraction) return 0;
+    const double v = (u - config_.preferred_fraction) / (1.0 - config_.preferred_fraction);
+    return 1 + std::min(alternates - 1, static_cast<int>(v * alternates));
+  }
+
+  /// §2.2.4 dataset filter: drops hosting-provider / VPN-relay clients.
+  static bool keep_for_analysis(const ClientInfo& client) {
+    return !client.hosting_provider;
+  }
+
+ private:
+  double hash01(SessionId id, std::uint64_t stream) const {
+    const std::uint64_t h =
+        hash_mix(id.value ^ hash_mix(config_.salt + stream));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  SamplerConfig config_;
+};
+
+}  // namespace fbedge

@@ -1,0 +1,68 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/quantiles.h"
+#include "util/expect.h"
+
+namespace fbedge {
+
+namespace {
+
+std::vector<double> resample(const std::vector<double>& sample, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(sample.size());
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    out.push_back(sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+  }
+  return out;
+}
+
+ConfidenceInterval percentile_interval(std::vector<double> stats, double point,
+                                       double alpha) {
+  std::sort(stats.begin(), stats.end());
+  ConfidenceInterval ci;
+  ci.estimate = point;
+  ci.lower = quantile_sorted(stats, (1.0 - alpha) / 2.0);
+  ci.upper = quantile_sorted(stats, 1.0 - (1.0 - alpha) / 2.0);
+  return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(std::vector<double>&)>& statistic, int resamples,
+    double alpha, std::uint64_t seed) {
+  FBEDGE_EXPECT(sample.size() >= 5, "bootstrap needs >= 5 samples");
+  FBEDGE_EXPECT(resamples >= 100, "bootstrap needs >= 100 resamples");
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    auto draw = resample(sample, rng);
+    stats.push_back(statistic(draw));
+  }
+  auto copy = sample;
+  return percentile_interval(std::move(stats), statistic(copy), alpha);
+}
+
+ConfidenceInterval bootstrap_median_difference(const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               int resamples, double alpha,
+                                               std::uint64_t seed) {
+  FBEDGE_EXPECT(a.size() >= 5 && b.size() >= 5, "bootstrap needs >= 5 samples");
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    auto da = resample(a, rng);
+    auto db = resample(b, rng);
+    stats.push_back(median(std::move(da)) - median(std::move(db)));
+  }
+  const double point = median(a) - median(b);
+  return percentile_interval(std::move(stats), point, alpha);
+}
+
+}  // namespace fbedge

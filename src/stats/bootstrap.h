@@ -1,0 +1,30 @@
+// Percentile-bootstrap confidence intervals.
+//
+// Used as an independent cross-check of the distribution-free
+// (Price-Bonett) intervals in stats/median_ci.h: the analyzers use the
+// closed-form intervals (cheap, streamable); the tests verify both methods
+// agree on the same data.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/median_ci.h"
+#include "util/rng.h"
+
+namespace fbedge {
+
+/// Percentile bootstrap CI for statistic(sample).
+ConfidenceInterval bootstrap_ci(const std::vector<double>& sample,
+                                const std::function<double(std::vector<double>&)>& statistic,
+                                int resamples = 1000, double alpha = 0.95,
+                                std::uint64_t seed = 1);
+
+/// Bootstrap CI for median(a) - median(b) of two independent samples.
+ConfidenceInterval bootstrap_median_difference(const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               int resamples = 1000,
+                                               double alpha = 0.95,
+                                               std::uint64_t seed = 1);
+
+}  // namespace fbedge

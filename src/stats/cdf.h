@@ -1,0 +1,92 @@
+// Weighted empirical CDFs — the output format of every figure in the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+/// An empirical distribution built from (value, weight) points.
+///
+/// The paper's figures are CDFs of sessions (unit weight) or of traffic
+/// (weight = bytes). This class supports both and can be evaluated at an
+/// arbitrary x or inverted at a quantile.
+class WeightedCdf {
+ public:
+  void add(double value, double weight = 1.0) {
+    FBEDGE_EXPECT(weight > 0, "cdf weight must be positive");
+    points_.push_back({value, weight});
+    sorted_ = false;
+  }
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Fraction of total weight with value <= x.
+  double fraction_at_or_below(double x) const {
+    ensure_sorted();
+    if (points_.empty()) return 0.0;
+    double cum = 0;
+    for (const auto& p : points_) {
+      if (p.value > x) break;
+      cum += p.weight;
+    }
+    return cum / total_weight_;
+  }
+
+  /// Smallest value v such that fraction_at_or_below(v) >= q.
+  double quantile(double q) const {
+    ensure_sorted();
+    FBEDGE_EXPECT(!points_.empty(), "quantile of empty cdf");
+    const double target = std::clamp(q, 0.0, 1.0) * total_weight_;
+    double cum = 0;
+    for (const auto& p : points_) {
+      cum += p.weight;
+      if (cum >= target) return p.value;
+    }
+    return points_.back().value;
+  }
+
+  /// Samples the CDF at `n` evenly spaced quantiles; used to print figure
+  /// series. Returns (value, cumulative fraction) pairs.
+  std::vector<std::pair<double, double>> series(int n = 20) const {
+    ensure_sorted();
+    std::vector<std::pair<double, double>> out;
+    out.reserve(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i <= n; ++i) {
+      const double q = static_cast<double>(i) / n;
+      out.emplace_back(quantile(q), q);
+    }
+    return out;
+  }
+
+  double total_weight() const {
+    ensure_sorted();
+    return total_weight_;
+  }
+
+ private:
+  struct Point {
+    double value;
+    double weight;
+  };
+
+  void ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) { return a.value < b.value; });
+    total_weight_ = 0;
+    for (const auto& p : points_) total_weight_ += p.weight;
+    sorted_ = true;
+  }
+
+  mutable std::vector<Point> points_;
+  mutable double total_weight_{0};
+  mutable bool sorted_{false};
+};
+
+}  // namespace fbedge

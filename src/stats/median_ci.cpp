@@ -1,0 +1,132 @@
+#include "stats/median_ci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantiles.h"
+#include "util/expect.h"
+
+namespace fbedge {
+
+double normal_quantile(double p) {
+  FBEDGE_EXPECT(p > 0.0 && p < 1.0, "normal_quantile domain");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= 1 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+namespace {
+
+// Fractional "ranks" (0-based positions into the sorted sample) bracketing
+// the median at confidence alpha, from the binomial/normal approximation.
+struct MedianBracket {
+  double lo_pos;  // 0-based position, may be fractional
+  double hi_pos;
+};
+
+MedianBracket median_bracket(double n, double alpha) {
+  const double z = normal_quantile(0.5 + alpha / 2.0);
+  const double half_width = z * std::sqrt(n) / 2.0;
+  double lo = n / 2.0 - half_width;   // 1-based fractional rank
+  double hi = n / 2.0 + half_width + 1.0;
+  lo = std::max(1.0, lo);
+  hi = std::min(n, hi);
+  return {lo - 1.0, hi - 1.0};  // convert to 0-based
+}
+
+double value_at_pos(const std::vector<double>& sorted, double pos) {
+  pos = std::clamp(pos, 0.0, static_cast<double>(sorted.size() - 1));
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// Standard error of the median recovered from its order-statistic interval.
+double median_se(const ConfidenceInterval& ci, double alpha) {
+  const double z = normal_quantile(0.5 + alpha / 2.0);
+  return ci.width() / (2.0 * z);
+}
+
+}  // namespace
+
+ConfidenceInterval median_confidence_interval(std::vector<double> values, double alpha) {
+  FBEDGE_EXPECT(values.size() >= 5, "median CI needs >= 5 samples");
+  std::sort(values.begin(), values.end());
+  const auto bracket = median_bracket(static_cast<double>(values.size()), alpha);
+  ConfidenceInterval ci;
+  ci.estimate = median_sorted(values);
+  ci.lower = value_at_pos(values, bracket.lo_pos);
+  ci.upper = value_at_pos(values, bracket.hi_pos);
+  return ci;
+}
+
+ConfidenceInterval median_confidence_interval(const TDigest& digest, double alpha) {
+  const double n = static_cast<double>(digest.count());
+  FBEDGE_EXPECT(n >= 5, "median CI needs >= 5 samples");
+  const auto bracket = median_bracket(n, alpha);
+  ConfidenceInterval ci;
+  ci.estimate = digest.quantile(0.5);
+  // Convert bracket positions to quantiles of the sketch.
+  ci.lower = digest.quantile(bracket.lo_pos / (n - 1.0));
+  ci.upper = digest.quantile(bracket.hi_pos / (n - 1.0));
+  return ci;
+}
+
+namespace {
+
+ConfidenceInterval combine_difference(const ConfidenceInterval& ca,
+                                      const ConfidenceInterval& cb, double alpha) {
+  const double z = normal_quantile(0.5 + alpha / 2.0);
+  const double se_a = median_se(ca, alpha);
+  const double se_b = median_se(cb, alpha);
+  const double se = std::sqrt(se_a * se_a + se_b * se_b);
+  ConfidenceInterval out;
+  out.estimate = ca.estimate - cb.estimate;
+  out.lower = out.estimate - z * se;
+  out.upper = out.estimate + z * se;
+  return out;
+}
+
+}  // namespace
+
+ConfidenceInterval median_difference_interval(std::vector<double> a, std::vector<double> b,
+                                              double alpha) {
+  const auto ca = median_confidence_interval(std::move(a), alpha);
+  const auto cb = median_confidence_interval(std::move(b), alpha);
+  return combine_difference(ca, cb, alpha);
+}
+
+ConfidenceInterval median_difference_interval(const TDigest& a, const TDigest& b,
+                                              double alpha) {
+  const auto ca = median_confidence_interval(a, alpha);
+  const auto cb = median_confidence_interval(b, alpha);
+  return combine_difference(ca, cb, alpha);
+}
+
+}  // namespace fbedge

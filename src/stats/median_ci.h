@@ -1,0 +1,58 @@
+// Distribution-free confidence intervals for medians and for the difference
+// of two medians (Price & Bonett, "Distribution-Free Confidence Intervals
+// for Difference and Ratio of Medians", J. Stat. Comput. Simul. 72(2), 2002).
+//
+// This is the statistical machinery of §3.4 of the paper: when comparing two
+// aggregations (current vs baseline for degradation, preferred vs alternate
+// for opportunity), the analyzers compute the difference of medians and its
+// 95% confidence interval without assuming normality, then test the lower
+// bound of the interval against a threshold.
+#pragma once
+
+#include <vector>
+
+#include "stats/tdigest.h"
+
+namespace fbedge {
+
+/// A two-sided confidence interval [lower, upper] around a point estimate.
+struct ConfidenceInterval {
+  double estimate{0};
+  double lower{0};
+  double upper{0};
+
+  double width() const { return upper - lower; }
+  bool contains(double x) const { return lower <= x && x <= upper; }
+};
+
+/// Confidence interval for the median of a sample.
+///
+/// Uses the order-statistic interval: ranks l = floor((n - z*sqrt(n))/2) and
+/// u = n - l + 1 (1-based) bracket the median with coverage >= alpha by the
+/// binomial argument; values are interpolated from the sorted sample.
+/// Requires n >= 5; alpha in (0, 1), default 0.95.
+ConfidenceInterval median_confidence_interval(std::vector<double> values,
+                                              double alpha = 0.95);
+
+/// Same interval computed from a t-digest sketch instead of raw samples,
+/// as a streaming system would (paper footnote 11). `n` defaults to the
+/// digest's point count.
+ConfidenceInterval median_confidence_interval(const TDigest& digest, double alpha = 0.95);
+
+/// Price-Bonett confidence interval for the difference of medians
+/// median(a) - median(b) of two independent samples.
+///
+/// The standard error of each median is recovered from its order-statistic
+/// interval (se = width / (2 z)); the difference interval is
+/// (m_a - m_b) +/- z * sqrt(se_a^2 + se_b^2).
+ConfidenceInterval median_difference_interval(std::vector<double> a, std::vector<double> b,
+                                              double alpha = 0.95);
+
+/// Sketch-based version of the above.
+ConfidenceInterval median_difference_interval(const TDigest& a, const TDigest& b,
+                                              double alpha = 0.95);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+double normal_quantile(double p);
+
+}  // namespace fbedge

@@ -1,0 +1,39 @@
+// Exact quantiles over in-memory samples.
+//
+// Used by tests as ground truth for the t-digest, and by analyzers when the
+// full sample vector for an aggregation is available.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+/// Quantile of a *sorted* sample using linear interpolation between order
+/// statistics (type-7 / numpy default). q in [0, 1].
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  FBEDGE_EXPECT(!sorted.empty(), "quantile of empty sample");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// Quantile of an unsorted sample (copies and sorts).
+inline double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+inline double median_sorted(const std::vector<double>& sorted) {
+  return quantile_sorted(sorted, 0.5);
+}
+
+inline double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+}  // namespace fbedge

@@ -1,0 +1,167 @@
+#include "stats/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace fbedge {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Scale function k1: k(q) = (delta / 2pi) * asin(2q - 1). Limits centroid
+// size so that centroids near q=0, q=0.5 extremes stay small, giving high
+// accuracy at the tails and the median.
+double k_scale(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  FBEDGE_EXPECT(compression >= 20.0, "t-digest compression too small");
+  buffer_.reserve(static_cast<std::size_t>(compression * 4));
+}
+
+void TDigest::add(double value, double weight) {
+  FBEDGE_EXPECT(weight > 0, "t-digest weight must be positive");
+  FBEDGE_EXPECT(std::isfinite(value), "t-digest value must be finite");
+  buffer_.push_back({value, weight});
+  unmerged_weight_ += weight;
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (buffer_.size() >= static_cast<std::size_t>(compression_ * 4)) compress();
+}
+
+void TDigest::merge(const TDigest& other) {
+  other.compress();
+  for (const auto& c : other.centroids_) {
+    buffer_.push_back(c);
+    unmerged_weight_ += c.weight;
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  compress();
+}
+
+void TDigest::compress() const {
+  if (buffer_.empty()) return;
+  // Merge centroids and buffer into one sorted list.
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  std::sort(all.begin(), all.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+
+  double total = 0;
+  for (const auto& c : all) total += c.weight;
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<std::size_t>(compression_ * 2));
+  double so_far = 0;         // weight in fully-merged centroids
+  Centroid cur = all.front();
+  double k_lo = k_scale(0.0, compression_);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const Centroid& next = all[i];
+    const double proposed_q = (so_far + cur.weight + next.weight) / total;
+    if (k_scale(proposed_q, compression_) - k_lo <= 1.0) {
+      // Merge next into cur (weighted mean).
+      const double w = cur.weight + next.weight;
+      cur.mean += (next.mean - cur.mean) * next.weight / w;
+      cur.weight = w;
+    } else {
+      so_far += cur.weight;
+      merged.push_back(cur);
+      k_lo = k_scale(so_far / total, compression_);
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+
+  centroids_ = std::move(merged);
+  total_weight_ = total;
+  const_cast<TDigest*>(this)->unmerged_weight_ = 0;
+}
+
+const std::vector<TDigest::Centroid>& TDigest::centroids() const {
+  compress();
+  return centroids_;
+}
+
+double TDigest::quantile(double q) const {
+  compress();
+  if (centroids_.empty()) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  if (centroids_.size() == 1) return centroids_[0].mean;
+
+  const double target = q * total_weight_;
+  // Walk centroids, interpolating between midpoints (standard t-digest
+  // quantile estimation: each centroid's weight is split half before /
+  // half after its mean).
+  double cum = 0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double mid = cum + centroids_[i].weight / 2.0;
+    if (target < mid) {
+      if (i == 0) {
+        // Interpolate between min and first centroid mean.
+        const double lo_w = centroids_[0].weight / 2.0;
+        if (lo_w <= 0) return centroids_[0].mean;
+        const double frac = target / lo_w;
+        return min_ + frac * (centroids_[0].mean - min_);
+      }
+      const double prev_mid = cum - centroids_[i - 1].weight / 2.0;
+      const double span = mid - prev_mid;
+      const double frac = span > 0 ? (target - prev_mid) / span : 0.5;
+      return centroids_[i - 1].mean + frac * (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum += centroids_[i].weight;
+  }
+  // Beyond the last midpoint: interpolate toward max.
+  const auto& last = centroids_.back();
+  const double last_mid = total_weight_ - last.weight / 2.0;
+  const double span = total_weight_ - last_mid;
+  const double frac = span > 0 ? (target - last_mid) / span : 1.0;
+  return last.mean + std::clamp(frac, 0.0, 1.0) * (max_ - last.mean);
+}
+
+double TDigest::cdf(double x) const {
+  compress();
+  if (centroids_.empty()) return kNaN;
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  if (centroids_.size() == 1) {
+    // Interpolate within [min, max].
+    const double span = max_ - min_;
+    return span > 0 ? (x - min_) / span : 0.5;
+  }
+
+  double cum = 0;
+  double prev_mean = min_;
+  double prev_mid = 0;
+  for (const auto& c : centroids_) {
+    const double mid = cum + c.weight / 2.0;
+    if (x < c.mean) {
+      const double span = c.mean - prev_mean;
+      const double frac = span > 0 ? (x - prev_mean) / span : 0.5;
+      return (prev_mid + frac * (mid - prev_mid)) / total_weight_;
+    }
+    cum += c.weight;
+    prev_mean = c.mean;
+    prev_mid = mid;
+  }
+  const double span = max_ - prev_mean;
+  const double frac = span > 0 ? (x - prev_mean) / span : 1.0;
+  return (prev_mid + frac * (total_weight_ - prev_mid)) / total_weight_;
+}
+
+}  // namespace fbedge

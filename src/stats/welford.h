@@ -1,0 +1,50 @@
+// Streaming mean/variance accumulator (Welford's algorithm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace fbedge {
+
+/// Numerically stable online mean and variance.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Combines another accumulator (Chan et al. parallel variance merge).
+  void merge(const Welford& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 points.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0};
+  double m2_{0};
+};
+
+}  // namespace fbedge

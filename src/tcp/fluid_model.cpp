@@ -1,0 +1,125 @@
+#include "tcp/fluid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+BitsPerSecond mathis_rate(Bytes mss, Duration rtt, double loss_rate) {
+  if (loss_rate <= 0) return std::numeric_limits<double>::infinity();
+  return to_bits(mss) / (rtt * std::sqrt(2.0 * loss_rate / 3.0));
+}
+
+FluidTransfer FluidTcpConnection::transfer(Bytes size, SimTime start,
+                                           const PathConditions& path) {
+  FBEDGE_EXPECT(size > 0, "empty fluid transfer");
+  FBEDGE_EXPECT(path.min_rtt > 0 && path.bottleneck > 0, "invalid path conditions");
+
+  // Slow-start-after-idle: a long-idle connection loses its inflated cwnd,
+  // which is why Wstart must be modeled from ideal growth rather than read
+  // from Wnic alone (§3.2.2).
+  if (config_.idle_restart && last_activity_ > 0 &&
+      start - last_activity_ > config_.idle_restart_after) {
+    cwnd_pkts_ = std::min(cwnd_pkts_, config_.initial_cwnd);
+    ssthresh_pkts_ = 1e9;
+  }
+
+  const double mss_d = static_cast<double>(config_.mss);
+  const std::int64_t packets_total = (size + config_.mss - 1) / config_.mss;
+  const Bytes last_pkt =
+      size - (packets_total - 1) * config_.mss;  // in (0, mss]
+
+  FluidTransfer out;
+  out.bytes = size;
+  out.last_packet_bytes = last_pkt;
+  out.wnic = static_cast<Bytes>(cwnd_pkts_ * mss_d);
+
+  const double loss = std::min(path.loss_rate, 0.5);
+  const BitsPerSecond sustainable =
+      std::min(path.bottleneck, mathis_rate(config_.mss, path.min_rtt, loss));
+  const double bdp_pkts =
+      std::max(1.0, sustainable * path.min_rtt / to_bits(config_.mss));
+  const Duration pkt_time = to_bits(config_.mss) / path.bottleneck;
+
+  auto draw_rtt = [&]() {
+    return path.min_rtt + (path.jitter > 0 ? rng_.exponential(path.jitter) : 0.0);
+  };
+
+  const std::int64_t second_last_target = packets_total - 1;  // packets acked
+  Duration t = 0;
+  Duration t_second_last = -1;
+  Duration t_last = -1;
+  std::int64_t acked = 0;
+  double cwnd = cwnd_pkts_;
+  int rounds = 0;
+  constexpr int kMaxRounds = 200;
+
+  while (acked < packets_total) {
+    const Duration rtt_r = draw_rtt();
+    if (rounds == 0) out.observed_rtt = rtt_r;
+
+    if (cwnd >= bdp_pkts || rounds >= kMaxRounds) {
+      // Rate-limited drain: remaining packets delivered evenly at the
+      // sustainable rate; ACK of the k-th remaining packet arrives one RTT
+      // after its serialization completes.
+      const Duration spkt = to_bits(config_.mss) / sustainable;
+      if (t_second_last < 0 && second_last_target > acked) {
+        t_second_last = t + static_cast<double>(second_last_target - acked) * spkt + rtt_r;
+      }
+      t_last = t + static_cast<double>(packets_total - acked) * spkt + rtt_r;
+      acked = packets_total;
+      break;
+    }
+
+    ++rounds;
+    const std::int64_t s =
+        std::min<std::int64_t>(static_cast<std::int64_t>(cwnd), packets_total - acked);
+    FBEDGE_EXPECT(s >= 1, "fluid round sends nothing");
+
+    const double p_round = loss > 0 ? 1.0 - std::pow(1.0 - loss, static_cast<double>(s)) : 0.0;
+    const bool lost = p_round > 0 && rng_.bernoulli(p_round);
+
+    if (lost) {
+      // One segment lost: the cumulative ACK stalls at it, fast retransmit
+      // repairs it one extra round later, and the cwnd halves.
+      ++out.loss_events;
+      acked += s - 1;
+      t += rtt_r + draw_rtt();  // the round + a recovery round
+      cwnd = std::max(cwnd / 2.0, 1.0);
+      ssthresh_pkts_ = cwnd;
+      continue;
+    }
+
+    // ACK of the j-th packet of this round (1-based) arrives at
+    // t + j*pkt_time + rtt (bottleneck serialization spaces deliveries).
+    if (t_second_last < 0 && acked + s >= second_last_target && second_last_target > acked) {
+      t_second_last =
+          t + static_cast<double>(second_last_target - acked) * pkt_time + rtt_r;
+    }
+    if (acked + s >= packets_total) {
+      t_last = t + static_cast<double>(packets_total - acked) * pkt_time + rtt_r;
+    }
+    acked += s;
+    t += rtt_r;
+
+    // Window growth, driven by packets ACKed this round.
+    if (cwnd < ssthresh_pkts_) {
+      cwnd = std::min(cwnd + static_cast<double>(s), 2.0 * cwnd);
+    } else {
+      cwnd += 1.0;  // one MSS per RTT in congestion avoidance
+    }
+  }
+
+  FBEDGE_EXPECT(t_last >= 0, "fluid transfer never completed");
+  if (packets_total == 1 || t_second_last < 0) t_second_last = t_last;
+
+  out.full_duration = t_last;
+  out.adjusted_duration = t_second_last;
+  cwnd_pkts_ = std::min(cwnd, 2.0 * bdp_pkts);
+  last_activity_ = start + out.full_duration;
+  return out;
+}
+
+}  // namespace fbedge

@@ -1,0 +1,94 @@
+// Analytic ("fluid") TCP transfer-time model.
+//
+// The packet-level simulator in tcp.h is faithful but costs ~1 event per
+// packet — far too slow to synthesize a 10-day, PoP-wide dataset. The fluid
+// model computes per-transaction transfer timings in O(slow-start rounds):
+//
+//   - slow start doubles the cwnd each round until it covers the path's
+//     sustainable rate (the min of the bottleneck's available bandwidth and
+//     a Mathis-style loss cap ~ MSS/(RTT*sqrt(p)) [Padhye et al., cited as
+//     [50] in the paper]);
+//   - per-round loss events (P = 1-(1-p)^packets) halve the cwnd and add a
+//     recovery round;
+//   - remaining bytes then drain at the sustainable rate;
+//   - per-round jitter adds to each round's RTT.
+//
+// The model produces exactly the observables the load-balancer sampler
+// captures: Wnic, first-byte-to-second-to-last-ACK duration, byte counts,
+// and MinRTT — so the goodput estimator runs unchanged on fluid-generated
+// traffic. The tests cross-validate the fluid model against the
+// packet-level simulator on overlapping configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Path conditions seen by one connection at one instant.
+struct PathConditions {
+  /// Round-trip propagation (+ any standing queue) delay.
+  Duration min_rtt{0.05};
+  /// Available bandwidth at the bottleneck.
+  BitsPerSecond bottleneck{10 * kMbps};
+  /// Per-packet loss probability.
+  double loss_rate{0};
+  /// Mean extra per-round delay (exponentially distributed).
+  Duration jitter{0};
+};
+
+/// Timings for one fluid-modeled response transfer.
+struct FluidTransfer {
+  Bytes bytes{0};
+  Bytes last_packet_bytes{0};
+  Bytes wnic{0};
+  /// First NIC write -> ACK covering the second-to-last packet (§3.2.5).
+  Duration adjusted_duration{0};
+  /// First NIC write -> ACK covering the last byte.
+  Duration full_duration{0};
+  /// RTT actually experienced on the first round (the MinRTT sample).
+  Duration observed_rtt{0};
+  std::uint64_t loss_events{0};
+
+  Bytes adjusted_bytes() const { return bytes - last_packet_bytes; }
+};
+
+/// Connection-scoped fluid TCP state: the cwnd persists across transactions
+/// exactly as a real connection's would, which is what makes later
+/// transactions testable for higher goodputs (§3.2.2).
+class FluidTcpConnection {
+ public:
+  struct Config {
+    Bytes mss{1440};
+    double initial_cwnd{10};
+    /// After this much idle time the cwnd decays back toward the initial
+    /// window (Linux slow-start-after-idle).
+    Duration idle_restart_after{1.0};
+    bool idle_restart{true};
+  };
+
+  FluidTcpConnection(Config config, std::uint64_t seed)
+      : config_(config), rng_(seed), cwnd_pkts_(config.initial_cwnd) {}
+
+  /// Models the transfer of a `size`-byte response starting at `start`
+  /// under `path` conditions. Mutates connection state (cwnd, clock).
+  FluidTransfer transfer(Bytes size, SimTime start, const PathConditions& path);
+
+  double cwnd_packets() const { return cwnd_pkts_; }
+  SimTime last_activity() const { return last_activity_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  double cwnd_pkts_;
+  double ssthresh_pkts_{1e9};
+  SimTime last_activity_{0};
+};
+
+/// Steady-state loss-limited TCP rate (Mathis et al. / PFTK simplification):
+/// rate = MSS * 8 / (RTT * sqrt(2p/3)). Returns +inf for p <= 0.
+BitsPerSecond mathis_rate(Bytes mss, Duration rtt, double loss_rate);
+
+}  // namespace fbedge

@@ -1,0 +1,59 @@
+// Windowed minimum RTT estimator (§3.1).
+//
+// Mirrors the Linux kernel's windowed min filter: MinRTT is the minimum RTT
+// sample observed over a sliding window (5 minutes in Facebook's
+// deployment). Because most HTTP sessions terminate within the window
+// (§2.3), recording the value at session termination effectively captures
+// the session-lifetime minimum — an upper bound on propagation delay.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Sliding-window minimum filter over RTT samples.
+class MinRttEstimator {
+ public:
+  /// `window`: how long a sample remains eligible (kernel default-alike 5 min).
+  explicit MinRttEstimator(Duration window = 5.0 * kMinute) : window_(window) {}
+
+  /// Records an RTT sample taken at time `now`.
+  void add(Duration rtt, SimTime now) {
+    // Drop samples that can never be the minimum again.
+    while (!samples_.empty() && samples_.back().rtt >= rtt) samples_.pop_back();
+    samples_.push_back({now, rtt});
+    expire(now);
+  }
+
+  /// Current windowed minimum as of `now`; +inf if no valid sample.
+  Duration get(SimTime now) {
+    expire(now);
+    return samples_.empty() ? std::numeric_limits<Duration>::infinity()
+                            : samples_.front().rtt;
+  }
+
+  /// Minimum over the entire lifetime (ignores the window).
+  Duration lifetime_min() const { return lifetime_min_; }
+
+  bool has_sample() const { return lifetime_min_ < std::numeric_limits<Duration>::infinity(); }
+
+ private:
+  struct Sample {
+    SimTime at;
+    Duration rtt;
+  };
+
+  void expire(SimTime now) {
+    while (!samples_.empty() && samples_.front().at < now - window_) samples_.pop_front();
+    if (!samples_.empty()) lifetime_min_ = std::min(lifetime_min_, samples_.front().rtt);
+  }
+
+  Duration window_;
+  std::deque<Sample> samples_;
+  Duration lifetime_min_{std::numeric_limits<Duration>::infinity()};
+};
+
+}  // namespace fbedge

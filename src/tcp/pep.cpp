@@ -1,0 +1,33 @@
+#include "tcp/pep.h"
+
+namespace fbedge {
+
+SplitTcpPep::SplitTcpPep(Simulator& sim, TcpConfig tcp, LinkConfig wan_forward,
+                         LinkConfig wan_reverse, LinkConfig lastmile_forward,
+                         LinkConfig lastmile_reverse, std::uint64_t seed)
+    : sim_(sim) {
+  wan_ = std::make_unique<TcpConnection>(sim, tcp, wan_forward, wan_reverse, seed * 7 + 1);
+  lastmile_ = std::make_unique<TcpConnection>(sim, tcp, lastmile_forward,
+                                              lastmile_reverse, seed * 7 + 2);
+
+  // Server -> PEP deliveries land in the relay buffer and are immediately
+  // re-written on the PEP -> client connection.
+  wan_->receiver().set_on_delivered([this](Bytes n) {
+    relayed_in_ += n;
+    relay();
+  });
+  // Client-side deliveries complete the end-to-end picture.
+  lastmile_->receiver().set_on_delivered([this](Bytes n) {
+    client_bytes_ += n;
+    client_last_delivery_ = sim_.now();
+  });
+}
+
+void SplitTcpPep::relay() {
+  const Bytes pending = relayed_in_ - relayed_out_;
+  if (pending <= 0) return;
+  relayed_out_ += pending;
+  lastmile_->sender().write(pending, nullptr);
+}
+
+}  // namespace fbedge

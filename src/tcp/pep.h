@@ -1,0 +1,57 @@
+// Split-TCP performance-enhancing proxy (PEP) substrate (§2.2.1).
+//
+// PEPs are common in satellite and cellular networks: a middlebox
+// terminates the client's TCP connection and opens its own connection to
+// the server, optimizing each segment independently. Under a PEP,
+// *server-side* passive measurements reflect the server<->PEP segment, not
+// the end-to-end path — they underestimate latency and can overestimate
+// goodput relative to what the user experiences. The paper accepts this
+// because Facebook can only optimize up to the PEP anyway (and notes QUIC
+// removes the issue entirely).
+//
+// This class wires two independent TcpConnections in series with a relay
+// buffer, letting tests and examples quantify the measurement skew.
+#pragma once
+
+#include <memory>
+
+#include "tcp/tcp.h"
+
+namespace fbedge {
+
+/// server ==(wan links)== PEP ==(lan/last-mile links)== client
+class SplitTcpPep {
+ public:
+  /// `wan_*` configure the server<->PEP segment, `lastmile_*` the
+  /// PEP<->client segment (each pair is forward data / reverse ACK).
+  SplitTcpPep(Simulator& sim, TcpConfig tcp, LinkConfig wan_forward,
+              LinkConfig wan_reverse, LinkConfig lastmile_forward,
+              LinkConfig lastmile_reverse, std::uint64_t seed = 1);
+
+  /// The server writes into this sender; its TransferReports are what the
+  /// load-balancer instrumentation would capture.
+  TcpSender& server_sender() { return wan_->sender(); }
+  TcpConnection& wan() { return *wan_; }
+  TcpConnection& last_mile() { return *lastmile_; }
+
+  /// Bytes that actually reached the client, and when the last one did.
+  Bytes client_bytes() const { return client_bytes_; }
+  SimTime client_last_delivery() const { return client_last_delivery_; }
+
+  /// Bytes buffered inside the proxy (received from the server, not yet
+  /// written toward the client).
+  Bytes proxy_buffered() const { return relayed_in_ - relayed_out_; }
+
+ private:
+  void relay();
+
+  Simulator& sim_;
+  std::unique_ptr<TcpConnection> wan_;
+  std::unique_ptr<TcpConnection> lastmile_;
+  Bytes relayed_in_{0};
+  Bytes relayed_out_{0};
+  Bytes client_bytes_{0};
+  SimTime client_last_delivery_{0};
+};
+
+}  // namespace fbedge

@@ -1,0 +1,49 @@
+// Smoothed RTT / RTO estimation per RFC 6298.
+#pragma once
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace fbedge {
+
+/// srtt / rttvar / RTO state machine (RFC 6298 constants).
+class RttEstimator {
+ public:
+  explicit RttEstimator(Duration rto_min = 0.2, Duration rto_initial = 1.0)
+      : rto_min_(rto_min), rto_(rto_initial) {}
+
+  void add_sample(Duration rtt) {
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2.0;
+      has_sample_ = true;
+    } else {
+      rttvar_ = (1 - kBeta) * rttvar_ + kBeta * std::abs(srtt_ - rtt);
+      srtt_ = (1 - kAlpha) * srtt_ + kAlpha * rtt;
+    }
+    rto_ = std::max(rto_min_, srtt_ + 4.0 * rttvar_);
+    backoff_ = 1;
+  }
+
+  /// Exponential backoff after a retransmission timeout.
+  void on_timeout() { backoff_ = std::min(backoff_ * 2, 64); }
+
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  Duration rto() const { return rto_ * backoff_; }
+  bool has_sample() const { return has_sample_; }
+
+ private:
+  static constexpr double kAlpha = 1.0 / 8.0;
+  static constexpr double kBeta = 1.0 / 4.0;
+
+  Duration rto_min_;
+  Duration srtt_{0};
+  Duration rttvar_{0};
+  Duration rto_;
+  int backoff_{1};
+  bool has_sample_{false};
+};
+
+}  // namespace fbedge

@@ -1,0 +1,515 @@
+#include "tcp/tcp.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+// ---------------------------------------------------------------------------
+// TcpSender
+// ---------------------------------------------------------------------------
+
+TcpSender::TcpSender(Simulator& sim, TcpConfig config, SendPacketFn send)
+    : sim_(sim),
+      config_(config),
+      send_(std::move(send)),
+      cwnd_(config.initial_cwnd * static_cast<double>(config.mss)),
+      ssthresh_(config.initial_ssthresh * static_cast<double>(config.mss)),
+      rtt_(config.rto_min, config.rto_initial),
+      minrtt_(config.minrtt_window) {}
+
+void TcpSender::write(Bytes size, TransferDoneFn done) {
+  FBEDGE_EXPECT(size > 0, "empty TCP write");
+  PendingWrite w;
+  w.start = write_end_;
+  w.end = write_end_ + size;
+  const Bytes rem = size % config_.mss;
+  w.last_packet_bytes = rem == 0 ? config_.mss : rem;
+  w.done = std::move(done);
+  w.retransmits_at_start = total_retransmits_;
+  write_end_ = w.end;
+  writes_.push_back(std::move(w));
+  try_send();
+}
+
+void TcpSender::try_send() {
+  blocked_on_cwnd_ = false;
+  const bool bbr = config_.congestion_control == CongestionControl::kBbr;
+  const double window =
+      bbr ? static_cast<double>(bbr_cwnd()) : cwnd_;
+  while (next_seq_ < write_end_) {
+    const Bytes flight = next_seq_ - snd_una_;
+    if (static_cast<double>(flight + config_.mss) > window + 0.5) {
+      blocked_on_cwnd_ = true;
+      break;
+    }
+    // BBR paces segments at gain * estimated bottleneck bandwidth instead
+    // of bursting the whole window.
+    if (bbr) {
+      const double rate = bbr_pacing_rate();
+      if (rate > 0 && sim_.now() + 1e-12 < next_send_time_) {
+        if (!pacing_timer_) {
+          pacing_timer_ = sim_.schedule(next_send_time_ - sim_.now(), [this] {
+            pacing_timer_.reset();
+            try_send();
+          });
+        }
+        break;
+      }
+    }
+    const Bytes chunk = std::min<Bytes>(config_.mss, write_end_ - next_seq_);
+    // After go-back-N the send cursor rewinds below data already handed to
+    // the network once; those sends are retransmissions (Karn's rule).
+    send_segment(next_seq_, next_seq_ + chunk,
+                 /*retransmit=*/next_seq_ < highest_sent_);
+    next_seq_ += chunk;
+    if (bbr) {
+      const double rate = bbr_pacing_rate();
+      if (rate > 0) {
+        next_send_time_ =
+            std::max(next_send_time_, sim_.now()) + to_bits(chunk) / rate;
+      }
+    }
+  }
+  if (!segments_.empty() && !rto_timer_) arm_rto();
+}
+
+void TcpSender::send_segment(std::int64_t start, std::int64_t end, bool retransmit) {
+  // Record write metadata when a write's first byte hits the NIC.
+  for (auto& w : writes_) {
+    if (!w.first_byte_recorded && start <= w.start && w.start < end) {
+      w.first_byte_recorded = true;
+      w.report.first_byte_sent = sim_.now();
+      w.report.wnic = static_cast<Bytes>(cwnd_);
+    }
+  }
+  Packet p;
+  p.seq = start;
+  p.payload = end - start;
+  p.sent_at = sim_.now();
+  p.retransmit = retransmit;
+  if (retransmit) ++total_retransmits_;
+  highest_sent_ = std::max(highest_sent_, end);
+  segments_.push_back({start, end, sim_.now(), retransmit, delivered_});
+  send_(p);
+}
+
+void TcpSender::arm_rto() {
+  if (rto_timer_) sim_.cancel(*rto_timer_);
+  rto_timer_ = sim_.schedule(rtt_.rto(), [this] { on_rto(); });
+}
+
+void TcpSender::on_rto() {
+  rto_timer_.reset();
+  if (snd_una_ == write_end_) return;  // everything delivered; stale timer
+  ++timeouts_;
+  rtt_.on_timeout();
+  if (config_.congestion_control != CongestionControl::kBbr) {
+    on_congestion_event();
+    const Bytes flight = next_seq_ - snd_una_;
+    ssthresh_ = std::max(static_cast<double>(flight) / 2.0,
+                         2.0 * static_cast<double>(config_.mss));
+    cwnd_ = static_cast<double>(config_.mss);
+  }
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  // Go-back-N: rewind and resend from the first unacked byte.
+  segments_.clear();
+  next_seq_ = snd_una_;
+  const Bytes chunk = std::min<Bytes>(config_.mss, write_end_ - next_seq_);
+  send_segment(next_seq_, next_seq_ + chunk, /*retransmit=*/true);
+  next_seq_ += chunk;
+  arm_rto();
+}
+
+void TcpSender::enter_fast_recovery() {
+  if (config_.congestion_control != CongestionControl::kBbr) {
+    on_congestion_event();
+    const Bytes flight = next_seq_ - snd_una_;
+    const double beta =
+        config_.congestion_control == CongestionControl::kCubic ? 0.7 : 0.5;
+    ssthresh_ = std::max(static_cast<double>(flight) * beta,
+                         2.0 * static_cast<double>(config_.mss));
+    cwnd_ = ssthresh_ + 3.0 * static_cast<double>(config_.mss);
+  }
+  in_recovery_ = true;
+  recovery_end_ = next_seq_;
+  // Retransmit the presumed-lost segment at snd_una_.
+  if (snd_una_ < write_end_) {
+    const Bytes chunk = std::min<Bytes>(config_.mss, write_end_ - snd_una_);
+    send_segment(snd_una_, snd_una_ + chunk, /*retransmit=*/true);
+  }
+}
+
+void TcpSender::grow_cwnd(Bytes bytes_acked, bool was_cwnd_limited) {
+  // Footnote 3: grow only when cwnd-limited; growth by bytes ACKed.
+  if (!was_cwnd_limited) return;
+  const double mss = static_cast<double>(config_.mss);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<double>(bytes_acked);  // slow start (ABC)
+    cwnd_ = std::min(cwnd_, ssthresh_ + static_cast<double>(bytes_acked));
+    return;
+  }
+  if (config_.congestion_control == CongestionControl::kReno) {
+    cwnd_ += mss * static_cast<double>(bytes_acked) / cwnd_;
+    return;
+  }
+  // CUBIC (RFC 8312): W(t) = C*(t - K)^3 + w_max, K = cbrt(w_max*(1-b)/C).
+  constexpr double kC = 0.4;
+  constexpr double kBeta = 0.7;
+  if (cubic_epoch_start_ < 0) {
+    cubic_epoch_start_ = sim_.now();
+    if (cubic_w_max_pkts_ <= 0) cubic_w_max_pkts_ = cwnd_ / mss;
+  }
+  const double t = sim_.now() - cubic_epoch_start_;
+  const double k = std::cbrt(cubic_w_max_pkts_ * (1.0 - kBeta) / kC);
+  const double target_pkts = kC * std::pow(t - k, 3.0) + cubic_w_max_pkts_;
+  const double cwnd_pkts_now = cwnd_ / mss;
+  if (target_pkts > cwnd_pkts_now) {
+    // Approach the curve at most one segment per segment ACKed.
+    const double step = std::min(target_pkts - cwnd_pkts_now,
+                                 static_cast<double>(bytes_acked) / mss);
+    cwnd_ += step * mss;
+  } else {
+    // At/above the curve: grow slowly (TCP-friendliness floor).
+    cwnd_ += 0.01 * mss * static_cast<double>(bytes_acked) / cwnd_;
+  }
+}
+
+void TcpSender::on_congestion_event() {
+  const double mss = static_cast<double>(config_.mss);
+  cubic_w_max_pkts_ = cwnd_ / mss;
+  cubic_epoch_start_ = -1;  // curve restarts on the next avoidance ACK
+}
+
+void TcpSender::hystart_round_check(Duration rtt_sample) {
+  if (!config_.hystart || config_.congestion_control != CongestionControl::kCubic ||
+      !in_slow_start()) {
+    return;
+  }
+  if (hystart_round_min_ <= 0 || rtt_sample < hystart_round_min_) {
+    hystart_round_min_ = rtt_sample;
+  }
+  ++hystart_samples_;
+  if (snd_una_ < hystart_round_end_) return;
+  // Round boundary: compare this round's floor against the previous one.
+  if (hystart_last_round_min_ > 0 && hystart_samples_ >= 3) {
+    const Duration eta = std::clamp(hystart_last_round_min_ / 8.0, 0.002, 0.016);
+    if (hystart_round_min_ >= hystart_last_round_min_ + eta) {
+      ssthresh_ = cwnd_;  // delay increase: leave slow start (hybrid exit)
+    }
+  }
+  hystart_last_round_min_ = hystart_round_min_;
+  hystart_round_min_ = 0;
+  hystart_samples_ = 0;
+  hystart_round_end_ = next_seq_;
+}
+
+void TcpSender::complete_writes() {
+  while (!writes_.empty()) {
+    auto& w = writes_.front();
+    const std::int64_t second_last_threshold = w.end - w.last_packet_bytes;
+    if (!w.second_last_recorded && snd_una_ >= second_last_threshold) {
+      w.second_last_recorded = true;
+      w.report.second_to_last_acked = sim_.now();
+    }
+    if (snd_una_ < w.end) break;
+    w.report.bytes = w.end - w.start;
+    w.report.last_packet_bytes = w.last_packet_bytes;
+    w.report.last_byte_acked = sim_.now();
+    if (w.end == w.start + w.last_packet_bytes) {
+      // Single-packet write: the "second to last" ACK is the final ACK.
+      w.report.second_to_last_acked = sim_.now();
+    }
+    w.report.retransmits = total_retransmits_ - w.retransmits_at_start;
+    w.report.min_rtt = minrtt_.get(sim_.now());
+    auto done = std::move(w.done);
+    auto report = w.report;
+    writes_.pop_front();
+    if (done) done(report);
+  }
+  // Also stamp the second-to-last ACK time for the (still incomplete) head.
+  if (!writes_.empty()) {
+    auto& w = writes_.front();
+    const std::int64_t second_last_threshold = w.end - w.last_packet_bytes;
+    if (!w.second_last_recorded && snd_una_ >= second_last_threshold) {
+      w.second_last_recorded = true;
+      w.report.second_to_last_acked = sim_.now();
+    }
+  }
+}
+
+void TcpSender::on_ack(const Packet& ack) {
+  FBEDGE_EXPECT(ack.is_ack, "data packet delivered to sender");
+  if (ack.echo >= 0) {
+    // Handshake ping reply: RTT sample only, no sequence-space effects.
+    const Duration sample = sim_.now() - ack.echo;
+    rtt_.add_sample(sample);
+    minrtt_.add(sample, sim_.now());
+    return;
+  }
+  if (ack.ack > snd_una_) {
+    const Bytes bytes_acked = ack.ack - snd_una_;
+    const Bytes flight_before = next_seq_ - snd_una_;
+    // A connection is cwnd-limited in slow start if more than half the cwnd
+    // was in flight; afterwards, if sending was blocked on cwnd (footnote 3).
+    const bool was_limited = in_slow_start()
+                                 ? static_cast<double>(flight_before) > cwnd_ / 2.0
+                                 : blocked_on_cwnd_;
+    snd_una_ = ack.ack;
+    dup_acks_ = 0;
+
+    delivered_ += bytes_acked;
+
+    // RTT sample from the newest fully-acked, never-retransmitted segment
+    // (Karn's rule); the same segment yields BBR's delivery-rate sample.
+    SimTime best_sent = -1;
+    double rate_sample = 0;
+    while (!segments_.empty() && segments_.front().end <= snd_una_) {
+      const auto& seg = segments_.front();
+      if (!seg.retransmitted && seg.sent_at >= best_sent) {
+        best_sent = seg.sent_at;
+        const Duration elapsed = sim_.now() - seg.sent_at;
+        if (elapsed > 1e-12) {
+          rate_sample = to_bits(delivered_ - seg.delivered_at_send) / elapsed;
+        }
+      }
+      segments_.pop_front();
+    }
+    if (best_sent >= 0) {
+      const Duration sample = sim_.now() - best_sent;
+      rtt_.add_sample(sample);
+      minrtt_.add(sample, sim_.now());
+      hystart_round_check(sample);
+    }
+
+    const bool bbr = config_.congestion_control == CongestionControl::kBbr;
+    if (bbr && rate_sample > 0) bbr_on_ack(bytes_acked, rate_sample);
+
+    if (in_recovery_ && snd_una_ >= recovery_end_) {
+      in_recovery_ = false;
+      if (!bbr) cwnd_ = ssthresh_;  // deflate (loss-based CC only)
+    }
+    if (!in_recovery_ && !bbr) grow_cwnd(bytes_acked, was_limited);
+
+    complete_writes();
+
+    if (segments_.empty()) {
+      if (rto_timer_) {
+        sim_.cancel(*rto_timer_);
+        rto_timer_.reset();
+      }
+    } else {
+      arm_rto();
+    }
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (snd_una_ < write_end_) {
+    ++dup_acks_;
+    if (in_recovery_) {
+      cwnd_ += static_cast<double>(config_.mss);  // inflation
+      try_send();
+    } else if (dup_acks_ == 3) {
+      enter_fast_recovery();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BBR (simplified: STARTUP / DRAIN / PROBE_BW; no PROBE_RTT because the
+// windowed MinRTT filter already refreshes within the session lifetimes
+// this model simulates).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr double kBbrStartupGain = 2.885;  // 2/ln2: doubles delivery per RTT
+constexpr double kBbrCycleGains[8] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+}  // namespace
+
+double TcpSender::bbr_pacing_rate() const {
+  if (bbr_btl_bw_ <= 0) return 0;  // unpaced until the first bw estimate
+  double gain = 1.0;
+  switch (bbr_mode_) {
+    case BbrMode::kStartup: gain = kBbrStartupGain; break;
+    case BbrMode::kDrain: gain = 1.0 / kBbrStartupGain; break;
+    case BbrMode::kProbeBw: gain = kBbrCycleGains[bbr_cycle_index_]; break;
+  }
+  return gain * bbr_btl_bw_;
+}
+
+Bytes TcpSender::bbr_cwnd() const {
+  const double mss = static_cast<double>(config_.mss);
+  Duration rtprop = minrtt_.lifetime_min();
+  if (bbr_btl_bw_ <= 0 || !std::isfinite(rtprop)) {
+    return static_cast<Bytes>(config_.initial_cwnd * mss);
+  }
+  const double bdp_bytes = bbr_btl_bw_ * rtprop / 8.0;
+  const double gain = bbr_mode_ == BbrMode::kStartup ? kBbrStartupGain : 2.0;
+  return static_cast<Bytes>(std::max(4.0 * mss, gain * bdp_bytes));
+}
+
+void TcpSender::bbr_on_ack(Bytes /*bytes_acked*/, double rate_sample) {
+  const SimTime now = sim_.now();
+
+  // Windowed-max bottleneck bandwidth filter (monotonic deque).
+  const Duration window = std::max(2.0, 10.0 * rtt_.srtt());
+  while (!bbr_bw_samples_.empty() && bbr_bw_samples_.back().second <= rate_sample) {
+    bbr_bw_samples_.pop_back();
+  }
+  bbr_bw_samples_.emplace_back(now, rate_sample);
+  while (!bbr_bw_samples_.empty() && bbr_bw_samples_.front().first < now - window) {
+    bbr_bw_samples_.pop_front();
+  }
+  bbr_btl_bw_ = bbr_bw_samples_.front().second;
+
+  const bool round_done = snd_una_ >= bbr_round_end_;
+  if (round_done) bbr_round_end_ = next_seq_;
+
+  const Duration rtprop =
+      std::isfinite(minrtt_.lifetime_min()) ? minrtt_.lifetime_min() : rtt_.srtt();
+  switch (bbr_mode_) {
+    case BbrMode::kStartup:
+      // Leave startup when bandwidth stops growing 25% per round for three
+      // consecutive rounds (the pipe is full).
+      if (round_done) {
+        if (bbr_btl_bw_ >= bbr_full_bw_ * 1.25) {
+          bbr_full_bw_ = bbr_btl_bw_;
+          bbr_full_bw_rounds_ = 0;
+        } else if (++bbr_full_bw_rounds_ >= 3) {
+          bbr_mode_ = BbrMode::kDrain;
+        }
+      }
+      break;
+    case BbrMode::kDrain: {
+      const double bdp_bytes = bbr_btl_bw_ * rtprop / 8.0;
+      if (static_cast<double>(bytes_in_flight()) <= bdp_bytes) {
+        bbr_mode_ = BbrMode::kProbeBw;
+        bbr_cycle_index_ = 0;
+        bbr_cycle_start_ = now;
+      }
+      break;
+    }
+    case BbrMode::kProbeBw:
+      if (now - bbr_cycle_start_ > rtprop) {
+        bbr_cycle_index_ = (bbr_cycle_index_ + 1) % 8;
+        bbr_cycle_start_ = now;
+      }
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+// ---------------------------------------------------------------------------
+
+TcpReceiver::TcpReceiver(Simulator& sim, TcpConfig config, SendPacketFn send)
+    : sim_(sim), config_(config), send_(std::move(send)) {}
+
+void TcpReceiver::on_data(const Packet& data) {
+  FBEDGE_EXPECT(!data.is_ack, "ACK delivered to receiver data path");
+  if (data.payload == 0) {
+    // Handshake ping: reply immediately, echoing the send time.
+    Packet pong;
+    pong.is_ack = true;
+    pong.ack = rcv_nxt_;
+    pong.echo = data.sent_at;
+    pong.sent_at = sim_.now();
+    send_(pong);
+    return;
+  }
+  bytes_received_ += data.payload;
+  const std::int64_t start = data.seq;
+  const std::int64_t end = data.seq + data.payload;
+
+  if (start > rcv_nxt_) {
+    // Out of order: buffer the interval and send an immediate dup ACK.
+    out_of_order_.emplace_back(start, end);
+    send_ack();
+    return;
+  }
+  if (end <= rcv_nxt_) {
+    // Full duplicate (retransmission already covered): ACK immediately.
+    send_ack();
+    return;
+  }
+
+  const std::int64_t before = rcv_nxt_;
+  rcv_nxt_ = end;
+  merge_out_of_order();
+  if (on_delivered_) on_delivered_(rcv_nxt_ - before);
+  ++unacked_packets_;
+
+  const bool force = !config_.delayed_acks || unacked_packets_ >= 2 || !out_of_order_.empty();
+  if (force) {
+    send_ack();
+  } else if (!delack_timer_) {
+    delack_timer_ = sim_.schedule(config_.delayed_ack_timeout, [this] {
+      delack_timer_.reset();
+      send_ack();
+    });
+  }
+}
+
+void TcpReceiver::merge_out_of_order() {
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (auto it = out_of_order_.begin(); it != out_of_order_.end(); ++it) {
+      if (it->first <= rcv_nxt_) {
+        rcv_nxt_ = std::max(rcv_nxt_, it->second);
+        out_of_order_.erase(it);
+        advanced = true;
+        break;
+      }
+    }
+  }
+}
+
+void TcpReceiver::send_ack() {
+  if (delack_timer_) {
+    sim_.cancel(*delack_timer_);
+    delack_timer_.reset();
+  }
+  unacked_packets_ = 0;
+  Packet ack;
+  ack.is_ack = true;
+  ack.ack = rcv_nxt_;
+  ack.payload = 0;
+  ack.sent_at = sim_.now();
+  send_(ack);
+}
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+// ---------------------------------------------------------------------------
+
+TcpConnection::TcpConnection(Simulator& sim, TcpConfig tcp, LinkConfig forward,
+                             LinkConfig reverse, std::uint64_t seed)
+    : sim_(sim) {
+  // Wiring: sender --forward--> receiver --reverse--> sender.
+  forward_ = std::make_unique<Link>(
+      sim, forward, [this](const Packet& p) { receiver_->on_data(p); }, seed * 2 + 1);
+  reverse_ = std::make_unique<Link>(
+      sim, reverse, [this](const Packet& p) { sender_->on_ack(p); }, seed * 2 + 2);
+  sender_ = std::make_unique<TcpSender>(sim, tcp,
+                                        [this](const Packet& p) { forward_->send(p); });
+  receiver_ = std::make_unique<TcpReceiver>(sim, tcp,
+                                            [this](const Packet& p) { reverse_->send(p); });
+}
+
+void TcpConnection::handshake() {
+  // The ping's send time rides in sent_at; the receiver echoes it back in
+  // `echo` and the sender turns it into an RTT sample. The exchange goes
+  // through the same links as data, so it sees the path's delay/loss.
+  Packet ping;
+  ping.payload = 0;
+  ping.sent_at = sim_.now();
+  forward_->send(ping);
+}
+
+}  // namespace fbedge

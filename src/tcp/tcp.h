@@ -1,0 +1,264 @@
+// Packet-level TCP model: a Reno-style sender and a receiver with delayed
+// ACKs, connected through netsim Links.
+//
+// Fidelity targets the quantities the paper's methodology consumes:
+//   - slow start doubles the cwnd per RTT when cwnd-limited (footnote 3),
+//     growth driven by bytes ACKed (Linux ABC), not ACK count;
+//   - delayed ACKs (2-packet / timeout) — the effect §3.2.5 corrects for;
+//   - loss recovery via fast retransmit (3 dup ACKs) and RTO, so that loss
+//     degrades achieved goodput the way the estimator expects;
+//   - per-transfer reports exposing Wnic, first-byte-write time, and the
+//     ACK times of the last and second-to-last packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/simulator.h"
+#include "tcp/minrtt.h"
+#include "tcp/rtt_estimator.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// Congestion-control algorithm for the sender.
+enum class CongestionControl : std::uint8_t {
+  kReno,   // AIMD: +1 MSS per RTT in avoidance, halve on loss
+  kCubic,  // RFC 8312 window curve, beta 0.7, optional HyStart
+  kBbr,    // model-based: paced at the estimated bottleneck bandwidth,
+           // cwnd capped at 2x BDP, loss does not shrink the window
+           // (simplified: STARTUP/DRAIN/PROBE_BW, no PROBE_RTT)
+};
+
+/// Tunables for the TCP model.
+struct TcpConfig {
+  /// Payload bytes per segment.
+  Bytes mss{1440};
+  /// Initial congestion window in segments (Linux default 10).
+  double initial_cwnd{10};
+  /// Initial slow-start threshold in segments (effectively unbounded).
+  double initial_ssthresh{1e9};
+  Duration rto_min{0.2};
+  Duration rto_initial{1.0};
+  /// Delayed-ACK behaviour at the receiver.
+  bool delayed_acks{true};
+  Duration delayed_ack_timeout{0.04};
+  /// MinRTT filter window (§3.1; Facebook uses 5 minutes).
+  Duration minrtt_window{5.0 * kMinute};
+  CongestionControl congestion_control{CongestionControl::kReno};
+  /// HyStart delay-increase detection (§3.2.3 mentions CUBIC's hybrid slow
+  /// start exiting early as a performance-degrading event the goodput
+  /// model must tolerate). Only meaningful with kCubic.
+  bool hystart{false};
+};
+
+/// Timings and TCP state for one completed application write ("response").
+struct TransferReport {
+  Bytes bytes{0};
+  Bytes last_packet_bytes{0};
+  /// cwnd (bytes) when the first payload byte was written to the NIC — the
+  /// paper's Wnic.
+  Bytes wnic{0};
+  SimTime first_byte_sent{0};
+  /// Arrival time of the ACK covering the second-to-last packet (§3.2.5
+  /// delayed-ACK correction); equals last_byte_acked for 1-packet writes.
+  SimTime second_to_last_acked{0};
+  SimTime last_byte_acked{0};
+  std::uint64_t retransmits{0};
+  /// MinRTT (windowed) at completion time.
+  Duration min_rtt{0};
+
+  /// §3.2.5-adjusted transfer duration (first NIC write -> ACK of the
+  /// second-to-last packet).
+  Duration adjusted_duration() const { return second_to_last_acked - first_byte_sent; }
+  Duration full_duration() const { return last_byte_acked - first_byte_sent; }
+  /// §3.2.5-adjusted byte count (total minus the final packet).
+  Bytes adjusted_bytes() const { return bytes - last_packet_bytes; }
+};
+
+/// Reno-style TCP sender. Application data is write()n as byte counts; the
+/// sender reports per-write timings through a completion callback.
+class TcpSender {
+ public:
+  using SendPacketFn = std::function<void(const Packet&)>;
+  using TransferDoneFn = std::function<void(const TransferReport&)>;
+
+  TcpSender(Simulator& sim, TcpConfig config, SendPacketFn send);
+
+  /// Queues `size` bytes for transmission; `done` fires when the final byte
+  /// is cumulatively ACKed. Writes are delivered strictly in order.
+  void write(Bytes size, TransferDoneFn done);
+
+  /// Delivers a (cumulative) ACK from the network.
+  void on_ack(const Packet& ack);
+
+  // --- introspection -------------------------------------------------------
+  Bytes cwnd() const { return static_cast<Bytes>(cwnd_); }
+  double cwnd_packets() const { return cwnd_ / static_cast<double>(config_.mss); }
+  Bytes bytes_in_flight() const { return next_seq_ - snd_una_; }
+  bool idle() const { return snd_una_ == write_end_ && next_seq_ == write_end_; }
+  std::uint64_t total_retransmits() const { return total_retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  const MinRttEstimator& min_rtt() const { return minrtt_; }
+  MinRttEstimator& min_rtt() { return minrtt_; }
+  Duration srtt() const { return rtt_.srtt(); }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  struct Segment {
+    std::int64_t start;
+    std::int64_t end;
+    SimTime sent_at;
+    bool retransmitted;
+    /// Cumulative delivered bytes when this segment left (BBR delivery-rate
+    /// sampling: rate = delivered-delta / time-delta).
+    Bytes delivered_at_send{0};
+  };
+
+  struct PendingWrite {
+    std::int64_t start;
+    std::int64_t end;
+    Bytes last_packet_bytes;
+    TransferDoneFn done;
+    TransferReport report;
+    bool first_byte_recorded{false};
+    bool second_last_recorded{false};
+    std::uint64_t retransmits_at_start{0};
+  };
+
+  void try_send();
+  void send_segment(std::int64_t start, std::int64_t end, bool retransmit);
+  void arm_rto();
+  void on_rto();
+  void enter_fast_recovery();
+  void grow_cwnd(Bytes bytes_acked, bool was_cwnd_limited);
+  void complete_writes();
+  void on_congestion_event();
+  void hystart_round_check(Duration rtt_sample);
+
+  Simulator& sim_;
+  TcpConfig config_;
+  SendPacketFn send_;
+
+  std::int64_t snd_una_{0};
+  std::int64_t next_seq_{0};
+  std::int64_t write_end_{0};
+  /// Highest sequence ever handed to the network; anything re-sent below
+  /// this is a retransmission (Karn's rule needs this across go-back-N).
+  std::int64_t highest_sent_{0};
+
+  double cwnd_;      // bytes
+  double ssthresh_;  // bytes
+  int dup_acks_{0};
+  bool in_recovery_{false};
+  std::int64_t recovery_end_{0};
+  bool blocked_on_cwnd_{false};
+
+  std::deque<Segment> segments_;       // unacked segments, ordered
+  std::deque<PendingWrite> writes_;    // incomplete writes, ordered
+
+  RttEstimator rtt_;
+  MinRttEstimator minrtt_;
+  std::optional<std::uint64_t> rto_timer_;
+  std::uint64_t total_retransmits_{0};
+  std::uint64_t timeouts_{0};
+
+  // CUBIC state (RFC 8312): the window curve is anchored at the size the
+  // window had at the last congestion event (w_max) and the event's time.
+  double cubic_w_max_pkts_{0};
+  SimTime cubic_epoch_start_{-1};
+
+  // HyStart delay-increase detection: per-round minimum RTTs.
+  std::int64_t hystart_round_end_{0};
+  Duration hystart_round_min_{0};
+  Duration hystart_last_round_min_{0};
+  int hystart_samples_{0};
+
+  // BBR state.
+  enum class BbrMode : std::uint8_t { kStartup, kDrain, kProbeBw };
+  void bbr_on_ack(Bytes bytes_acked, double rate_sample);
+  double bbr_pacing_rate() const;  // bits/s; 0 = unpaced
+  Bytes bbr_cwnd() const;
+  BbrMode bbr_mode_{BbrMode::kStartup};
+  /// Windowed-max bottleneck bandwidth estimate (bits/s).
+  std::deque<std::pair<SimTime, double>> bbr_bw_samples_;
+  double bbr_btl_bw_{0};
+  Bytes delivered_{0};
+  double bbr_full_bw_{0};
+  int bbr_full_bw_rounds_{0};
+  std::int64_t bbr_round_end_{0};
+  int bbr_cycle_index_{0};
+  SimTime bbr_cycle_start_{0};
+  SimTime next_send_time_{0};
+  std::optional<std::uint64_t> pacing_timer_;
+};
+
+/// TCP receiver: cumulative ACKs, out-of-order tracking, delayed ACKs.
+class TcpReceiver {
+ public:
+  using SendPacketFn = std::function<void(const Packet&)>;
+  using DeliveredFn = std::function<void(Bytes newly_contiguous)>;
+
+  TcpReceiver(Simulator& sim, TcpConfig config, SendPacketFn send);
+
+  /// Delivers a data packet from the network.
+  void on_data(const Packet& data);
+
+  /// Registers a callback fired whenever in-order delivery advances — the
+  /// hook a receiving application (or a split-TCP proxy relaying bytes
+  /// onward) consumes data through.
+  void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+
+  std::int64_t rcv_nxt() const { return rcv_nxt_; }
+  Bytes bytes_received() const { return bytes_received_; }
+
+ private:
+  void send_ack();
+  void merge_out_of_order();
+
+  Simulator& sim_;
+  TcpConfig config_;
+  SendPacketFn send_;
+
+  std::int64_t rcv_nxt_{0};
+  Bytes bytes_received_{0};
+  std::vector<std::pair<std::int64_t, std::int64_t>> out_of_order_;
+  int unacked_packets_{0};
+  std::optional<std::uint64_t> delack_timer_;
+  DeliveredFn on_delivered_;
+};
+
+/// A sender/receiver pair wired through a forward (data) and reverse (ACK)
+/// link. The forward link is typically the bottleneck under test.
+class TcpConnection {
+ public:
+  TcpConnection(Simulator& sim, TcpConfig tcp, LinkConfig forward, LinkConfig reverse,
+                std::uint64_t seed = 1);
+
+  /// Models the connection handshake: a header-only packet exchange whose
+  /// RTT seeds the MinRTT filter and RTO estimator — as the SYN/SYN-ACK
+  /// (and TLS round-trips) do in production. Without this, the first RTT
+  /// samples come from full-size data packets whose serialization at a
+  /// slow bottleneck inflates MinRTT (violating footnote 5's assumption
+  /// that MinRTT reflects header transmission only).
+  void handshake();
+
+  TcpSender& sender() { return *sender_; }
+  TcpReceiver& receiver() { return *receiver_; }
+  Link& forward_link() { return *forward_; }
+  Link& reverse_link() { return *reverse_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<Link> forward_;
+  std::unique_ptr<Link> reverse_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace fbedge

@@ -1,0 +1,23 @@
+// Lightweight precondition checking.
+//
+// The library is used both in tests (where violations should abort loudly)
+// and in long dataset-generation runs (where we still prefer fail-fast over
+// silent corruption). FBEDGE_EXPECT is always on; it is not assert().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbedge::detail {
+[[noreturn]] inline void expect_failed(const char* expr, const char* file, int line,
+                                       const char* msg) {
+  std::fprintf(stderr, "fbedge: precondition failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg && *msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace fbedge::detail
+
+#define FBEDGE_EXPECT(cond, msg)                                                  \
+  do {                                                                            \
+    if (!(cond)) ::fbedge::detail::expect_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

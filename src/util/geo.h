@@ -1,0 +1,51 @@
+// Geographic vocabulary for the synthetic world and per-continent reporting.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace fbedge {
+
+/// Continents as reported in the paper's per-continent breakdowns.
+enum class Continent : std::uint8_t {
+  kAfrica = 0,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kOceania,
+  kSouthAmerica,
+};
+
+constexpr int kNumContinents = 6;
+
+constexpr std::array<Continent, kNumContinents> kAllContinents = {
+    Continent::kAfrica,        Continent::kAsia,    Continent::kEurope,
+    Continent::kNorthAmerica,  Continent::kOceania, Continent::kSouthAmerica,
+};
+
+/// Two-letter code used in the paper's tables (AF, AS, EU, NA, OC, SA).
+constexpr std::string_view to_code(Continent c) {
+  switch (c) {
+    case Continent::kAfrica: return "AF";
+    case Continent::kAsia: return "AS";
+    case Continent::kEurope: return "EU";
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kOceania: return "OC";
+    case Continent::kSouthAmerica: return "SA";
+  }
+  return "??";
+}
+
+constexpr std::string_view to_name(Continent c) {
+  switch (c) {
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kEurope: return "Europe";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kOceania: return "Oceania";
+    case Continent::kSouthAmerica: return "South America";
+  }
+  return "Unknown";
+}
+
+}  // namespace fbedge

@@ -1,0 +1,64 @@
+// Identifier types shared across modules.
+//
+// Plain integer typedefs would allow silently passing a PoP id where an AS
+// number is expected; the tagged wrapper below keeps ids distinct at zero
+// runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fbedge {
+
+/// Strongly-typed integral id. `Tag` is a phantom type.
+template <typename Tag, typename Rep = std::uint32_t>
+struct Id {
+  Rep value{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep v) : value(v) {}
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct PopTag {};
+struct AsnTag {};
+struct SessionTag {};
+struct CountryTag {};
+
+/// A Facebook-style point of presence.
+using PopId = Id<PopTag>;
+/// An autonomous system number.
+using Asn = Id<AsnTag>;
+/// An HTTP session identifier (unique within a dataset).
+using SessionId = Id<SessionTag, std::uint64_t>;
+/// ISO-like numeric country code (internal to the synthetic world).
+using CountryId = Id<CountryTag>;
+
+/// Mixes a 64-bit value; used to build composite hash keys.
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash value into a seed (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (hash_mix(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace fbedge
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<fbedge::Id<Tag, Rep>> {
+  size_t operator()(fbedge::Id<Tag, Rep> id) const noexcept {
+    return static_cast<size_t>(fbedge::hash_mix(static_cast<std::uint64_t>(id.value)));
+  }
+};
+}  // namespace std

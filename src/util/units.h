@@ -1,0 +1,59 @@
+// Strong-ish unit helpers used throughout fbedge.
+//
+// The simulator and the goodput model both work in SI units: seconds for
+// time, bytes for sizes, bits-per-second for rates. These helpers make the
+// conversions explicit at call sites and keep magic constants out of the
+// model code.
+#pragma once
+
+#include <cstdint>
+
+namespace fbedge {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// A duration in seconds.
+using Duration = double;
+
+/// A data rate in bits per second.
+using BitsPerSecond = double;
+
+/// A byte count. Signed on purpose: intermediate model arithmetic
+/// (e.g. "bytes remaining after n slow-start rounds") can go negative and
+/// must not silently wrap.
+using Bytes = std::int64_t;
+
+constexpr BitsPerSecond kKbps = 1e3;
+constexpr BitsPerSecond kMbps = 1e6;
+constexpr BitsPerSecond kGbps = 1e9;
+
+constexpr Duration kMillisecond = 1e-3;
+constexpr Duration kMicrosecond = 1e-6;
+constexpr Duration kSecond = 1.0;
+constexpr Duration kMinute = 60.0;
+constexpr Duration kHour = 3600.0;
+constexpr Duration kDay = 86400.0;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * 1024;
+
+/// Converts a byte count to bits.
+constexpr double to_bits(Bytes bytes) { return static_cast<double>(bytes) * 8.0; }
+
+/// Time to serialize `bytes` onto a link of `rate` bits/s.
+constexpr Duration transmission_time(Bytes bytes, BitsPerSecond rate) {
+  return to_bits(bytes) / rate;
+}
+
+/// Goodput in bits/s for `bytes` delivered over `elapsed` seconds.
+constexpr BitsPerSecond goodput_bps(Bytes bytes, Duration elapsed) {
+  return to_bits(bytes) / elapsed;
+}
+
+constexpr Duration ms(double v) { return v * kMillisecond; }
+constexpr double to_ms(Duration d) { return d / kMillisecond; }
+constexpr BitsPerSecond mbps(double v) { return v * kMbps; }
+constexpr double to_mbps(BitsPerSecond r) { return r / kMbps; }
+
+}  // namespace fbedge

@@ -1,0 +1,112 @@
+#include "workload/cartographer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDeg = M_PI / 180.0;
+  const double dlat = (b.lat - a.lat) * kDeg;
+  const double dlon = (b.lon - a.lon) * kDeg;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(a.lat * kDeg) * std::cos(b.lat * kDeg) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Duration propagation_delay(double distance_km) {
+  constexpr double kPathInflation = 1.7;    // fibre rarely follows great circles
+  constexpr double kGlassKmPerSec = 2.0e5;  // ~2/3 c
+  return distance_km * kPathInflation / kGlassKmPerSec;
+}
+
+std::vector<PopSite> default_pop_sites() {
+  // Two metros per continent, index-aligned with the world builder's PoPs.
+  return {
+      {0, Continent::kAfrica, {6.5, 3.4}},            // Lagos
+      {1, Continent::kAfrica, {-26.2, 28.0}},         // Johannesburg
+      {2, Continent::kAsia, {1.35, 103.8}},           // Singapore
+      {3, Continent::kAsia, {35.7, 139.7}},           // Tokyo
+      {4, Continent::kEurope, {50.1, 8.7}},           // Frankfurt
+      {5, Continent::kEurope, {51.5, -0.1}},          // London
+      {6, Continent::kNorthAmerica, {39.0, -77.5}},   // Ashburn
+      {7, Continent::kNorthAmerica, {37.4, -122.1}},  // Palo Alto
+      {8, Continent::kOceania, {-33.9, 151.2}},       // Sydney
+      {9, Continent::kOceania, {-36.8, 174.8}},       // Auckland
+      {10, Continent::kSouthAmerica, {-23.5, -46.6}}, // Sao Paulo
+      {11, Continent::kSouthAmerica, {-34.6, -58.4}}, // Buenos Aires
+  };
+}
+
+GeoPoint continent_anchor(Continent c) {
+  switch (c) {
+    case Continent::kAfrica: return {0.0, 20.0};
+    case Continent::kAsia: return {23.0, 100.0};
+    case Continent::kEurope: return {50.0, 10.0};
+    case Continent::kNorthAmerica: return {39.0, -98.0};
+    case Continent::kOceania: return {-30.0, 150.0};
+    case Continent::kSouthAmerica: return {-15.0, -58.0};
+  }
+  return {0.0, 0.0};
+}
+
+Cartographer::Cartographer(std::vector<PopSite> pops, CartographerConfig config)
+    : pops_(std::move(pops)), config_(config), rng_(config.seed) {
+  FBEDGE_EXPECT(!pops_.empty(), "cartographer needs PoP sites");
+}
+
+int Cartographer::nearest_pop(const GeoPoint& where, Continent continent,
+                              bool same_continent, double* distance_out) const {
+  int best = -1;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& pop : pops_) {
+    if ((pop.continent == continent) != same_continent) continue;
+    const double km = haversine_km(where, pop.location);
+    if (km < best_km) {
+      best_km = km;
+      best = pop.index;
+    }
+  }
+  if (distance_out) *distance_out = best_km;
+  return best;
+}
+
+IngressAssignment Cartographer::assign(const GeoPoint& where, Continent continent) {
+  // Coverage shortfall: some AF/AS populations cannot be served in-continent
+  // (2019-era PoP density) and map to a PoP on the overflow continent —
+  // Europe — reproducing the EU->AS / EU->AF flows of §2.1.
+  double remote_fraction = 0;
+  if (continent == Continent::kAfrica) remote_fraction = config_.africa_remote_fraction;
+  if (continent == Continent::kAsia) remote_fraction = config_.asia_remote_fraction;
+
+  if (remote_fraction > 0 && continent != config_.overflow_continent &&
+      rng_.bernoulli(remote_fraction)) {
+    return assign_overflow(where);
+  }
+  return assign_local(where, continent);
+}
+
+IngressAssignment Cartographer::assign_local(const GeoPoint& where,
+                                             Continent continent) {
+  IngressAssignment out;
+  out.pop_index =
+      nearest_pop(where, continent, /*same_continent=*/true, &out.distance_km);
+  out.cross_continent = false;
+  FBEDGE_EXPECT(out.pop_index >= 0, "no PoP available for assignment");
+  return out;
+}
+
+IngressAssignment Cartographer::assign_overflow(const GeoPoint& where) {
+  IngressAssignment out;
+  out.pop_index = nearest_pop(where, config_.overflow_continent,
+                              /*same_continent=*/true, &out.distance_km);
+  out.cross_continent = true;
+  FBEDGE_EXPECT(out.pop_index >= 0, "no PoP available for assignment");
+  return out;
+}
+
+}  // namespace fbedge

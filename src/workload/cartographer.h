@@ -1,0 +1,98 @@
+// Cartographer-style ingress mapping (§2.1).
+//
+// Cartographer steers client traffic to PoPs via DNS and URL rewriting,
+// using performance measurements to pick the ingress location. The paper
+// reports the resulting geography: half of all traffic is served within
+// 500 km of its PoP, 90% within 2500 km and in the same continent, and
+// the ~10% served cross-continent is dominated by European PoPs serving
+// Asia (4.8% of traffic) and Africa (2.1%) — regions with sparse local
+// PoP coverage in 2019.
+//
+// This module gives PoPs and user groups spherical coordinates, maps each
+// group to a serving PoP (nearest-first with a modeled shortage of local
+// capacity in under-provisioned regions), and reports the distance
+// distribution so the published checkpoints can be verified.
+#pragma once
+
+#include <vector>
+
+#include "util/geo.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fbedge {
+
+/// A point on the sphere (degrees).
+struct GeoPoint {
+  double lat{0};
+  double lon{0};
+};
+
+/// Great-circle distance in kilometres (haversine).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay for a great-circle fibre path: distance
+/// inflated ~1.7x for routing indirection, at ~2e5 km/s in glass.
+Duration propagation_delay(double distance_km);
+
+/// A PoP site the mapper can direct traffic to.
+struct PopSite {
+  int index{0};
+  Continent continent{Continent::kNorthAmerica};
+  GeoPoint location;
+};
+
+/// The mapping decision for one user group.
+struct IngressAssignment {
+  int pop_index{0};
+  double distance_km{0};
+  bool cross_continent{false};
+};
+
+struct CartographerConfig {
+  /// Probability that a client in an under-served region (AF/AS) cannot be
+  /// served locally (capacity/coverage shortfall) and is mapped to a PoP
+  /// on the overflow continent instead.
+  double africa_remote_fraction{0.30};
+  double asia_remote_fraction{0.14};
+  /// Where overflow traffic lands; Europe in the paper's 2019 topology.
+  Continent overflow_continent{Continent::kEurope};
+  std::uint64_t seed{1};
+};
+
+/// Maps user-group locations onto PoP sites.
+class Cartographer {
+ public:
+  Cartographer(std::vector<PopSite> pops, CartographerConfig config);
+
+  /// Chooses the serving PoP for a client population at `where` in
+  /// `continent`, rolling the overflow dice internally.
+  IngressAssignment assign(const GeoPoint& where, Continent continent);
+
+  /// Deterministic variants: map to the nearest in-continent PoP, or to
+  /// the nearest PoP on the overflow continent. Callers that stratify the
+  /// overflow decision themselves (e.g. the world builder, which wants
+  /// exact traffic fractions) use these.
+  IngressAssignment assign_local(const GeoPoint& where, Continent continent);
+  IngressAssignment assign_overflow(const GeoPoint& where);
+
+  const std::vector<PopSite>& pops() const { return pops_; }
+
+ private:
+  int nearest_pop(const GeoPoint& where, Continent continent, bool same_continent,
+                  double* distance_out) const;
+
+  std::vector<PopSite> pops_;
+  CartographerConfig config_;
+  Rng rng_;
+};
+
+/// The 12 default PoP sites (two metros per continent) with real-world
+/// coordinates, matching the world builder's PoP layout.
+std::vector<PopSite> default_pop_sites();
+
+/// Representative population anchors per continent (used to scatter
+/// synthetic user groups geographically).
+GeoPoint continent_anchor(Continent c);
+
+}  // namespace fbedge

@@ -1,0 +1,67 @@
+// Dataset generator: drives the synthetic world through the fluid TCP
+// model and emits the SessionSamples the load-balancer instrumentation
+// would have captured (§2.2).
+//
+// Sessions are generated group-by-group so that downstream analysis can
+// process one user group's full 10-day series at a time and release it —
+// the whole dataset never needs to be resident.
+#pragma once
+
+#include <functional>
+
+#include "sampler/record.h"
+#include "sampler/sampler.h"
+#include "workload/distributions.h"
+#include "workload/world.h"
+
+namespace fbedge {
+
+struct DatasetConfig {
+  std::uint64_t seed{7};
+  int days{10};
+  /// Multiplies every group's sessions_per_window (sampled-session counts).
+  double session_scale{1.0};
+  /// Route-override behaviour (§2.2.3): fraction on preferred route and
+  /// number of alternates under continuous measurement.
+  SamplerConfig sampler;
+  /// Fraction of sessions from hosting-provider / VPN clients (§2.2.4
+  /// filters these; the generator produces them so the filter has work).
+  double hosting_fraction{0.02};
+  /// Fraction of sessions behind a bufferbloated access link: every RTT
+  /// the session observes is inflated by hundreds of ms to seconds (§3.3
+  /// cites tail MinRTT values "on the order of seconds"). These sessions
+  /// are why the aggregation layer uses medians, not means.
+  double bufferbloat_fraction{0.004};
+};
+
+using SessionSink = std::function<void(const SessionSample&)>;
+
+class DatasetGenerator {
+ public:
+  DatasetGenerator(const World& world, DatasetConfig config);
+
+  /// Emits every sampled session of one group across the whole study span,
+  /// in time order.
+  void generate_group(const UserGroupProfile& group, const SessionSink& sink) const;
+
+  /// Emits all groups, one at a time.
+  void generate(const SessionSink& sink) const;
+
+  /// Simulates a single session end-to-end (exposed for tests): plans the
+  /// transactions, coalesces overlapping/back-to-back responses into
+  /// transfer groups, runs each group through the fluid TCP model under
+  /// the group's path conditions, and assembles the sample record.
+  SessionSample run_session(const UserGroupProfile& group, const SessionSpec& spec,
+                            int route_index, SimTime start, Rng& rng) const;
+
+  const World& world() const { return world_; }
+  const DatasetConfig& config() const { return config_; }
+
+ private:
+  const World& world_;
+  DatasetConfig config_;
+  TrafficModel traffic_;
+  SessionSampler sampler_;
+};
+
+}  // namespace fbedge

@@ -1,0 +1,74 @@
+#include "workload/packet_generator.h"
+
+#include <algorithm>
+
+namespace fbedge {
+
+SessionSample run_packet_session(const UserGroupProfile& group, const SessionSpec& spec,
+                                 int route_index, SimTime start, Rng& rng,
+                                 const PacketSessionConfig& config) {
+  SessionSample sample;
+  sample.id = spec.id;
+  sample.pop = group.key.pop;
+  sample.client.bgp_prefix = group.key.prefix;
+  sample.client.asn = group.asn;
+  sample.client.country = group.key.country;
+  sample.client.continent = group.continent;
+  sample.client.ip =
+      group.key.prefix.addr + static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
+  sample.version = spec.version;
+  sample.endpoint = spec.endpoint;
+  sample.established_at = start;
+  sample.route_index = route_index;
+  sample.num_transactions = static_cast<int>(spec.transactions.size());
+
+  const BitsPerSecond client_rate = draw_client_rate(group, rng);
+  const PathConditions path = path_conditions(group, route_index, start, client_rate);
+
+  Simulator sim;
+  LinkConfig forward{.rate = path.bottleneck,
+                     .delay = path.min_rtt / 2,
+                     .queue_capacity = config.queue_capacity,
+                     .loss_rate = path.loss_rate,
+                     .jitter = path.jitter};
+  LinkConfig reverse{.rate = 0, .delay = path.min_rtt / 2, .jitter = path.jitter};
+  TcpConnection conn(sim, config.tcp, forward, reverse, rng());
+  conn.handshake();
+
+  // Serve transactions serially: each write is issued when its request
+  // arrives or the previous response finishes, whichever is later.
+  Duration busy = 0;
+  std::size_t next = 0;
+  std::function<void()> issue = [&] {
+    if (next >= spec.transactions.size()) return;
+    const auto& txn = spec.transactions[next];
+    ++next;
+    const SimTime issue_at = std::max<SimTime>(txn.at, sim.now());
+    sim.schedule(issue_at - sim.now(), [&, bytes = txn.response_bytes] {
+      conn.sender().write(bytes, [&](const TransferReport& r) {
+        ResponseWrite w;
+        w.first_byte_nic = r.first_byte_sent;
+        w.last_byte_nic = r.first_byte_sent;  // whole response buffered at once
+        w.second_last_ack = r.second_to_last_acked;
+        w.last_ack = r.last_byte_acked;
+        w.bytes = r.bytes;
+        w.last_packet_bytes = r.last_packet_bytes;
+        w.wnic = r.wnic;
+        sample.writes.push_back(w);
+        sample.total_bytes += r.bytes;
+        busy += r.full_duration();
+        issue();
+      });
+    });
+  };
+  issue();
+  sim.run_until(config.session_deadline);
+
+  sample.duration = std::max<Duration>(spec.duration, sim.now());
+  sample.busy_time = std::min(busy, sample.duration);
+  const Duration min_rtt = conn.sender().min_rtt().lifetime_min();
+  sample.min_rtt = std::isfinite(min_rtt) ? min_rtt : path.min_rtt;
+  return sample;
+}
+
+}  // namespace fbedge

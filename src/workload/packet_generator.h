@@ -1,0 +1,37 @@
+// Packet-level session generation — the high-fidelity counterpart of the
+// fluid-model DatasetGenerator.
+//
+// The fluid model makes the 10-day dataset tractable; this generator runs
+// the *same* session plans through the real packet-level TCP stack (slow
+// start, delayed ACKs, droptail bottleneck, loss recovery) and produces
+// the same SessionSample records. Tests and the fidelity_check bench use
+// it to confirm that the measurement pipeline reaches the same
+// conclusions (MinRTT, HDratio) regardless of which substrate produced
+// the traffic — evidence that the headline results are not artifacts of
+// the fluid approximation.
+#pragma once
+
+#include "sampler/record.h"
+#include "tcp/tcp.h"
+#include "workload/distributions.h"
+#include "workload/world.h"
+
+namespace fbedge {
+
+struct PacketSessionConfig {
+  TcpConfig tcp;
+  /// Queue at the bottleneck (bytes).
+  Bytes queue_capacity{1 << 20};
+  /// Cap on simulated wall-clock per session.
+  Duration session_deadline{600.0};
+};
+
+/// Runs one planned session through a packet-level TCP connection under
+/// the group's path conditions at time `start` and returns the sample the
+/// load balancer would capture. Transactions are served serially (HTTP/2
+/// interleaving is exercised separately via http/h2_scheduler.h).
+SessionSample run_packet_session(const UserGroupProfile& group, const SessionSpec& spec,
+                                 int route_index, SimTime start, Rng& rng,
+                                 const PacketSessionConfig& config = {});
+
+}  // namespace fbedge

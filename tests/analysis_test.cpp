@@ -1,0 +1,220 @@
+// Tests for the analysis layer (figure runners, formatting) and assorted
+// edge/failure-injection cases across modules.
+#include <gtest/gtest.h>
+
+#include "agg/degradation.h"
+#include "analysis/figures.h"
+#include "analysis/format.h"
+#include "analysis/latency_quality.h"
+#include "analysis/session_metrics.h"
+#include "tcp/fluid_model.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fig. 7 bucket edges.
+// ---------------------------------------------------------------------------
+
+TEST(RttBuckets, BoundariesMatchFigure7) {
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.000), 0);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.030), 0);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.0301), 1);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.050), 1);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.080), 2);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(0.081), 3);
+  EXPECT_EQ(GlobalPerformance::rtt_bucket(2.0), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Latency tiers (§3.1 rules of thumb).
+// ---------------------------------------------------------------------------
+
+TEST(LatencyTiers, BoundariesFollowTheAnchors) {
+  EXPECT_EQ(latency_tier(0.010), LatencyTier::kRealtime);
+  EXPECT_EQ(latency_tier(0.040), LatencyTier::kRealtime);
+  EXPECT_EQ(latency_tier(0.041), LatencyTier::kInteractive);
+  EXPECT_EQ(latency_tier(0.080), LatencyTier::kInteractive);   // gaming cutoff
+  EXPECT_EQ(latency_tier(0.081), LatencyTier::kConversational);
+  EXPECT_EQ(latency_tier(0.300), LatencyTier::kConversational);  // ITU-T G.114
+  EXPECT_EQ(latency_tier(0.301), LatencyTier::kDegraded);
+}
+
+TEST(LatencyTiers, TallyFractionsSumToOne) {
+  LatencyTierTally tally;
+  for (double rtt : {0.02, 0.03, 0.06, 0.1, 0.2, 0.5}) tally.add(rtt);
+  EXPECT_EQ(tally.total(), 6u);
+  double sum = 0;
+  for (int t = 0; t < kNumLatencyTiers; ++t) {
+    sum += tally.fraction(static_cast<LatencyTier>(t));
+  }
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(tally.fraction(LatencyTier::kRealtime), 2.0 / 6.0);
+}
+
+TEST(LatencyTiers, EmptyTallyIsSafe) {
+  LatencyTierTally tally;
+  EXPECT_EQ(tally.total(), 0u);
+  EXPECT_DOUBLE_EQ(tally.fraction(LatencyTier::kDegraded), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Format helpers (capture stdout).
+// ---------------------------------------------------------------------------
+
+TEST(Format, CdfAndSummaryOutput) {
+  WeightedCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  ::testing::internal::CaptureStdout();
+  print_header("title");
+  print_cdf("series", cdf, 4);
+  print_quantile_summary("summary", cdf);
+  print_fraction_at("fractions", cdf, {50.0});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("==== title ===="), std::string::npos);
+  EXPECT_NE(out.find("series:"), std::string::npos);
+  EXPECT_NE(out.find("p50=50"), std::string::npos);
+  EXPECT_NE(out.find("P(<=50)=0.500"), std::string::npos);
+}
+
+TEST(Format, EmptyCdfHandledGracefully) {
+  WeightedCdf empty;
+  ::testing::internal::CaptureStdout();
+  print_cdf("none", empty);
+  print_quantile_summary("none", empty);
+  print_fraction_at("none", empty, {1.0});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Session metrics edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(SessionMetrics, EmptyWritesYieldNoHdSignal) {
+  SessionSample s;
+  s.min_rtt = 0.040;
+  s.total_bytes = 0;
+  const auto m = compute_session_metrics(s);
+  EXPECT_FALSE(m.hdratio.has_value());
+  EXPECT_EQ(m.txns_eligible, 0);
+  EXPECT_DOUBLE_EQ(m.min_rtt, 0.040);
+}
+
+TEST(SessionMetrics, TinyResponsesProduceEligibleButUntestableTxns) {
+  SessionSample s;
+  s.min_rtt = 0.050;
+  ResponseWrite w;
+  w.bytes = 900;
+  w.last_packet_bytes = 900;  // single packet: adjusted bytes = 0
+  w.wnic = 14400;
+  w.first_byte_nic = 0;
+  w.last_byte_nic = 0.0001;
+  w.second_last_ack = 0.05;
+  w.last_ack = 0.05;
+  s.writes.push_back(w);
+  s.total_bytes = 900;
+  const auto m = compute_session_metrics(s);
+  EXPECT_EQ(m.txns_eligible, 1);
+  EXPECT_EQ(m.txns_tested, 0);
+  EXPECT_FALSE(m.hdratio.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Goodput model extremes.
+// ---------------------------------------------------------------------------
+
+TEST(GoodputExtremes, HugeWindowTinyRtt) {
+  // 10 MB window, 1 ms RTT: everything fits in one round; a fast transfer
+  // is achieved, the estimate caps sanely.
+  TxnTiming txn{5'000'000, 0.002, 10'000'000, 0.001};
+  EXPECT_TRUE(achieved_rate(txn, 2.5e6));
+  EXPECT_GT(estimate_delivery_rate(txn), 1e9);
+}
+
+TEST(GoodputExtremes, SubMillisecondRttStillGates) {
+  // 0.5 ms RTT: even small responses test for enormous rates.
+  const auto g = ideal::testable_goodput(14400, 14400, 0.0005);
+  EXPECT_GT(g, 200e6);
+}
+
+TEST(GoodputExtremes, MultiGigabyteResponse) {
+  const Bytes gig = 2'000'000'000;
+  EXPECT_GT(ideal::rounds(gig, 14400), 15);
+  TxnTiming txn{gig, 8.0, 14400, 0.020};
+  const double estimate = estimate_delivery_rate(txn);
+  EXPECT_GT(estimate, 1e9);  // 2 GB in 8 s = 2 Gbps
+  EXPECT_LT(estimate, 3e9);
+}
+
+// ---------------------------------------------------------------------------
+// Fluid model failure injection.
+// ---------------------------------------------------------------------------
+
+TEST(FluidFailureInjection, ExtremeLossStillTerminates) {
+  PathConditions brutal;
+  brutal.min_rtt = 0.2;
+  brutal.bottleneck = 1e6;
+  brutal.loss_rate = 0.45;  // clamped internally at 0.5
+  brutal.jitter = 0.05;
+  FluidTcpConnection conn({}, 3);
+  const auto t = conn.transfer(500 * 1440, 0, brutal);
+  EXPECT_GT(t.full_duration, 1.0);
+  EXPECT_TRUE(std::isfinite(t.full_duration));
+  EXPECT_GE(t.adjusted_duration, 0);
+  EXPECT_LE(t.adjusted_duration, t.full_duration);
+}
+
+TEST(FluidFailureInjection, GeneratorSurvivesHostileEpisodes) {
+  WorldConfig wc;
+  wc.seed = 77;
+  wc.groups_per_continent = 1;
+  wc.episodic_fraction = 1.0;
+  World world = build_world(wc);
+  for (auto& g : world.groups) {
+    for (auto& ep : g.episodes) {
+      ep.extra_loss = 0.4;
+      ep.extra_delay = 0.5;
+    }
+  }
+  DatasetConfig dc;
+  dc.seed = 77;
+  dc.days = 1;
+  dc.session_scale = 0.05;
+  DatasetGenerator generator(world, dc);
+  int sessions = 0;
+  generator.generate([&](const SessionSample& s) {
+    ++sessions;
+    ASSERT_TRUE(std::isfinite(s.min_rtt));
+    ASSERT_TRUE(std::isfinite(s.busy_time));
+    for (const auto& w : s.writes) {
+      ASSERT_GE(w.last_ack, w.first_byte_nic);
+    }
+  });
+  EXPECT_GT(sessions, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(AggregationEdge, EmptyCellReportsNaN) {
+  RouteWindowAgg empty;
+  EXPECT_TRUE(std::isnan(empty.minrtt_p50()));
+  EXPECT_TRUE(std::isnan(empty.hdratio_p50()));
+  EXPECT_EQ(empty.sessions(), 0);
+}
+
+TEST(AggregationEdge, DegradationSkipsWindowsWithoutPreferredRoute) {
+  GroupSeries series;
+  // Window 0 has only alternate-route data.
+  series.windows[0].route(1).add_session(0.05, 0.9, 1000);
+  // route(0) was materialized (empty) by route(1) resize; windows with an
+  // empty preferred cell must not crash the analyzer.
+  const auto result = analyze_degradation(series, {});
+  EXPECT_TRUE(result.windows.empty());
+  EXPECT_EQ(result.baseline_rtt_window, -1);
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,136 @@
+// Tests for the simplified BBR sender: pacing, bandwidth estimation, and
+// the goodput estimator's robustness to a rate-based congestion control.
+#include <gtest/gtest.h>
+
+#include "goodput/ideal_model.h"
+#include "goodput/tmodel.h"
+#include "tcp/tcp.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Bytes kMss = 1440;
+
+struct Run {
+  TransferReport report;
+  bool done{false};
+  std::uint64_t retransmits{0};
+};
+
+Run bbr_transfer(Bytes size, LinkConfig forward, std::uint64_t seed = 1,
+                 Duration deadline = 600.0) {
+  Simulator sim;
+  TcpConfig tcp;
+  tcp.congestion_control = CongestionControl::kBbr;
+  TcpConnection conn(sim, tcp, forward, {.rate = 0, .delay = forward.delay}, seed);
+  conn.handshake();
+  Run run;
+  conn.sender().write(size, [&](const TransferReport& r) {
+    run.report = r;
+    run.done = true;
+  });
+  sim.run_until(deadline);
+  run.retransmits = conn.sender().total_retransmits();
+  return run;
+}
+
+TEST(Bbr, CompletesCleanTransfer) {
+  const auto run = bbr_transfer(200 * kMss, {.rate = 1e7, .delay = 0.025,
+                                             .queue_capacity = 1 << 20});
+  ASSERT_TRUE(run.done);
+  EXPECT_EQ(run.report.bytes, 200 * kMss);
+  // 200 packets at 10 Mbps: serialization floor ~0.237 s.
+  EXPECT_GE(run.report.full_duration(), 0.23);
+  EXPECT_LE(run.report.full_duration(), 1.0);
+}
+
+TEST(Bbr, ThroughputApproachesBottleneck) {
+  // A long transfer should reach near-bottleneck delivery despite pacing
+  // dynamics (startup overshoot + drain + probing).
+  const Bytes size = 3000 * kMss;
+  const auto run =
+      bbr_transfer(size, {.rate = 2e7, .delay = 0.030, .queue_capacity = 1 << 21});
+  ASSERT_TRUE(run.done);
+  const double rate = to_bits(size) / run.report.full_duration();
+  EXPECT_GT(rate, 0.75 * 2e7);
+  EXPECT_LE(rate, 2e7 * 1.01);
+}
+
+TEST(Bbr, SurvivesRandomLossWithoutCollapsing) {
+  // Unlike loss-based CC, BBR's delivery stays near the bottleneck under
+  // random (non-congestion) loss — the behaviour that motivated it.
+  const Bytes size = 1500 * kMss;
+  const auto bbr = bbr_transfer(
+      size, {.rate = 2e7, .delay = 0.040, .queue_capacity = 1 << 21, .loss_rate = 0.01},
+      7);
+  ASSERT_TRUE(bbr.done);
+  EXPECT_GT(bbr.retransmits, 0u);
+  const double bbr_rate = to_bits(size) / bbr.report.full_duration();
+
+  Simulator sim;
+  TcpConfig reno;  // default Reno
+  TcpConnection conn(sim, reno,
+                     {.rate = 2e7, .delay = 0.040, .queue_capacity = 1 << 21,
+                      .loss_rate = 0.01},
+                     {.rate = 0, .delay = 0.040}, 7);
+  conn.handshake();
+  TransferReport reno_report;
+  bool reno_done = false;
+  conn.sender().write(size, [&](const TransferReport& r) {
+    reno_report = r;
+    reno_done = true;
+  });
+  sim.run_until(600.0);
+  ASSERT_TRUE(reno_done);
+  const double reno_rate = to_bits(size) / reno_report.full_duration();
+  EXPECT_GT(bbr_rate, reno_rate) << "BBR should out-deliver Reno under random loss";
+}
+
+TEST(Bbr, MinRttStaysHonestUnderSelfInducedQueueing) {
+  // Startup can overshoot and queue at the bottleneck; MinRTT (from the
+  // handshake + windowed min) must remain at the propagation floor.
+  const auto run = bbr_transfer(1000 * kMss, {.rate = 5e6, .delay = 0.050,
+                                              .queue_capacity = 1 << 21});
+  ASSERT_TRUE(run.done);
+  EXPECT_GE(run.report.min_rtt, 0.100 - 1e-6);
+  EXPECT_LE(run.report.min_rtt, 0.110);
+}
+
+// The §3.2.3 invariant under BBR: estimates never exceed the bottleneck.
+struct BbrSweepCase {
+  double bw_mbps;
+  double rtt_ms;
+  int size_pkts;
+};
+
+class BbrValidation : public ::testing::TestWithParam<BbrSweepCase> {};
+
+TEST_P(BbrValidation, EstimatorNeverOverestimates) {
+  const auto& p = GetParam();
+  const auto run = bbr_transfer(
+      static_cast<Bytes>(p.size_pkts) * kMss,
+      {.rate = p.bw_mbps * 1e6, .delay = p.rtt_ms * 1e-3 / 2, .queue_capacity = 4 << 20},
+      3, 3600.0);
+  ASSERT_TRUE(run.done);
+  TxnTiming txn{run.report.adjusted_bytes(), run.report.adjusted_duration(),
+                run.report.wnic, run.report.min_rtt};
+  if (txn.btotal <= 0 || txn.ttotal <= 0) GTEST_SKIP();
+  const double bottleneck = p.bw_mbps * 1e6;
+  if (ideal::testable_goodput(txn.btotal, txn.wnic, txn.min_rtt) <= bottleneck) {
+    GTEST_SKIP() << "not testable at this size";
+  }
+  EXPECT_LE(estimate_delivery_rate(txn), bottleneck * 1.01);
+}
+
+std::vector<BbrSweepCase> bbr_grid() {
+  std::vector<BbrSweepCase> cases;
+  for (double bw : {1.0, 2.5, 5.0})
+    for (double rtt : {20.0, 80.0, 200.0})
+      for (int size : {50, 200, 500}) cases.push_back({bw, rtt, size});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BbrValidation, ::testing::ValuesIn(bbr_grid()));
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,129 @@
+// Tests for the Cartographer ingress-mapping substrate (§2.1).
+#include <gtest/gtest.h>
+
+#include "workload/cartographer.h"
+#include "workload/generator.h"
+#include "workload/world.h"
+
+namespace fbedge {
+namespace {
+
+TEST(Haversine, KnownDistances) {
+  const GeoPoint frankfurt{50.1, 8.7};
+  const GeoPoint london{51.5, -0.1};
+  const GeoPoint singapore{1.35, 103.8};
+  EXPECT_NEAR(haversine_km(frankfurt, london), 640, 40);
+  EXPECT_NEAR(haversine_km(frankfurt, singapore), 10260, 300);
+  EXPECT_NEAR(haversine_km(frankfurt, frankfurt), 0, 1e-9);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(haversine_km(frankfurt, singapore),
+                   haversine_km(singapore, frankfurt));
+}
+
+TEST(Haversine, AntipodalCapped) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 6371 * M_PI, 10);
+}
+
+TEST(PropagationDelay, PlausibleValues) {
+  // 1000 km of inflated fibre: 1700 km at 2e5 km/s = 8.5 ms one way.
+  EXPECT_NEAR(propagation_delay(1000), 0.0085, 1e-6);
+  EXPECT_DOUBLE_EQ(propagation_delay(0), 0.0);
+}
+
+TEST(Cartographer, LocalClientsGetLocalPops) {
+  Cartographer carto(default_pop_sites(), {.seed = 1});
+  // A client in Berlin must map to an EU PoP, never cross-continent.
+  for (int i = 0; i < 100; ++i) {
+    const auto a = carto.assign({52.5, 13.4}, Continent::kEurope);
+    EXPECT_FALSE(a.cross_continent);
+    const auto& pop = default_pop_sites()[static_cast<std::size_t>(a.pop_index)];
+    EXPECT_EQ(pop.continent, Continent::kEurope);
+    EXPECT_LT(a.distance_km, 1200);
+  }
+}
+
+TEST(Cartographer, PicksNearestInContinentPop) {
+  Cartographer carto(default_pop_sites(), {.seed = 1});
+  // San Jose -> Palo Alto (index 7), not Ashburn.
+  const auto a = carto.assign({37.3, -121.9}, Continent::kNorthAmerica);
+  EXPECT_EQ(a.pop_index, 7);
+  EXPECT_LT(a.distance_km, 100);
+}
+
+TEST(Cartographer, OverflowGoesToEurope) {
+  CartographerConfig cfg;
+  cfg.asia_remote_fraction = 1.0;  // force overflow
+  Cartographer carto(default_pop_sites(), cfg);
+  const auto a = carto.assign({28.6, 77.2}, Continent::kAsia);  // Delhi
+  EXPECT_TRUE(a.cross_continent);
+  const auto& pop = default_pop_sites()[static_cast<std::size_t>(a.pop_index)];
+  EXPECT_EQ(pop.continent, Continent::kEurope);
+  EXPECT_GT(a.distance_km, 4000);
+}
+
+TEST(Cartographer, RemoteFractionsApproximatelyHonored) {
+  Cartographer carto(default_pop_sites(), {.seed = 5});
+  int remote = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (carto.assign({0.0, 20.0}, Continent::kAfrica).cross_continent) ++remote;
+  }
+  EXPECT_NEAR(remote / double(n), 0.30, 0.02);
+}
+
+TEST(WorldGeo, DistanceCheckpointsMatchPaper) {
+  const World world = build_world({.seed = 11, .groups_per_continent = 150});
+  double total = 0, within_500 = 0, local_2500 = 0, remote = 0;
+  for (const auto& g : world.groups) {
+    const double w = g.weight * g.sessions_per_window;
+    total += w;
+    if (g.pop_distance_km <= 500) within_500 += w;
+    if (!g.remote_served && g.pop_distance_km <= 2500) local_2500 += w;
+    if (g.remote_served) remote += w;
+  }
+  EXPECT_NEAR(within_500 / total, 0.50, 0.12);   // paper: 50%
+  EXPECT_GT(local_2500 / total, 0.75);           // paper: 90%
+  EXPECT_NEAR(remote / total, 0.07, 0.05);       // paper: ~10% cross-continent
+}
+
+TEST(WorldGeo, RemoteServedGroupsHaveHigherRtt) {
+  const World world = build_world({.seed = 13, .groups_per_continent = 100});
+  double remote_sum = 0, local_sum = 0;
+  int remote_n = 0, local_n = 0;
+  for (const auto& g : world.groups) {
+    if (g.continent != Continent::kAfrica) continue;
+    if (g.remote_served) {
+      remote_sum += g.base_rtt;
+      ++remote_n;
+    } else {
+      local_sum += g.base_rtt;
+      ++local_n;
+    }
+  }
+  ASSERT_GT(remote_n, 5);
+  ASSERT_GT(local_n, 5);
+  EXPECT_GT(remote_sum / remote_n, local_sum / local_n + 0.020);
+}
+
+TEST(GeneratorBloat, InflatesOnlyTheConfiguredTail) {
+  World world = build_world({.seed = 17, .groups_per_continent = 1});
+  DatasetConfig dc;
+  dc.seed = 17;
+  dc.days = 1;
+  dc.session_scale = 0.2;
+  dc.bufferbloat_fraction = 0.05;
+  DatasetGenerator generator(world, dc);
+  int total = 0, bloated = 0;
+  const Duration base = world.groups[0].base_rtt;
+  generator.generate_group(world.groups[0], [&](const SessionSample& s) {
+    ++total;
+    if (s.min_rtt > base + 0.25) ++bloated;
+  });
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(bloated / double(total), 0.05, 0.02);
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,100 @@
+// Cross-module property tests: coalescing (§3.2.5) exists to make small
+// responses *measurable* — a burst of back-to-back responses must become
+// testable for HD goodput where each response alone could not be, and the
+// coalesced verdict must reflect the underlying path.
+#include <gtest/gtest.h>
+
+#include "goodput/hdratio.h"
+#include "sampler/coalescer.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Duration kRtt = 0.050;
+constexpr Bytes kWnic = 10 * 1440;
+
+/// A run of n back-to-back small responses delivered at `rate` bits/s.
+std::vector<ResponseWrite> burst(int n, Bytes each, BitsPerSecond rate) {
+  std::vector<ResponseWrite> writes;
+  SimTime t = 0;
+  // All writes queued instantly; delivery finishes when the cumulative
+  // bytes have drained at `rate`, one RTT after the last byte.
+  Bytes cumulative = 0;
+  for (int i = 0; i < n; ++i) {
+    ResponseWrite w;
+    w.bytes = each;
+    w.last_packet_bytes = std::min<Bytes>(each % 1440 == 0 ? 1440 : each % 1440, each);
+    w.wnic = kWnic;
+    w.first_byte_nic = t;
+    w.last_byte_nic = t + 1e-5;
+    cumulative += each;
+    const Duration done = to_bits(cumulative) / rate + kRtt;
+    w.second_last_ack = done - 0.001;
+    w.last_ack = done;
+    t += 2e-5;  // next write starts immediately (back-to-back)
+    writes.push_back(w);
+  }
+  return writes;
+}
+
+TEST(CoalescingGoodput, SmallResponsesAloneCannotTestHd) {
+  // One 4 KB response at 50 ms: Gtestable = 0.64 Mbps < 2.5 Mbps.
+  HdEvaluator eval;
+  const auto v = eval.evaluate({4096, 0.05, kWnic, kRtt});
+  EXPECT_FALSE(v.can_test);
+}
+
+TEST(CoalescingGoodput, BurstBecomesTestableAndAchievesOnFastPath) {
+  // Ten 4 KB responses back-to-back over a 20 Mbps path.
+  const auto out = coalesce_session(burst(10, 4096, 20e6), kRtt);
+  ASSERT_EQ(out.txns.size(), 1u) << "back-to-back burst must coalesce";
+  HdEvaluator eval;
+  const auto v = eval.evaluate(out.txns[0]);
+  EXPECT_TRUE(v.can_test) << "coalesced burst tests for HD";
+  EXPECT_TRUE(v.achieved) << "20 Mbps path achieves 2.5 Mbps";
+}
+
+TEST(CoalescingGoodput, BurstDetectsSlowPath) {
+  // The same burst through a 1 Mbps path: testable, but fails.
+  const auto out = coalesce_session(burst(10, 4096, 1e6), kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  HdEvaluator eval;
+  const auto v = eval.evaluate(out.txns[0]);
+  EXPECT_TRUE(v.can_test);
+  EXPECT_FALSE(v.achieved);
+}
+
+TEST(CoalescingGoodput, CoalescedGtestableExceedsMemberGtestable) {
+  const auto out = coalesce_session(burst(10, 4096, 20e6), kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  const auto combined =
+      ideal::testable_goodput(out.txns[0].btotal, kWnic, kRtt);
+  const auto single = ideal::testable_goodput(4096, kWnic, kRtt);
+  EXPECT_GT(combined, 3 * single);
+}
+
+TEST(CoalescingGoodput, SessionOfBurstsAveragesAcrossPathChanges) {
+  // Two bursts: the first over a fast path, the second while the path is
+  // congested to 1 Mbps -> HDratio 0.5.
+  auto fast = burst(5, 8192, 20e6);
+  auto slow = burst(5, 8192, 1e6);
+  const Duration gap = 5.0;  // well past the first burst's ACKs
+  for (auto& w : slow) {
+    w.first_byte_nic += gap;
+    w.last_byte_nic += gap;
+    w.second_last_ack += gap;
+    w.last_ack += gap;
+  }
+  std::vector<ResponseWrite> writes = fast;
+  writes.insert(writes.end(), slow.begin(), slow.end());
+
+  const auto out = coalesce_session(writes, kRtt);
+  ASSERT_EQ(out.txns.size(), 2u);
+  HdEvaluator eval;
+  for (const auto& txn : out.txns) eval.evaluate(txn);
+  ASSERT_EQ(eval.result().tested, 2);
+  EXPECT_DOUBLE_EQ(*eval.result().hdratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace fbedge

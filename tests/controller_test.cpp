@@ -1,0 +1,107 @@
+// Tests for the egress-controller dynamics (§6.2.2): greedy
+// performance-chasing oscillates, damped shifting converges, and
+// overload-protection (Edge Fabric) keeps links under their thresholds.
+#include <gtest/gtest.h>
+
+#include "routing/controller.h"
+
+namespace fbedge {
+namespace {
+
+std::vector<ControlledRoute> two_routes() {
+  // Preferred peer: 100 Mbps, 40 ms. Transit alternate: 200 Mbps, 44 ms.
+  return {{100 * kMbps, 0.040}, {200 * kMbps, 0.044}};
+}
+
+TEST(CongestionModel, FlatBelowKneeSteepAbove) {
+  const ControlledRoute r{100 * kMbps, 0.040};
+  EXPECT_DOUBLE_EQ(EgressController::congested_rtt(r, 0.0), 0.040);
+  EXPECT_DOUBLE_EQ(EgressController::congested_rtt(r, 0.89), 0.040);
+  EXPECT_GT(EgressController::congested_rtt(r, 1.0), 0.050);
+  EXPECT_GT(EgressController::congested_rtt(r, 1.2),
+            EgressController::congested_rtt(r, 1.0));
+  // Saturates: beyond the cap the delay stops growing (queue overflows into
+  // loss instead, which this latency-only model does not track).
+  EXPECT_DOUBLE_EQ(EgressController::congested_rtt(r, 1.5),
+                   EgressController::congested_rtt(r, 2.0));
+}
+
+TEST(Controller, StaticPolicyNeverMoves) {
+  EgressController controller(two_routes(), {.policy = ShiftPolicy::kStatic});
+  for (int i = 0; i < 50; ++i) controller.step(120 * kMbps);
+  EXPECT_EQ(controller.majority_flips(), 0);
+  EXPECT_DOUBLE_EQ(controller.shares()[0], 1.0);
+  // ...at the cost of sustained overload when demand exceeds capacity.
+  EXPECT_EQ(controller.overloaded_intervals(), 50);
+}
+
+TEST(Controller, GreedyOscillatesUnderTightCapacity) {
+  // Demand fits in either route alone only with congestion: greedy dumps
+  // everything on whichever looked best, congests it, then flees — the
+  // §6.2.2 oscillation.
+  std::vector<ControlledRoute> routes = {{100 * kMbps, 0.040}, {100 * kMbps, 0.041}};
+  EgressController controller(routes, {.policy = ShiftPolicy::kGreedyPerformance});
+  for (int i = 0; i < 100; ++i) controller.step(98 * kMbps);
+  EXPECT_GT(controller.majority_flips(), 20);
+}
+
+TEST(Controller, DampedConvergesWithoutOscillation) {
+  std::vector<ControlledRoute> routes = {{100 * kMbps, 0.040}, {100 * kMbps, 0.041}};
+  ControllerConfig cfg;
+  cfg.policy = ShiftPolicy::kDampedPerformance;
+  EgressController controller(routes, cfg);
+  for (int i = 0; i < 100; ++i) controller.step(98 * kMbps);
+  // Damping plus hysteresis: shift just enough traffic that the preferred
+  // route drops below the congestion knee, then stop — no ping-ponging.
+  EXPECT_LT(controller.majority_flips(), 6);
+  const auto& shares = controller.shares();
+  EXPECT_GT(shares[1], 0.05) << "some traffic detoured";
+  EXPECT_GT(shares[0], shares[1]) << "preferred still carries the bulk";
+  EXPECT_LE(98.0 * shares[0] / 100.0, 0.90 + 1e-9) << "below the knee";
+}
+
+TEST(Controller, DampedLeavesCleanAssignmentAlone) {
+  // Plenty of capacity: hysteresis suppresses noise-chasing entirely.
+  EgressController controller(two_routes(),
+                              {.policy = ShiftPolicy::kDampedPerformance});
+  for (int i = 0; i < 100; ++i) controller.step(50 * kMbps);
+  EXPECT_DOUBLE_EQ(controller.shares()[0], 1.0);
+  EXPECT_EQ(controller.majority_flips(), 0);
+}
+
+TEST(Controller, OverloadProtectionCapsUtilization) {
+  EgressController controller(two_routes(),
+                              {.policy = ShiftPolicy::kOverloadProtection});
+  ControlStep last;
+  for (int i = 0; i < 50; ++i) last = controller.step(160 * kMbps);
+  // After the first interval the detour holds both routes at/below the
+  // threshold: preferred carries 95 Mbps of the 160.
+  EXPECT_NEAR(controller.shares()[0], 95.0 / 160.0, 0.01);
+  EXPECT_NEAR(controller.shares()[1], 65.0 / 160.0, 0.01);
+  EXPECT_LE(controller.overloaded_intervals(), 1);  // only the initial state
+}
+
+TEST(Controller, OverloadProtectionReturnsTrafficWhenDemandDrops) {
+  EgressController controller(two_routes(),
+                              {.policy = ShiftPolicy::kOverloadProtection});
+  for (int i = 0; i < 10; ++i) controller.step(160 * kMbps);
+  EXPECT_LT(controller.shares()[0], 1.0);
+  for (int i = 0; i < 2; ++i) controller.step(60 * kMbps);
+  EXPECT_DOUBLE_EQ(controller.shares()[0], 1.0) << "prefer peer again off-peak";
+}
+
+TEST(Controller, WeightedRttReflectsCongestion) {
+  EgressController with_protection(two_routes(),
+                                   {.policy = ShiftPolicy::kOverloadProtection});
+  EgressController static_policy(two_routes(), {.policy = ShiftPolicy::kStatic});
+  Duration protected_rtt = 0, static_rtt = 0;
+  for (int i = 0; i < 30; ++i) {
+    protected_rtt = with_protection.step(160 * kMbps).weighted_rtt;
+    static_rtt = static_policy.step(160 * kMbps).weighted_rtt;
+  }
+  EXPECT_LT(protected_rtt, static_rtt)
+      << "detouring around the congested interconnect improves latency";
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,222 @@
+// Unit-level tests for the edge-analysis sweep internals and the
+// RouteTable substrate, plus property/fuzz coverage of the coalescer and
+// the goodput solver.
+#include <gtest/gtest.h>
+
+#include "analysis/edge_analysis.h"
+#include "routing/route_table.h"
+#include "sampler/coalescer.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RouteTable.
+// ---------------------------------------------------------------------------
+
+Route mk(Relationship rel, std::vector<std::uint32_t> path, IpPrefix prefix) {
+  Route r;
+  r.prefix = prefix;
+  r.relationship = rel;
+  r.as_path = std::move(path);
+  return r;
+}
+
+TEST(RouteTable, RanksOnInstallAndMatchesLongestPrefix) {
+  RouteTable table;
+  const IpPrefix wide{0x0a000000, 8};
+  const IpPrefix narrow{0x0a420000, 16};
+  table.install({mk(Relationship::kTransit, {3356, 100}, wide),
+                 mk(Relationship::kPrivatePeer, {100}, wide)});
+  table.install({mk(Relationship::kTransit, {1299, 200}, narrow)});
+
+  const RankedRoutes* hit = table.lookup(0x0a420505);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->preferred()->prefix.length, 16);
+
+  hit = table.lookup(0x0a010101);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->preferred()->relationship, Relationship::kPrivatePeer)
+      << "install() must rank by policy";
+  EXPECT_EQ(hit->alternates(), 1);
+
+  EXPECT_EQ(table.lookup(0x0b000000), nullptr);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RouteTable, WorldRoutesAreInstallable) {
+  const World world = build_world({.seed = 3, .groups_per_continent = 5});
+  RouteTable table;
+  for (const auto& group : world.groups) {
+    std::vector<Route> routes;
+    for (const auto& rp : group.routes) routes.push_back(rp.route);
+    table.install(std::move(routes));
+  }
+  EXPECT_EQ(table.size(), world.groups.size());
+  // Every group's client space resolves to its own route set.
+  for (const auto& group : world.groups) {
+    const auto* hit = table.lookup(group.key.prefix.addr + 7);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->preferred()->prefix, group.key.prefix);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coalescer fuzz: invariants over random write patterns.
+// ---------------------------------------------------------------------------
+
+TEST(CoalescerFuzz, InvariantsHoldOverRandomSessions) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    std::vector<ResponseWrite> writes;
+    SimTime t = 0;
+    Bytes total_bytes = 0;
+    for (int i = 0; i < n; ++i) {
+      ResponseWrite w;
+      w.bytes = rng.uniform_int(100, 200000);
+      w.last_packet_bytes = std::min<Bytes>(w.bytes, rng.uniform_int(1, 1440));
+      w.wnic = rng.uniform_int(1440, 144000);
+      w.first_byte_nic = t;
+      w.last_byte_nic = t + rng.uniform(0, 0.01);
+      w.second_last_ack = w.last_byte_nic + rng.uniform(0, 0.5);
+      w.last_ack = w.second_last_ack + rng.uniform(0, 0.1);
+      w.multiplexed = rng.bernoulli(0.15);
+      w.preempted = rng.bernoulli(0.05);
+      total_bytes += w.bytes;
+      t = w.last_byte_nic + (rng.bernoulli(0.4) ? rng.uniform(0, 0.00004)
+                                                : rng.uniform(0.01, 2.0));
+      writes.push_back(w);
+    }
+    const auto out = coalesce_session(writes, 0.040);
+
+    // Group accounting: groups + merged writes == total writes.
+    EXPECT_EQ(static_cast<int>(out.txns.size()) + out.ineligible_groups +
+                  out.coalesced_writes,
+              n);
+    Bytes seen = 0;
+    for (const auto& txn : out.txns) {
+      // Adjusted byte counts are bounded by the raw session volume.
+      EXPECT_GE(txn.btotal, 0);
+      EXPECT_LE(txn.btotal, total_bytes);
+      EXPECT_EQ(txn.min_rtt, 0.040);
+      EXPECT_GT(txn.wnic, 0);
+      seen += txn.btotal;
+    }
+    EXPECT_LE(seen, total_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver properties under fuzzed inputs.
+// ---------------------------------------------------------------------------
+
+TEST(SolverFuzz, EstimateMonotoneNonIncreasingInTtotal) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    TxnTiming txn;
+    txn.btotal = rng.uniform_int(1440, 2000000);
+    txn.wnic = rng.uniform_int(1440, 100000);
+    txn.min_rtt = rng.uniform(0.005, 0.3);
+    double prev = 1e18;
+    for (double factor : {0.5, 1.0, 2.0, 5.0, 20.0}) {
+      txn.ttotal = txn.min_rtt * factor + to_bits(txn.btotal) / 50e6;
+      const double estimate = estimate_delivery_rate(txn);
+      EXPECT_LE(estimate, prev * 1.0001)
+          << "slower transfers cannot have higher estimates";
+      prev = estimate;
+    }
+  }
+}
+
+TEST(SolverFuzz, AchievedIffEstimateAtLeastTarget) {
+  Rng rng(78);
+  for (int trial = 0; trial < 300; ++trial) {
+    TxnTiming txn;
+    txn.btotal = rng.uniform_int(1440, 500000);
+    txn.wnic = rng.uniform_int(1440, 60000);
+    txn.min_rtt = rng.uniform(0.01, 0.2);
+    txn.ttotal = rng.uniform(txn.min_rtt, 5.0);
+    const double estimate = estimate_delivery_rate(txn);
+    const bool hd = achieved_rate(txn, 2.5e6);
+    if (estimate > 2.51e6) {
+      EXPECT_TRUE(hd);
+    }
+    if (estimate < 2.49e6) {
+      EXPECT_FALSE(hd);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-analysis plumbing on a tiny deterministic world.
+// ---------------------------------------------------------------------------
+
+class EdgeAnalysisSmall : public ::testing::Test {
+ protected:
+  static EdgeAnalysisResult run(double continuous_opportunity) {
+    WorldConfig wc;
+    wc.seed = 99;
+    wc.groups_per_continent = 1;
+    wc.days = 1;
+    wc.dest_diurnal_fraction = 0;
+    wc.route_diurnal_fraction = 0;
+    wc.episodic_fraction = 0;
+    wc.continuous_opportunity_fraction = continuous_opportunity;
+    const World world = build_world(wc);
+    DatasetConfig dc;
+    dc.seed = 99;
+    dc.days = 1;
+    dc.session_scale = 0.5;
+    return run_edge_analysis(world, dc);
+  }
+};
+
+TEST_F(EdgeAnalysisSmall, Table1GroupFractionsSumToOnePerScope) {
+  const auto result = run(0.0);
+  for (const AnalysisKind kind :
+       {AnalysisKind::kDegradationRtt, AnalysisKind::kOpportunityRtt}) {
+    double sum = 0;
+    for (const auto& [key, cell] : result.table1) {
+      const auto& [k, t, cls, scope] = key;
+      if (k == kind && t == 0 && scope == -1) sum += cell.group_traffic;
+    }
+    if (sum > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(kind);
+    }
+  }
+}
+
+TEST_F(EdgeAnalysisSmall, EventTrafficNeverExceedsGroupTraffic) {
+  const auto result = run(1.0);
+  for (const auto& [key, cell] : result.table1) {
+    EXPECT_LE(cell.event_traffic, cell.group_traffic + 1e-9);
+    EXPECT_GE(cell.event_traffic, 0.0);
+  }
+}
+
+TEST_F(EdgeAnalysisSmall, Fig10PopulatedWhenPeerAndTransitCoexist) {
+  const auto result = run(0.0);
+  // The seed-99 world has peer-preferred groups with transit alternates in
+  // most continents; the peer-vs-transit CDF must have data.
+  EXPECT_FALSE(result.fig10_peer_vs_transit.empty());
+}
+
+TEST_F(EdgeAnalysisSmall, Table2OnlyPopulatedWithOpportunity) {
+  const auto without = run(0.0);
+  const auto with = run(1.0);
+  double without_total = 0, with_total = 0;
+  for (const auto& [pair, row] : without.table2_rtt) without_total += row.absolute;
+  for (const auto& [pair, row] : with.table2_rtt) with_total += row.absolute;
+  EXPECT_GT(with_total, without_total);
+  for (const auto& [pair, row] : with.table2_rtt) {
+    EXPECT_GE(row.longer, 0.0);
+    EXPECT_LE(row.longer, 1.0);
+    EXPECT_GE(row.prepended, 0.0);
+    EXPECT_LE(row.prepended, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,186 @@
+// Assorted edge-case coverage across modules: cancellation corner cases,
+// empty merges, copy semantics the generator relies on, and degenerate
+// configurations.
+#include <gtest/gtest.h>
+
+#include "netsim/simulator.h"
+#include "sampler/sampler.h"
+#include "stats/tdigest.h"
+#include "tcp/fluid_model.h"
+#include "workload/generator.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator cancellation corner cases.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorEdge, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(424242);
+  bool ran = false;
+  sim.schedule(0.1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorEdge, CancelAfterExecutionIsNoOp) {
+  Simulator sim;
+  const auto id = sim.schedule(0.1, [] {});
+  sim.run();
+  sim.cancel(id);  // already fired; must not affect later events
+  bool ran = false;
+  sim.schedule(0.1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorEdge, CancelFromInsideEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  const auto second = sim.schedule(0.2, [&] { second_ran = true; });
+  sim.schedule(0.1, [&] { sim.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SimulatorEdge, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule(0.5, [&] {
+    sim.schedule(0.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// TDigest degenerate merges.
+// ---------------------------------------------------------------------------
+
+TEST(TDigestEdge, MergeEmptyIntoPopulated) {
+  TDigest a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // merging an empty digest changes nothing
+  EXPECT_DOUBLE_EQ(a.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 1.5);
+}
+
+TEST(TDigestEdge, MergePopulatedIntoEmpty) {
+  TDigest a, b;
+  b.add(7.0, 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 7.0);
+}
+
+TEST(TDigestEdge, IdenticalValuesStayExact) {
+  TDigest d(100);
+  for (int i = 0; i < 10000; ++i) d.add(5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.01), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 5.0);
+  // Size bound still honored (the scale function caps centroid mass even
+  // for identical values, so the count is > 1 but bounded).
+  EXPECT_LE(d.centroids().size(), 220u);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler degenerate configurations.
+// ---------------------------------------------------------------------------
+
+TEST(SamplerEdge, PreferredFractionOneNeverUsesAlternates) {
+  SamplerConfig cfg;
+  cfg.preferred_fraction = 1.0;
+  SessionSampler sampler(cfg);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(sampler.choose_route(SessionId{i}, 3), 0);
+  }
+}
+
+TEST(SamplerEdge, ZeroAlternatesConfigured) {
+  SamplerConfig cfg;
+  cfg.num_alternates = 0;
+  SessionSampler sampler(cfg);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.choose_route(SessionId{i}, 3), 0);
+  }
+}
+
+TEST(SamplerEdge, SampleRateZeroAndOne) {
+  SessionSampler never({.sample_rate = 0.0});
+  SessionSampler always({.sample_rate = 1.0});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(never.should_sample(SessionId{i}));
+    EXPECT_TRUE(always.should_sample(SessionId{i}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FluidTcpConnection copy semantics (the generator's trial/commit pattern).
+// ---------------------------------------------------------------------------
+
+TEST(FluidEdge, TrialCopyDoesNotAdvanceOriginal) {
+  PathConditions path;
+  path.min_rtt = 0.05;
+  path.bottleneck = 1e7;
+  FluidTcpConnection original({}, 9);
+  const double cwnd_before = original.cwnd_packets();
+
+  FluidTcpConnection trial = original;
+  trial.transfer(100 * 1440, 0, path);
+  EXPECT_DOUBLE_EQ(original.cwnd_packets(), cwnd_before);
+  EXPECT_GT(trial.cwnd_packets(), cwnd_before);
+
+  // Determinism: two trials from the same original produce identical
+  // results (the RNG state copies too).
+  FluidTcpConnection trial2 = original;
+  const auto a = FluidTcpConnection(trial2).transfer(100 * 1440, 0, path);
+  const auto b = trial2.transfer(100 * 1440, 0, path);
+  EXPECT_DOUBLE_EQ(a.full_duration, b.full_duration);
+}
+
+// ---------------------------------------------------------------------------
+// Generator degenerate configurations.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorEdge, ZeroScaleProducesNoSessions) {
+  const World world = build_world({.seed = 3, .groups_per_continent = 1});
+  DatasetConfig dc;
+  dc.days = 1;
+  dc.session_scale = 0.0;
+  DatasetGenerator generator(world, dc);
+  int sessions = 0;
+  generator.generate([&](const SessionSample&) { ++sessions; });
+  EXPECT_EQ(sessions, 0);
+}
+
+TEST(GeneratorEdge, SingleTransactionSessionsWellFormed) {
+  // Force duration tails off: every session still yields exactly the
+  // planned number of writes with consistent timestamps.
+  const World world = build_world({.seed = 4, .groups_per_continent = 1});
+  DatasetConfig dc;
+  dc.days = 1;
+  dc.session_scale = 0.02;
+  DatasetGenerator generator(world, dc);
+  TrafficModel traffic(4);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    SessionSpec spec;
+    spec.id = SessionId{static_cast<std::uint64_t>(i)};
+    spec.version = HttpVersion::kHttp1_1;
+    spec.duration = 1.0;
+    spec.transactions = {{0.1, 5000, 16}};
+    const auto sample =
+        generator.run_session(world.groups[0], spec, 0, 100.0, rng);
+    ASSERT_EQ(sample.writes.size(), 1u);
+    EXPECT_EQ(sample.total_bytes, 5000);
+    EXPECT_EQ(sample.num_transactions, 1);
+    EXPECT_GT(sample.min_rtt, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,337 @@
+// Tests for the extension substrates: traffic policer, CUBIC + HyStart,
+// split-TCP PEP, multi-rate ladder, mean-aggregation ablation, bootstrap
+// CIs, and the Karn's-rule regression.
+#include <gtest/gtest.h>
+
+#include "agg/comparison.h"
+#include "goodput/rate_ladder.h"
+#include "stats/bootstrap.h"
+#include "stats/quantiles.h"
+#include "tcp/pep.h"
+#include "tcp/tcp.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Bytes kMss = 1440;
+
+// ---------------------------------------------------------------------------
+// Token-bucket policer.
+// ---------------------------------------------------------------------------
+
+TEST(Policer, CapsSustainedRate) {
+  // Drive 4 Mbps of packets through a 1 Mbps policer for 10 s: roughly a
+  // quarter should survive.
+  Simulator sim;
+  Bytes delivered = 0;
+  Link link(sim, {.delay = 0.001, .policer_rate = 1e6, .policer_burst = 15000},
+            [&](const Packet& p) { delivered += p.wire_size(); });
+  Packet p;
+  p.payload = 1460;
+  for (int i = 0; i < 3333; ++i) {  // 1500 B every 3 ms = 4 Mbps
+    sim.schedule(i * 0.003, [&link, p] { link.send(p); });
+  }
+  sim.run();
+  const double delivered_rate = to_bits(delivered) / 10.0;
+  EXPECT_NEAR(delivered_rate, 1e6, 0.15e6);
+  EXPECT_GT(link.packets_dropped_policer(), 2000u);
+}
+
+TEST(Policer, BurstWithinBucketPasses) {
+  Simulator sim;
+  int delivered = 0;
+  Link link(sim, {.delay = 0.001, .policer_rate = 1e6, .policer_burst = 20000},
+            [&](const Packet&) { ++delivered; });
+  Packet p;
+  p.payload = 1460;
+  for (int i = 0; i < 13; ++i) link.send(p);  // 19.5 KB burst < 20 KB bucket
+  sim.run();
+  EXPECT_EQ(delivered, 13);
+  EXPECT_EQ(link.packets_dropped_policer(), 0u);
+}
+
+TEST(Policer, PolicedTcpFlowGetsNonHdGoodput) {
+  // §4: traffic policing is a key cause of non-HD goodput. A TCP flow
+  // through a 1.5 Mbps policer must complete (loss recovery) but deliver
+  // well below an unpoliced flow.
+  auto run = [](BitsPerSecond policer) {
+    Simulator sim;
+    LinkConfig forward{.rate = 50e6, .delay = 0.025, .queue_capacity = 1 << 20,
+                       .policer_rate = policer, .policer_burst = 30000};
+    TcpConnection conn(sim, {}, forward, {.rate = 0, .delay = 0.025}, 3);
+    Duration duration = -1;
+    conn.sender().write(300 * kMss, [&](const TransferReport& r) {
+      duration = r.full_duration();
+    });
+    sim.run_until(3600.0);
+    return duration;
+  };
+  const Duration unpoliced = run(0);
+  const Duration policed = run(1.5e6);
+  ASSERT_GT(unpoliced, 0);
+  ASSERT_GT(policed, 0) << "policed flow must still complete";
+  EXPECT_GT(policed, 3 * unpoliced);
+  // Achieved rate under policing is below HD.
+  EXPECT_LT(to_bits(300 * kMss) / policed, 2.5e6);
+}
+
+// ---------------------------------------------------------------------------
+// CUBIC + HyStart.
+// ---------------------------------------------------------------------------
+
+TransferReport transfer_with(TcpConfig tcp, LinkConfig forward, Bytes size,
+                             std::uint64_t seed = 5) {
+  Simulator sim;
+  TcpConnection conn(sim, tcp, forward, {.rate = 0, .delay = forward.delay}, seed);
+  conn.handshake();
+  TransferReport report;
+  conn.sender().write(size, [&](const TransferReport& r) { report = r; });
+  sim.run_until(3600.0);
+  return report;
+}
+
+TEST(Cubic, CompletesAndRecoversFromLoss) {
+  TcpConfig cubic;
+  cubic.congestion_control = CongestionControl::kCubic;
+  const auto r = transfer_with(
+      cubic, {.rate = 1e7, .delay = 0.020, .queue_capacity = 1 << 20, .loss_rate = 0.01},
+      400 * kMss, 11);
+  EXPECT_EQ(r.bytes, 400 * kMss);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+TEST(Cubic, SlowStartIdenticalToRenoWithoutLoss) {
+  // Before any congestion event both algorithms are in slow start; a
+  // transfer that finishes there takes the same time.
+  TcpConfig reno;
+  TcpConfig cubic;
+  cubic.congestion_control = CongestionControl::kCubic;
+  LinkConfig forward{.rate = 1e9, .delay = 0.030};
+  const auto a = transfer_with(reno, forward, 70 * kMss);
+  const auto b = transfer_with(cubic, forward, 70 * kMss);
+  EXPECT_NEAR(a.full_duration(), b.full_duration(), 1e-6);
+}
+
+TEST(Cubic, RecoveryMilderThanReno) {
+  // Same deterministic loss pattern: CUBIC's beta=0.7 cut plus its concave
+  // re-growth completes a long lossy transfer no slower than Reno.
+  TcpConfig reno;
+  TcpConfig cubic;
+  cubic.congestion_control = CongestionControl::kCubic;
+  LinkConfig lossy{.rate = 2e7, .delay = 0.030, .queue_capacity = 1 << 20,
+                   .loss_rate = 0.005};
+  const auto a = transfer_with(reno, lossy, 3000 * kMss, 17);
+  const auto b = transfer_with(cubic, lossy, 3000 * kMss, 17);
+  ASSERT_GT(a.full_duration(), 0);
+  ASSERT_GT(b.full_duration(), 0);
+  EXPECT_LT(b.full_duration(), a.full_duration() * 1.1);
+}
+
+TEST(Hystart, ExitsSlowStartOnQueueBuildup) {
+  // A small bottleneck queue builds delay during slow start; HyStart
+  // should cap the window before a loss forces it.
+  TcpConfig hystart;
+  hystart.congestion_control = CongestionControl::kCubic;
+  hystart.hystart = true;
+  TcpConfig plain;
+  plain.congestion_control = CongestionControl::kCubic;
+
+  LinkConfig bottleneck{.rate = 4e6, .delay = 0.040, .queue_capacity = 1 << 20};
+  Simulator sim1, sim2;
+  TcpConnection with(sim1, hystart, bottleneck, {.rate = 0, .delay = 0.040}, 2);
+  TcpConnection without(sim2, plain, bottleneck, {.rate = 0, .delay = 0.040}, 2);
+  with.handshake();
+  without.handshake();
+  bool done1 = false, done2 = false;
+  with.sender().write(800 * kMss, [&](const TransferReport&) { done1 = true; });
+  without.sender().write(800 * kMss, [&](const TransferReport&) { done2 = true; });
+  sim1.run_until(600.0);
+  sim2.run_until(600.0);
+  ASSERT_TRUE(done1);
+  ASSERT_TRUE(done2);
+  // The HyStart sender leaves slow start early (smaller final window or
+  // explicit exit); at minimum it must not be in slow start at the end
+  // while the plain sender ballooned its window.
+  EXPECT_FALSE(with.sender().in_slow_start());
+}
+
+// ---------------------------------------------------------------------------
+// Karn's rule regression (go-back-N resends must not produce RTT samples).
+// ---------------------------------------------------------------------------
+
+TEST(Karn, SpuriousRtoDoesNotPolluteMinRtt) {
+  // A deep-queue 1 Mbps bottleneck delays packets far beyond the initial
+  // RTO; originals eventually arrive and ACK the go-back-N resends almost
+  // instantly. MinRTT must never drop below the propagation delay.
+  Simulator sim;
+  LinkConfig forward{.rate = 1e6, .delay = 0.060, .queue_capacity = 2 << 20};
+  TcpConnection conn(sim, {}, forward, {.rate = 0, .delay = 0.060}, 7);
+  conn.handshake();
+  bool done = false;
+  conn.sender().write(300 * kMss, [&](const TransferReport&) { done = true; });
+  sim.run_until(3600.0);
+  ASSERT_TRUE(done);
+  EXPECT_GE(conn.sender().min_rtt().lifetime_min(), 0.120 - 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Split-TCP PEP (§2.2.1).
+// ---------------------------------------------------------------------------
+
+TEST(Pep, RelaysAllBytesEndToEnd) {
+  Simulator sim;
+  SplitTcpPep pep(sim, {}, {.rate = 1e8, .delay = 0.010}, {.rate = 0, .delay = 0.010},
+                  {.rate = 5e6, .delay = 0.150, .queue_capacity = 1 << 20},
+                  {.rate = 0, .delay = 0.150});
+  bool server_done = false;
+  pep.server_sender().write(200 * kMss,
+                            [&](const TransferReport&) { server_done = true; });
+  sim.run_until(600.0);
+  EXPECT_TRUE(server_done);
+  EXPECT_EQ(pep.client_bytes(), 200 * kMss);
+  EXPECT_EQ(pep.proxy_buffered(), 0);
+}
+
+TEST(Pep, ServerSideMeasurementsReflectProxySegmentOnly) {
+  // WAN segment: 20 ms, fast. Last mile: 300 ms, 2 Mbps (satellite-like).
+  Simulator sim;
+  SplitTcpPep pep(sim, {}, {.rate = 1e8, .delay = 0.010}, {.rate = 0, .delay = 0.010},
+                  {.rate = 2e6, .delay = 0.150, .queue_capacity = 1 << 20},
+                  {.rate = 0, .delay = 0.150});
+  pep.wan().handshake();
+  TransferReport server_view;
+  bool done = false;
+  pep.server_sender().write(100 * kMss, [&](const TransferReport& r) {
+    server_view = r;
+    done = true;
+  });
+  sim.run_until(600.0);
+  ASSERT_TRUE(done);
+
+  // The server measures the 20 ms proxy RTT, not the 320 ms end-to-end RTT.
+  EXPECT_LT(server_view.min_rtt, 0.040);
+  // And its goodput view is far faster than actual client delivery.
+  const Duration end_to_end = pep.client_last_delivery() - server_view.first_byte_sent;
+  EXPECT_GT(end_to_end, 2 * server_view.full_duration());
+}
+
+// ---------------------------------------------------------------------------
+// Rate ladder.
+// ---------------------------------------------------------------------------
+
+TEST(RateLadder, GatesEachRungIndependently) {
+  RateLadderEvaluator ladder(default_video_ladder());
+  // 60 ms RTT, 24 KB response from a 14.4 KB window: Gtestable = 2.8 Mbps
+  // (tests audio/sd/hd but not fhd/uhd); delivered in 2 RTTs -> achieves.
+  ladder.evaluate({24 * 1500, 0.120, 15000, 0.060});
+  const auto& rungs = ladder.results();
+  ASSERT_EQ(rungs.size(), 5u);
+  EXPECT_EQ(rungs[0].tested, 1);  // audio
+  EXPECT_EQ(rungs[1].tested, 1);  // sd
+  EXPECT_EQ(rungs[2].tested, 1);  // hd
+  EXPECT_EQ(rungs[3].tested, 0);  // fhd: Gtestable below 5 Mbps
+  EXPECT_EQ(rungs[4].tested, 0);
+  EXPECT_EQ(rungs[2].achieved, 1);
+}
+
+TEST(RateLadder, SlowTransferFailsHighRungsOnly) {
+  RateLadderEvaluator ladder(default_video_ladder());
+  // Large response, generous window, but delivered at ~1.6 Mbps.
+  const Bytes size = 200 * 1500;
+  const Duration ttotal = to_bits(size) / 1.6e6 + 0.060;
+  ladder.evaluate({size, ttotal, 100 * 1500, 0.060});
+  const auto& rungs = ladder.results();
+  EXPECT_EQ(rungs[1].achieved, 1) << "1.1 Mbps SD sustained";
+  EXPECT_EQ(rungs[2].achieved, 0) << "2.5 Mbps HD not sustained";
+  EXPECT_EQ(ladder.highest_sustained(), 1);
+}
+
+TEST(RateLadder, HighestSustainedEmptyWhenNothingTested) {
+  RateLadderEvaluator ladder(default_video_ladder());
+  EXPECT_EQ(ladder.highest_sustained(), -1);
+  // 500 B at 60 ms tests for only 67 kbps — below even the audio rung.
+  ladder.evaluate({500, 0.060, 15000, 0.060});
+  EXPECT_EQ(ladder.highest_sustained(), -1);
+  // 1.2 KB tests for 160 kbps: the audio rung becomes testable and passes.
+  ladder.evaluate({1200, 0.065, 15000, 0.060});
+  EXPECT_EQ(ladder.highest_sustained(), 0);
+}
+
+TEST(RateLadder, ResetClearsTallies) {
+  RateLadderEvaluator ladder(default_video_ladder());
+  ladder.evaluate({24 * 1500, 0.120, 15000, 0.060});
+  ladder.reset();
+  for (const auto& rung : ladder.results()) EXPECT_EQ(rung.tested, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Mean-aggregation ablation (footnote 10).
+// ---------------------------------------------------------------------------
+
+TEST(MeanComparison, AgreesWithMedianOnSymmetricData) {
+  RouteWindowAgg a, b;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    a.add_session(0.060 + rng.normal(0, 0.002), 0.9, 1000);
+    b.add_session(0.050 + rng.normal(0, 0.002), 0.9, 1000);
+  }
+  const auto by_median = compare_minrtt(a, b, {});
+  const auto by_mean = compare_minrtt_mean(a, b, {});
+  ASSERT_TRUE(by_median.valid());
+  ASSERT_TRUE(by_mean.valid());
+  EXPECT_NEAR(by_mean.diff.estimate, by_median.diff.estimate, 0.002);
+  EXPECT_EQ(by_mean.exceeds(0.005), by_median.exceeds(0.005));
+}
+
+TEST(MeanComparison, TailSkewMovesMeanNotMedian) {
+  // §3.3: tail MinRTT values reach seconds (bufferbloat); medians resist,
+  // means do not — the reason the paper aggregates to percentiles.
+  RouteWindowAgg skewed, clean;
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const bool tail = i % 20 == 0;  // 5% bufferbloated sessions
+    skewed.add_session(tail ? 2.0 : 0.050 + rng.normal(0, 0.002), 0.9, 1000);
+    clean.add_session(0.050 + rng.normal(0, 0.002), 0.9, 1000);
+  }
+  const auto by_median = compare_minrtt(skewed, clean, {});
+  ASSERT_TRUE(by_median.valid());
+  EXPECT_LT(std::abs(by_median.diff.estimate), 0.003) << "median barely moves";
+  const auto by_mean = compare_minrtt_mean(skewed, clean, {});
+  // The mean shifts ~100 ms; the CI is far too wide to be valid.
+  EXPECT_FALSE(by_mean.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap cross-check.
+// ---------------------------------------------------------------------------
+
+TEST(Bootstrap, MedianCiMatchesClosedForm) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.lognormal(std::log(40.0), 0.4));
+  const auto closed = median_confidence_interval(xs);
+  const auto boot = bootstrap_ci(
+      xs, [](std::vector<double>& v) { return median(std::move(v)); }, 800);
+  EXPECT_NEAR(boot.estimate, closed.estimate, 1e-9);
+  EXPECT_NEAR(boot.lower, closed.lower, 0.15 * closed.estimate);
+  EXPECT_NEAR(boot.upper, closed.upper, 0.15 * closed.estimate);
+}
+
+TEST(Bootstrap, MedianDifferenceMatchesPriceBonett) {
+  Rng rng(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.normal(60, 6));
+    b.push_back(rng.normal(50, 6));
+  }
+  const auto pb = median_difference_interval(a, b);
+  const auto boot = bootstrap_median_difference(a, b, 800);
+  EXPECT_NEAR(boot.estimate, pb.estimate, 1e-9);
+  EXPECT_NEAR(boot.lower, pb.lower, 1.5);
+  EXPECT_NEAR(boot.upper, pb.upper, 1.5);
+  EXPECT_GT(boot.lower, 5.0);  // both methods confirm the 10-unit shift
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,112 @@
+// Cross-substrate fidelity: the measurement pipeline must reach the same
+// conclusions whether traffic came from the fluid model or the
+// packet-level TCP stack (the licensing condition for using the fluid
+// model at dataset scale).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/session_metrics.h"
+#include "stats/cdf.h"
+#include "workload/generator.h"
+#include "workload/packet_generator.h"
+
+namespace fbedge {
+namespace {
+
+class FidelityTest : public ::testing::Test {
+ protected:
+  struct SubstrateStats {
+    WeightedCdf rtt;
+    int tested{0};
+    int hd_zero{0};
+    int hd_one{0};
+  };
+
+  static void run(SubstrateStats& fluid, SubstrateStats& packet, int per_group) {
+    WorldConfig wc;
+    wc.seed = 77;
+    wc.groups_per_continent = 1;
+    wc.dest_diurnal_fraction = 0;
+    wc.route_diurnal_fraction = 0;
+    wc.episodic_fraction = 0;
+    wc.continuous_opportunity_fraction = 0;
+    const World world = build_world(wc);
+    DatasetConfig dc;
+    dc.seed = 77;
+    dc.hosting_fraction = 0;
+    dc.bufferbloat_fraction = 0;
+    DatasetGenerator generator(world, dc);
+    TrafficModel traffic(77);
+
+    std::uint64_t seq = 0;
+    for (const auto& group : world.groups) {
+      Rng rng(hash_mix(77 ^ group.key.prefix.addr));
+      for (int s = 0; s < per_group; ++s) {
+        const SessionSpec spec = traffic.make_session(SessionId{seq++}, rng);
+        const SimTime start = rng.uniform(0.0, 900.0);
+        Rng fluid_rng = rng.fork();
+        Rng packet_rng = fluid_rng;
+        const auto fs = generator.run_session(group, spec, 0, start, fluid_rng);
+        const auto ps = run_packet_session(group, spec, 0, start, packet_rng);
+        tally(fluid, fs);
+        tally(packet, ps);
+      }
+    }
+  }
+
+  static void tally(SubstrateStats& stats, const SessionSample& sample) {
+    const SessionMetrics m = compute_session_metrics(sample);
+    stats.rtt.add(m.min_rtt);
+    if (!m.hdratio) return;
+    ++stats.tested;
+    if (*m.hdratio <= 0.0) ++stats.hd_zero;
+    if (*m.hdratio >= 1.0) ++stats.hd_one;
+  }
+};
+
+TEST_F(FidelityTest, SubstratesAgreeOnHeadlineMetrics) {
+  SubstrateStats fluid, packet;
+  run(fluid, packet, 80);
+  ASSERT_GT(fluid.tested, 100);
+  ASSERT_GT(packet.tested, 100);
+
+  // MinRTT medians within 15%: both substrates see the same propagation
+  // floor plus jitter.
+  const double fluid_p50 = fluid.rtt.quantile(0.5);
+  const double packet_p50 = packet.rtt.quantile(0.5);
+  EXPECT_NEAR(packet_p50, fluid_p50, 0.15 * fluid_p50);
+
+  // HDratio verdict shares within 10 percentage points.
+  const double fluid_zero = static_cast<double>(fluid.hd_zero) / fluid.tested;
+  const double packet_zero = static_cast<double>(packet.hd_zero) / packet.tested;
+  EXPECT_NEAR(packet_zero, fluid_zero, 0.10);
+
+  const double fluid_one = static_cast<double>(fluid.hd_one) / fluid.tested;
+  const double packet_one = static_cast<double>(packet.hd_one) / packet.tested;
+  EXPECT_NEAR(packet_one, fluid_one, 0.15);
+}
+
+TEST_F(FidelityTest, PacketSessionsAreWellFormedSamples) {
+  const World world = build_world({.seed = 5, .groups_per_continent = 1});
+  TrafficModel traffic(5);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto spec = traffic.make_session(SessionId{static_cast<std::uint64_t>(i)}, rng);
+    const auto s = run_packet_session(world.groups[0], spec, 0, 10.0, rng);
+    EXPECT_EQ(s.writes.size(), spec.transactions.size());
+    EXPECT_GT(s.min_rtt, 0);
+    EXPECT_LE(s.busy_time, s.duration + 1e-9);
+    Bytes total = 0;
+    for (const auto& w : s.writes) {
+      EXPECT_GE(w.last_ack, w.first_byte_nic);
+      EXPECT_GT(w.wnic, 0);
+      total += w.bytes;
+    }
+    EXPECT_EQ(total, s.total_bytes);
+    EXPECT_EQ(total, spec.total_response_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,186 @@
+// Tests for the analytic fluid TCP model, including cross-validation
+// against the packet-level simulator on overlapping configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/welford.h"
+#include "tcp/fluid_model.h"
+#include "tcp/tcp.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Bytes kMss = 1440;
+
+PathConditions clean_path(Duration rtt, BitsPerSecond bw) {
+  PathConditions p;
+  p.min_rtt = rtt;
+  p.bottleneck = bw;
+  p.loss_rate = 0;
+  p.jitter = 0;
+  return p;
+}
+
+TEST(MathisRate, MatchesFormula) {
+  // MSS*8 / (RTT * sqrt(2p/3))
+  const double r = mathis_rate(1440, 0.05, 0.01);
+  EXPECT_NEAR(r, 1440 * 8 / (0.05 * std::sqrt(2 * 0.01 / 3)), 1);
+  EXPECT_TRUE(std::isinf(mathis_rate(1440, 0.05, 0.0)));
+}
+
+TEST(MathisRate, DecreasesWithLossAndRtt) {
+  EXPECT_GT(mathis_rate(1440, 0.05, 0.001), mathis_rate(1440, 0.05, 0.01));
+  EXPECT_GT(mathis_rate(1440, 0.02, 0.01), mathis_rate(1440, 0.08, 0.01));
+}
+
+TEST(Fluid, SingleWindowTransferTakesOneRtt) {
+  FluidTcpConnection conn({}, 1);
+  const auto t = conn.transfer(8 * kMss, 0.0, clean_path(0.050, 1e9));
+  EXPECT_NEAR(t.full_duration, 0.050, 0.002);
+  EXPECT_EQ(t.wnic, 10 * kMss);
+  EXPECT_EQ(t.loss_events, 0u);
+}
+
+TEST(Fluid, SlowStartRoundsMatchIdealGrowth) {
+  // 70 packets from IW10 under no bottleneck: rounds of 10/20/40 = 3 RTTs.
+  FluidTcpConnection conn({}, 1);
+  const auto t = conn.transfer(70 * kMss, 0.0, clean_path(0.060, 1e9));
+  EXPECT_NEAR(t.full_duration, 3 * 0.060, 0.005);
+}
+
+TEST(Fluid, BottleneckDominatesLargeTransfer) {
+  FluidTcpConnection conn({}, 1);
+  const Bytes size = 500 * kMss;
+  const auto t = conn.transfer(size, 0.0, clean_path(0.040, 4e6));
+  // Serialization floor: size/rate.
+  EXPECT_GE(t.full_duration, to_bits(size) / 4e6 * 0.9);
+  // And not absurdly slower (a few slow-start RTTs + drain + final RTT).
+  EXPECT_LE(t.full_duration, to_bits(size) / 4e6 + 10 * 0.040);
+}
+
+TEST(Fluid, AdjustedDurationExcludesLastPacket) {
+  FluidTcpConnection conn({}, 1);
+  const auto t = conn.transfer(30 * kMss, 0.0, clean_path(0.050, 3e6));
+  EXPECT_LT(t.adjusted_duration, t.full_duration);
+  EXPECT_EQ(t.adjusted_bytes(), 29 * kMss);
+}
+
+TEST(Fluid, SinglePacketAdjustedEqualsFull) {
+  FluidTcpConnection conn({}, 1);
+  const auto t = conn.transfer(800, 0.0, clean_path(0.050, 1e7));
+  EXPECT_DOUBLE_EQ(t.adjusted_duration, t.full_duration);
+  EXPECT_EQ(t.last_packet_bytes, 800);
+}
+
+TEST(Fluid, WindowPersistsAcrossBackToBackTransfers) {
+  FluidTcpConnection conn({}, 1);
+  conn.transfer(40 * kMss, 0.0, clean_path(0.050, 1e9));
+  EXPECT_GT(conn.cwnd_packets(), 10.0);
+  const auto t2 = conn.transfer(30 * kMss, 0.2, clean_path(0.050, 1e9));
+  EXPECT_GT(t2.wnic, 10 * kMss);
+  // Fits in the grown window: one RTT.
+  EXPECT_NEAR(t2.full_duration, 0.050, 0.005);
+}
+
+TEST(Fluid, IdleRestartResetsWindow) {
+  FluidTcpConnection::Config cfg;
+  cfg.idle_restart = true;
+  cfg.idle_restart_after = 1.0;
+  FluidTcpConnection conn(cfg, 1);
+  conn.transfer(100 * kMss, 0.0, clean_path(0.050, 1e9));
+  EXPECT_GT(conn.cwnd_packets(), 10.0);
+  const auto t = conn.transfer(10 * kMss, 100.0, clean_path(0.050, 1e9));
+  EXPECT_EQ(t.wnic, 10 * kMss);  // decayed back to the initial window
+}
+
+TEST(Fluid, LossSlowsTransfersDown) {
+  Welford clean_stat, lossy_stat;
+  for (int i = 0; i < 200; ++i) {
+    FluidTcpConnection a({}, 100 + i), b({}, 100 + i);
+    PathConditions lossy = clean_path(0.050, 1e7);
+    lossy.loss_rate = 0.03;
+    clean_stat.add(a.transfer(150 * kMss, 0, clean_path(0.050, 1e7)).full_duration);
+    lossy_stat.add(b.transfer(150 * kMss, 0, lossy).full_duration);
+  }
+  EXPECT_GT(lossy_stat.mean(), clean_stat.mean() * 1.2);
+}
+
+TEST(Fluid, JitterInflatesObservedRtt) {
+  PathConditions p = clean_path(0.050, 1e8);
+  p.jitter = 0.010;
+  Welford observed;
+  for (int i = 0; i < 300; ++i) {
+    FluidTcpConnection conn({}, 500 + i);
+    observed.add(conn.transfer(5 * kMss, 0, p).observed_rtt);
+  }
+  EXPECT_GE(observed.mean(), 0.050);       // never below propagation
+  EXPECT_NEAR(observed.mean(), 0.060, 0.004);  // + mean jitter
+}
+
+TEST(Fluid, MonotoneInSize) {
+  Duration prev = 0;
+  for (Bytes pkts = 5; pkts <= 2000; pkts *= 2) {
+    FluidTcpConnection conn({}, 1);
+    const auto t = conn.transfer(pkts * kMss, 0, clean_path(0.040, 5e6));
+    EXPECT_GT(t.full_duration, prev);
+    prev = t.full_duration;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation: fluid vs packet-level simulator on clean paths.
+// ---------------------------------------------------------------------------
+
+struct CrossCase {
+  double bw_mbps;
+  double rtt_ms;
+  int size_pkts;
+};
+
+class FluidVsPacket : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(FluidVsPacket, DurationsAgreeWithinTolerance) {
+  const auto& p = GetParam();
+
+  // Packet-level ground truth.
+  Simulator sim;
+  TcpConfig tcp;
+  LinkConfig forward{.rate = p.bw_mbps * 1e6,
+                     .delay = p.rtt_ms * 1e-3 / 2,
+                     .queue_capacity = 1 << 21};
+  TcpConnection conn(sim, tcp, forward, {.rate = 0, .delay = p.rtt_ms * 1e-3 / 2});
+  Duration packet_duration = -1;
+  conn.sender().write(static_cast<Bytes>(p.size_pkts) * kMss,
+                      [&](const TransferReport& r) {
+                        packet_duration = r.adjusted_duration();
+                      });
+  sim.run_until(600.0);
+  ASSERT_GT(packet_duration, 0);
+
+  // Fluid model.
+  FluidTcpConnection fluid({}, 1);
+  const auto t = fluid.transfer(static_cast<Bytes>(p.size_pkts) * kMss, 0,
+                                clean_path(p.rtt_ms * 1e-3, p.bw_mbps * 1e6));
+
+  // Compare the §3.2.5-adjusted durations: the final packet's ACK can sit
+  // behind the delayed-ACK timer in the packet simulation (the very effect
+  // the adjustment removes). Agreement within 35% or one RTT, whichever is
+  // larger — the fluid model idealizes ACK clocking.
+  const double tolerance = std::max(0.35 * packet_duration, p.rtt_ms * 1e-3);
+  EXPECT_NEAR(t.adjusted_duration, packet_duration, tolerance)
+      << "bw=" << p.bw_mbps << " rtt=" << p.rtt_ms << " size=" << p.size_pkts;
+}
+
+std::vector<CrossCase> cross_grid() {
+  std::vector<CrossCase> cases;
+  for (double bw : {1.0, 2.5, 10.0})
+    for (double rtt : {20.0, 60.0, 150.0})
+      for (int size : {5, 30, 120, 400}) cases.push_back({bw, rtt, size});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FluidVsPacket, ::testing::ValuesIn(cross_grid()));
+
+}  // namespace
+}  // namespace fbedge

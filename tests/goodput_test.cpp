@@ -1,0 +1,315 @@
+// Tests for the core goodput methodology (§3.2): the ideal-conditions
+// model (Eq. 1-3), Wstart tracking, Tmodel, the achieved-rate solver, and
+// session HDratio — anchored on the paper's Figure 4 worked example.
+#include <gtest/gtest.h>
+
+#include "goodput/hdratio.h"
+#include "goodput/ideal_model.h"
+#include "goodput/tmodel.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Bytes kPkt = 1500;           // packet size in the Fig. 4 example
+constexpr Duration kRtt = 0.060;       // 60 ms
+constexpr Bytes kW10 = 10 * kPkt;      // initial window of 10 packets
+
+// ---------------------------------------------------------------------------
+// Eq. 1: m = ceil(log2(Btotal/Wstart + 1))
+// ---------------------------------------------------------------------------
+
+TEST(IdealModel, RoundsMatchesFigure4) {
+  EXPECT_EQ(ideal::rounds(2 * kPkt, kW10), 1);   // txn 1: 2 pkts, W=10
+  EXPECT_EQ(ideal::rounds(24 * kPkt, kW10), 2);  // txn 2: 24 pkts, W=10
+  EXPECT_EQ(ideal::rounds(14 * kPkt, 20 * kPkt), 1);  // txn 3: 14 pkts, W=20
+}
+
+TEST(IdealModel, RoundsBoundaries) {
+  // Exactly one window: one round.
+  EXPECT_EQ(ideal::rounds(kW10, kW10), 1);
+  // One byte more than a window: two rounds.
+  EXPECT_EQ(ideal::rounds(kW10 + 1, kW10), 2);
+  // W + 2W bytes: still two rounds; +1 byte: three.
+  EXPECT_EQ(ideal::rounds(3 * kW10, kW10), 2);
+  EXPECT_EQ(ideal::rounds(3 * kW10 + 1, kW10), 3);
+  // Tiny transfer.
+  EXPECT_EQ(ideal::rounds(1, kW10), 1);
+}
+
+TEST(IdealModel, RoundsMonotoneInSize) {
+  int prev = 0;
+  for (Bytes b = 1; b < 2000000; b = b * 3 / 2 + 1) {
+    const int m = ideal::rounds(b, kW10);
+    EXPECT_GE(m, prev) << "b=" << b;
+    prev = m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 2: WSS(n) = 2^(n-1) * Wstart
+// ---------------------------------------------------------------------------
+
+TEST(IdealModel, WindowAtRound) {
+  EXPECT_DOUBLE_EQ(ideal::window_at_round(1, kW10), 15000.0);
+  EXPECT_DOUBLE_EQ(ideal::window_at_round(2, kW10), 30000.0);
+  EXPECT_DOUBLE_EQ(ideal::window_at_round(3, kW10), 60000.0);
+}
+
+TEST(IdealModel, EndWindowDoublesPerRound) {
+  // 24 packets from W=10 takes 2 rounds; ideal end window is WSS(2) = 20 pkts.
+  EXPECT_EQ(ideal::end_window(24 * kPkt, kW10), 20 * kPkt);
+  // Single-round transfers leave the window at WSS(1) = Wstart.
+  EXPECT_EQ(ideal::end_window(2 * kPkt, kW10), kW10);
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 3: Gtestable — the Figure 4 numbers.
+// ---------------------------------------------------------------------------
+
+TEST(IdealModel, GtestableFigure4Txn1) {
+  // 2 packets / 60 ms = 0.4 Mbps.
+  EXPECT_NEAR(ideal::testable_goodput(2 * kPkt, kW10, kRtt), 0.4e6, 1e3);
+}
+
+TEST(IdealModel, GtestableFigure4Txn2) {
+  // Second RTT carries 14 packets: 14 * 1500 * 8 / 60 ms = 2.8 Mbps.
+  EXPECT_NEAR(ideal::testable_goodput(24 * kPkt, kW10, kRtt), 2.8e6, 1e3);
+}
+
+TEST(IdealModel, GtestableFigure4Txn3) {
+  // 14 packets in one RTT with W=20: 2.8 Mbps.
+  EXPECT_NEAR(ideal::testable_goodput(14 * kPkt, 20 * kPkt, kRtt), 2.8e6, 1e3);
+}
+
+TEST(IdealModel, GtestablePenultimateRoundDominatesWhenLastIsSmall) {
+  // 21 packets from W=10: m=2, rounds send 10 then 11. Penultimate window
+  // (10 pkts) < last round (11 pkts) -> 11 pkts/RTT.
+  EXPECT_NEAR(ideal::testable_goodput(21 * kPkt, kW10, kRtt),
+              to_bits(11 * kPkt) / kRtt, 1e3);
+  // 31 packets from W=10: m=3 (10+20+1). Last round has 1 packet; the
+  // penultimate round's 20 packets dominate.
+  EXPECT_NEAR(ideal::testable_goodput(31 * kPkt, kW10, kRtt),
+              to_bits(20 * kPkt) / kRtt, 1e3);
+}
+
+TEST(IdealModel, GtestableScalesInverselyWithRtt) {
+  const auto g60 = ideal::testable_goodput(24 * kPkt, kW10, 0.060);
+  const auto g30 = ideal::testable_goodput(24 * kPkt, kW10, 0.030);
+  EXPECT_NEAR(g30, 2 * g60, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Wstart tracking (§3.2.2): ideal growth, not the measured Wnic.
+// ---------------------------------------------------------------------------
+
+TEST(WstartTracker, FirstTransactionUsesWnic) {
+  ideal::WstartTracker tracker;
+  EXPECT_EQ(tracker.next(kW10, 2 * kPkt), kW10);
+}
+
+TEST(WstartTracker, SubsequentUsesIdealGrowth) {
+  ideal::WstartTracker tracker;
+  tracker.next(kW10, 2 * kPkt);            // txn 1: no growth (1 round)
+  EXPECT_EQ(tracker.next(kW10, 24 * kPkt), kW10);  // txn 2 starts at W=10
+  // Txn 3: ideal end of txn 2 is 20 pkts even if the real Wnic collapsed
+  // to 1 packet after timeouts — the paper's key correction.
+  EXPECT_EQ(tracker.next(1 * kPkt, 14 * kPkt), 20 * kPkt);
+}
+
+TEST(WstartTracker, MeasuredWnicWinsWhenLarger) {
+  ideal::WstartTracker tracker;
+  tracker.next(kW10, 2 * kPkt);  // ideal end = 10 pkts
+  // A larger measured Wnic (e.g. window inherited from a prior session
+  // phase the model didn't see) raises Wstart (footnote 4).
+  EXPECT_EQ(tracker.next(40 * kPkt, 14 * kPkt), 40 * kPkt);
+}
+
+// ---------------------------------------------------------------------------
+// Tmodel (§3.2.3).
+// ---------------------------------------------------------------------------
+
+TEST(TModel, SingleRoundClosedForm) {
+  // Response fits in Wnic: Tmodel(R) = Btotal/R + MinRTT.
+  TxnTiming txn{/*btotal=*/kW10, /*ttotal=*/0.1, /*wnic=*/kW10, /*min_rtt=*/kRtt};
+  const BitsPerSecond r = 2.5e6;
+  EXPECT_NEAR(t_model(txn, r), to_bits(kW10) / r + kRtt, 1e-9);
+}
+
+TEST(TModel, SlowStartRoundsAdded) {
+  // 36000 B from Wnic = 15000 B targeting 2.5 Mbps: window supports only
+  // 2 Mbps, so one doubling round (sending 15000 B) precedes the
+  // rate-limited remainder: 0.06 + 21000*8/2.5e6 + 0.06.
+  TxnTiming txn{36000, 0.12, 15000, kRtt};
+  EXPECT_NEAR(t_model(txn, 2.5e6), 0.06 + 21000 * 8 / 2.5e6 + 0.06, 1e-9);
+}
+
+TEST(TModel, NonIncreasingInRate) {
+  TxnTiming txn{200000, 0.5, 15000, kRtt};
+  double prev = t_model(txn, 1e5);
+  for (double r = 1.2e5; r < 1e9; r *= 1.17) {
+    const double t = t_model(txn, r);
+    EXPECT_LE(t, prev + 1e-9) << "r=" << r;
+    prev = t;
+  }
+}
+
+TEST(TModel, AchievedRateMatchesFigure4Txn2) {
+  // Ideal 2-RTT transfer of 24 packets: achieved at 2.5 Mbps.
+  TxnTiming txn{24 * kPkt, 2 * kRtt, kW10, kRtt};
+  EXPECT_TRUE(achieved_rate(txn, 2.5e6));
+}
+
+TEST(TModel, BottleneckInflatedTransferStillAchieves) {
+  // §3.2.3 example: a 3 Mbps bottleneck adds ~55 ms to txn 3 (14 packets,
+  // W=20). Naive goodput says 1.46 Mbps < 2.5, but the model recognizes the
+  // transmission time: Tmodel(2.5e6) = 21000*8/2.5e6 + 0.06 = 0.127 >= 0.115.
+  TxnTiming txn{14 * kPkt, 0.115, 20 * kPkt, kRtt};
+  EXPECT_LT(to_bits(txn.btotal) / txn.ttotal, 2.5e6);  // naive fails
+  EXPECT_TRUE(achieved_rate(txn, 2.5e6));              // model corrects
+}
+
+TEST(TModel, SlowTransferDoesNotAchieve) {
+  TxnTiming txn{14 * kPkt, 0.5, 20 * kPkt, kRtt};
+  EXPECT_FALSE(achieved_rate(txn, 2.5e6));
+}
+
+TEST(TModel, EstimateRecoversBottleneckRate) {
+  // Construct Ttotal exactly as a bottleneck of rate B would produce it;
+  // the solver must return ~B (and never above).
+  for (const double bottleneck : {0.5e6, 1e6, 2.5e6, 5e6, 20e6}) {
+    TxnTiming txn;
+    txn.btotal = 120000;
+    txn.wnic = 15000;
+    txn.min_rtt = kRtt;
+    txn.ttotal = t_model(txn, bottleneck);
+    const double estimate = estimate_delivery_rate(txn);
+    EXPECT_LE(estimate, bottleneck * 1.001) << bottleneck;
+    EXPECT_GE(estimate, bottleneck * 0.98) << bottleneck;
+  }
+}
+
+TEST(TModel, EstimateZeroForAbsurdlySlowTransfer) {
+  TxnTiming txn{1500, 1e9, 15000, kRtt};
+  EXPECT_EQ(estimate_delivery_rate(txn), 0.0);
+}
+
+TEST(TModel, EstimateCapsForImpossiblyFastTransfer) {
+  // Ttotal below one RTT: every rate is "achieved"; the solver reports the
+  // cap instead of diverging.
+  TxnTiming txn{150000, 0.01, 15000, kRtt};
+  EXPECT_EQ(estimate_delivery_rate(txn, 1e9), 1e9);
+}
+
+// ---------------------------------------------------------------------------
+// HdEvaluator / session HDratio (§3.2.4).
+// ---------------------------------------------------------------------------
+
+TEST(HdEvaluator, Figure4Session) {
+  HdEvaluator eval;
+  // Txn 1: 2 packets, cannot test for 2.5 Mbps (Gtestable = 0.4 Mbps).
+  auto v1 = eval.evaluate({2 * kPkt, kRtt, kW10, kRtt});
+  EXPECT_FALSE(v1.can_test);
+  EXPECT_NEAR(v1.gtestable, 0.4e6, 1e3);
+
+  // Txn 2: tests 2.8 Mbps and achieves it (ideal 2-RTT transfer).
+  auto v2 = eval.evaluate({24 * kPkt, 2 * kRtt, kW10, kRtt});
+  EXPECT_TRUE(v2.can_test);
+  EXPECT_TRUE(v2.achieved);
+
+  // Txn 3: Wstart = 20 pkts from ideal growth; tests and achieves.
+  auto v3 = eval.evaluate({14 * kPkt, kRtt + 0.01, kW10, kRtt});
+  EXPECT_EQ(v3.wstart, 20 * kPkt);
+  EXPECT_TRUE(v3.can_test);
+  EXPECT_TRUE(v3.achieved);
+
+  EXPECT_EQ(eval.result().tested, 2);
+  EXPECT_EQ(eval.result().achieved, 2);
+  EXPECT_DOUBLE_EQ(*eval.result().hdratio(), 1.0);
+}
+
+TEST(HdEvaluator, CollapsedWnicDoesNotHideBadPath) {
+  // §3.2.2: after timeouts the real cwnd is 1 packet, but ideal growth says
+  // the session could have a 20-packet window. The transaction must still
+  // count as testable — and a slow transfer as a failure.
+  HdEvaluator eval;
+  eval.evaluate({24 * kPkt, 2 * kRtt, kW10, kRtt});
+  auto v = eval.evaluate({14 * kPkt, 1.0, 1 * kPkt, kRtt});
+  EXPECT_TRUE(v.can_test) << "ideal Wstart must gate testing, not real Wnic";
+  EXPECT_FALSE(v.achieved);
+  EXPECT_DOUBLE_EQ(*eval.result().hdratio(), 0.5);
+}
+
+TEST(HdEvaluator, NoTestableTransactionsMeansNoSignal) {
+  HdEvaluator eval;
+  eval.evaluate({2 * kPkt, kRtt, kW10, kRtt});
+  EXPECT_FALSE(eval.result().hdratio().has_value());
+}
+
+TEST(HdEvaluator, NaiveUnderestimates) {
+  // Corrected model achieves on both transactions; the naive Btotal/Ttotal
+  // estimate fails both — the 2-RTT transfer (24 pkts / 120 ms = 2.4 Mbps)
+  // and the bottleneck-inflated one (14 pkts / 115 ms = 1.46 Mbps). This is
+  // exactly the underestimation §4 reports for the simple approach.
+  HdEvaluator eval;
+  eval.evaluate({24 * kPkt, 2 * kRtt, kW10, kRtt});          // grows window
+  eval.evaluate({14 * kPkt, 0.115, 20 * kPkt, kRtt});        // 3 Mbps bottleneck
+  EXPECT_EQ(eval.result().achieved, 2);
+  EXPECT_EQ(eval.result().achieved_naive, 0);
+  EXPECT_GT(*eval.result().hdratio(), *eval.result().hdratio_naive());
+}
+
+TEST(HdEvaluator, SkipsDegenerateTransactions) {
+  HdEvaluator eval;
+  auto v = eval.evaluate({0, 0.1, kW10, kRtt});
+  EXPECT_FALSE(v.can_test);
+  EXPECT_EQ(eval.result().tested, 0);
+}
+
+TEST(HdEvaluator, ResetClearsState) {
+  HdEvaluator eval;
+  eval.evaluate({24 * kPkt, 2 * kRtt, kW10, kRtt});
+  eval.reset();
+  EXPECT_EQ(eval.result().tested, 0);
+  // Wstart tracking restarts: next txn is "first" again.
+  auto v = eval.evaluate({14 * kPkt, kRtt, 1 * kPkt, kRtt});
+  EXPECT_EQ(v.wstart, 1 * kPkt);
+}
+
+// Parameterized property: for transfers whose Ttotal was produced by
+// Tmodel at a known bottleneck, the estimate never exceeds the bottleneck
+// across a grid of (bottleneck, rtt, wnic, size) — the §3.2.3 invariant in
+// its purest (model-vs-model) form.
+struct SolverCase {
+  double bottleneck_mbps;
+  double rtt_ms;
+  int wnic_pkts;
+  int size_pkts;
+};
+
+class SolverSweep : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverSweep, NeverOverestimatesModelBottleneck) {
+  const auto& p = GetParam();
+  TxnTiming txn;
+  txn.btotal = static_cast<Bytes>(p.size_pkts) * kPkt;
+  txn.wnic = static_cast<Bytes>(p.wnic_pkts) * kPkt;
+  txn.min_rtt = p.rtt_ms * 1e-3;
+  const double bottleneck = p.bottleneck_mbps * 1e6;
+  txn.ttotal = t_model(txn, bottleneck);
+  const double estimate = estimate_delivery_rate(txn);
+  EXPECT_LE(estimate, bottleneck * 1.001);
+}
+
+std::vector<SolverCase> solver_grid() {
+  std::vector<SolverCase> cases;
+  for (double bw : {0.5, 1.0, 2.5, 5.0})
+    for (double rtt : {20.0, 60.0, 120.0, 200.0})
+      for (int w : {1, 4, 10, 50})
+        for (int size : {2, 10, 50, 200, 500}) cases.push_back({bw, rtt, w, size});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SolverSweep, ::testing::ValuesIn(solver_grid()));
+
+}  // namespace
+}  // namespace fbedge

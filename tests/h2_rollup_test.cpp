@@ -1,0 +1,180 @@
+// Tests for the HTTP/2 write scheduler and the window rollup machinery.
+#include <gtest/gtest.h>
+
+#include "agg/comparison.h"
+#include "agg/rollup.h"
+#include "http/h2_scheduler.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// H2 scheduler.
+// ---------------------------------------------------------------------------
+
+Bytes total_for(const H2Schedule& schedule, int stream_id) {
+  Bytes total = 0;
+  for (const auto& c : schedule.chunks) {
+    if (c.stream_id == stream_id) total += c.bytes;
+  }
+  return total;
+}
+
+TEST(H2Scheduler, SingleResponseIsOneRun) {
+  const auto s = schedule_h2_writes({{1, 0.0, 100000, 16}});
+  EXPECT_EQ(total_for(s, 1), 100000);
+  EXPECT_FALSE(s.outcomes[0].multiplexed);
+  EXPECT_FALSE(s.outcomes[0].preempted);
+  // Chunks are contiguous.
+  EXPECT_EQ(s.outcomes[0].first_chunk_index, 0);
+  EXPECT_EQ(s.outcomes[0].last_chunk_index,
+            static_cast<int>(s.chunks.size()) - 1);
+}
+
+TEST(H2Scheduler, EqualPriorityResponsesMultiplex) {
+  const auto s = schedule_h2_writes({{1, 0.0, 64 * 1024, 16}, {2, 0.0, 64 * 1024, 16}});
+  EXPECT_TRUE(s.outcomes[0].multiplexed);
+  EXPECT_TRUE(s.outcomes[1].multiplexed);
+  // Round-robin: stream 1 and 2 alternate chunks.
+  ASSERT_GE(s.chunks.size(), 4u);
+  EXPECT_NE(s.chunks[0].stream_id, s.chunks[1].stream_id);
+  EXPECT_NE(s.chunks[1].stream_id, s.chunks[2].stream_id);
+  EXPECT_EQ(total_for(s, 1), 64 * 1024);
+  EXPECT_EQ(total_for(s, 2), 64 * 1024);
+}
+
+TEST(H2Scheduler, HigherPriorityPreempts) {
+  // Stream 1 is large and low priority; stream 2 arrives mid-flight with
+  // higher urgency and must run to completion before stream 1 resumes.
+  const auto s = schedule_h2_writes(
+      {{1, 0.0, 512 * 1024, 16}, {2, 0.010, 64 * 1024, 0}}, 16 * 1024, 50e6);
+  EXPECT_TRUE(s.outcomes[0].preempted);
+  EXPECT_FALSE(s.outcomes[1].preempted);
+  EXPECT_FALSE(s.outcomes[1].multiplexed);
+  // Stream 2's chunks form one contiguous run strictly inside stream 1's.
+  const auto& urgent = s.outcomes[1];
+  for (int i = urgent.first_chunk_index; i <= urgent.last_chunk_index; ++i) {
+    EXPECT_EQ(s.chunks[static_cast<std::size_t>(i)].stream_id, 2);
+  }
+  EXPECT_GT(urgent.first_chunk_index, s.outcomes[0].first_chunk_index);
+  EXPECT_LT(urgent.last_chunk_index, s.outcomes[0].last_chunk_index);
+}
+
+TEST(H2Scheduler, SequentialResponsesDoNotInterleave) {
+  // Stream 2 becomes ready only after stream 1 fully drains: no flags.
+  const auto s = schedule_h2_writes(
+      {{1, 0.0, 32 * 1024, 16}, {2, 10.0, 32 * 1024, 16}});
+  EXPECT_FALSE(s.outcomes[0].multiplexed);
+  EXPECT_FALSE(s.outcomes[0].preempted);
+  EXPECT_FALSE(s.outcomes[1].multiplexed);
+}
+
+TEST(H2Scheduler, ConservesBytesUnderFuzz) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<H2Response> responses;
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n; ++i) {
+      responses.push_back({i + 1, rng.uniform(0, 0.05),
+                           rng.uniform_int(1000, 300000),
+                           static_cast<int>(rng.uniform_int(0, 2)) * 16});
+    }
+    const auto s = schedule_h2_writes(responses);
+    for (const auto& r : responses) {
+      EXPECT_EQ(total_for(s, r.stream_id), r.bytes);
+    }
+    // Every outcome has valid chunk bounds.
+    for (const auto& o : s.outcomes) {
+      EXPECT_GE(o.first_chunk_index, 0);
+      EXPECT_GE(o.last_chunk_index, o.first_chunk_index);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Welford merge + rollups.
+// ---------------------------------------------------------------------------
+
+TEST(WelfordMerge, MatchesSingleStream) {
+  Rng rng(7);
+  Welford a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(1, 0.7);
+    (i % 3 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(WelfordMerge, EmptyCases) {
+  Welford a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Rollup, FourWindowsBecomeOneHour) {
+  GroupSeries series;
+  Rng rng(9);
+  for (int w = 0; w < 8; ++w) {
+    auto& cell = series.windows[w].route(0);
+    for (int i = 0; i < 20; ++i) {
+      cell.add_session(0.040 + rng.normal(0, 0.002), 0.9, 1000);
+    }
+  }
+  WindowRollup rollup(4);
+  rollup.add_series(series);
+  ASSERT_EQ(rollup.windows().size(), 2u);  // windows 0-3 and 4-7
+  const auto& hour0 = rollup.windows().at(0);
+  ASSERT_EQ(hour0.routes.size(), 1u);
+  EXPECT_EQ(hour0.routes[0].sessions(), 80);
+  EXPECT_EQ(hour0.routes[0].traffic(), 80 * 1000);
+  EXPECT_NEAR(hour0.routes[0].minrtt_p50(), 0.040, 0.002);
+}
+
+TEST(Rollup, RescuesThinWindowsForValidity) {
+  // Each 15-min window has only 10 sessions (< 30 floor); the hourly
+  // rollup crosses the §3.4.1 validity threshold.
+  GroupSeries series;
+  Rng rng(11);
+  for (int w = 0; w < 4; ++w) {
+    auto& agg = series.windows[w];
+    for (int i = 0; i < 10; ++i) {
+      agg.route(0).add_session(0.060 + rng.normal(0, 0.002), 0.9, 1000);
+      agg.route(1).add_session(0.050 + rng.normal(0, 0.002), 0.9, 1000);
+    }
+  }
+  // Thin: the fine-window comparison is invalid.
+  const auto fine = compare_minrtt(series.windows.at(0).route(0),
+                                   series.windows.at(0).route(1), {});
+  EXPECT_EQ(fine.validity, Validity::kTooFewSamples);
+
+  WindowRollup rollup(4);
+  rollup.add_series(series);
+  const auto& hour = rollup.windows().at(0);
+  const auto coarse = compare_minrtt(*hour.route(0), *hour.route(1), {});
+  ASSERT_TRUE(coarse.valid());
+  EXPECT_TRUE(coarse.exceeds(0.005)) << "10 ms difference now detectable";
+}
+
+TEST(Rollup, PreservesRouteSeparation) {
+  GroupSeries series;
+  series.windows[0].route(0).add_session(0.040, 0.9, 100);
+  series.windows[1].route(2).add_session(0.080, 0.5, 200);
+  WindowRollup rollup(4);
+  rollup.add_series(series);
+  const auto& hour = rollup.windows().at(0);
+  EXPECT_EQ(hour.route(0)->sessions(), 1);
+  EXPECT_EQ(hour.route(1)->sessions(), 0);
+  EXPECT_EQ(hour.route(2)->sessions(), 1);
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,60 @@
+// Tests for the HTTP-layer vocabulary and session activity accounting.
+#include <gtest/gtest.h>
+
+#include "http/session_stats.h"
+#include "http/types.h"
+
+namespace fbedge {
+namespace {
+
+TEST(SessionSpec, TotalBytesSumsTransactions) {
+  SessionSpec spec;
+  spec.transactions = {{0.0, 1000, 16}, {1.0, 2500, 16}, {2.0, 500, 0}};
+  EXPECT_EQ(spec.total_response_bytes(), 4000);
+}
+
+TEST(SessionActivity, SingleInterval) {
+  SessionActivity act;
+  act.add_active(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(act.busy_time(), 2.0);
+  EXPECT_DOUBLE_EQ(act.busy_fraction(10.0), 0.2);
+}
+
+TEST(SessionActivity, OverlappingIntervalsMerge) {
+  SessionActivity act;
+  act.add_active(1.0, 3.0);
+  act.add_active(2.0, 4.0);  // overlaps -> merged into [1, 4]
+  EXPECT_DOUBLE_EQ(act.busy_time(), 3.0);
+}
+
+TEST(SessionActivity, DisjointIntervalsSum) {
+  SessionActivity act;
+  act.add_active(0.0, 1.0);
+  act.add_active(5.0, 6.5);
+  EXPECT_DOUBLE_EQ(act.busy_time(), 2.5);
+}
+
+TEST(SessionActivity, TouchingIntervalsMerge) {
+  SessionActivity act;
+  act.add_active(0.0, 1.0);
+  act.add_active(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(act.busy_time(), 2.0);
+}
+
+TEST(SessionActivity, EmptyAndDegenerate) {
+  SessionActivity act;
+  EXPECT_DOUBLE_EQ(act.busy_time(), 0.0);
+  act.add_active(2.0, 2.0);  // zero-length: ignored
+  act.add_active(3.0, 1.0);  // inverted: ignored
+  EXPECT_DOUBLE_EQ(act.busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(act.busy_fraction(0.0), 0.0);
+}
+
+TEST(SessionActivity, FractionClampedToOne) {
+  SessionActivity act;
+  act.add_active(0.0, 20.0);
+  EXPECT_DOUBLE_EQ(act.busy_fraction(10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,186 @@
+// End-to-end integration: synthetic world -> generator -> sampler ->
+// goodput methodology -> aggregation -> analyzers, on a small but complete
+// dataset. Checks that the pipeline reproduces the *shape* of the paper's
+// findings and that injected conditions are detected.
+#include <gtest/gtest.h>
+
+#include "analysis/edge_analysis.h"
+#include "analysis/figures.h"
+
+namespace fbedge {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static WorldConfig world_config() {
+    WorldConfig wc;
+    wc.seed = 21;
+    wc.groups_per_continent = 4;
+    wc.days = 2;
+    return wc;
+  }
+
+  static DatasetConfig dataset_config() {
+    DatasetConfig dc;
+    dc.seed = 21;
+    dc.days = 2;
+    dc.session_scale = 0.6;
+    return dc;
+  }
+};
+
+TEST_F(IntegrationTest, GlobalPerformanceShape) {
+  const World world = build_world(world_config());
+  const auto perf = measure_global_performance(world, dataset_config());
+
+  ASSERT_GT(perf.sessions_total, 10000u);
+  ASSERT_GT(perf.sessions_hd_testable, 1000u);
+
+  // Median MinRTT in the paper's ballpark (<40 ms, paper: 39 ms).
+  const double median_rtt = perf.minrtt_all.quantile(0.5);
+  EXPECT_GT(median_rtt, 0.015);
+  EXPECT_LT(median_rtt, 0.065);
+
+  // Most testable sessions achieve HD goodput (paper: >82% HDratio > 0,
+  // ~60% HDratio = 1).
+  const double frac_zero = perf.hdratio_all.fraction_at_or_below(0.0);
+  EXPECT_LT(frac_zero, 0.45);
+  const double frac_below_one = perf.hdratio_all.fraction_at_or_below(0.999);
+  EXPECT_LT(1.0 - frac_below_one, 0.95);
+  EXPECT_GT(1.0 - frac_below_one, 0.25);
+
+  // Per-continent ordering: Africa worse than Europe on both metrics.
+  const auto& af_rtt = perf.minrtt_continent[static_cast<int>(Continent::kAfrica)];
+  const auto& eu_rtt = perf.minrtt_continent[static_cast<int>(Continent::kEurope)];
+  EXPECT_GT(af_rtt.quantile(0.5), eu_rtt.quantile(0.5));
+  const auto& af_hd = perf.hdratio_continent[static_cast<int>(Continent::kAfrica)];
+  const auto& eu_hd = perf.hdratio_continent[static_cast<int>(Continent::kEurope)];
+  EXPECT_GT(af_hd.fraction_at_or_below(0.0), eu_hd.fraction_at_or_below(0.0));
+}
+
+TEST_F(IntegrationTest, NaiveGoodputUnderestimates) {
+  const World world = build_world(world_config());
+  const auto perf = measure_global_performance(world, dataset_config());
+  // §4: the simple Btotal/Ttotal approach underestimates which transactions
+  // reach HD goodput -> its median HDratio is lower.
+  ASSERT_FALSE(perf.hdratio_naive_all.empty());
+  EXPECT_LE(perf.hdratio_naive_all.quantile(0.5), perf.hdratio_all.quantile(0.5) + 1e-9);
+  // Fewer sessions reach HDratio = 1 under the naive estimate.
+  EXPECT_GT(perf.hdratio_naive_all.fraction_at_or_below(0.999),
+            perf.hdratio_all.fraction_at_or_below(0.999));
+}
+
+TEST_F(IntegrationTest, TrafficCharacterizationShape) {
+  const World world = build_world(world_config());
+  const auto traffic = characterize_traffic(world, dataset_config());
+  ASSERT_GT(traffic.sessions, 10000u);
+
+  // Fig. 1(a): most sessions end within 60 s only for HTTP/1.1.
+  EXPECT_GT(traffic.duration_h1.fraction_at_or_below(60.0),
+            traffic.duration_h2.fraction_at_or_below(60.0));
+  // Fig. 1(b): most sessions idle most of the time (80% active < 10%).
+  EXPECT_GT(traffic.busy_all.fraction_at_or_below(10.0), 0.6);
+  // Fig. 3: sessions with >= 50 transactions carry a large share of bytes.
+  EXPECT_GT(static_cast<double>(traffic.traffic_sessions_50plus) /
+                static_cast<double>(traffic.traffic_total),
+            0.3);
+}
+
+TEST_F(IntegrationTest, EdgeAnalysisEndToEnd) {
+  const World world = build_world(world_config());
+  AnalysisThresholds thresholds;
+  ClassifierConfig cc;
+  cc.total_windows = dataset_config().days * 96;
+  const auto result = run_edge_analysis(world, dataset_config(), thresholds);
+
+  ASSERT_GT(result.groups_analyzed, 20);
+  ASSERT_GT(result.total_traffic, 0.0);
+
+  // Statistical validity covers most traffic (paper: ~90-95%).
+  EXPECT_GT(result.degr_valid_traffic_rtt, 0.5);
+  EXPECT_GT(result.opp_valid_traffic_rtt, 0.3);
+
+  // Fig. 9 shape: distributions concentrated near 0 and preferred usually
+  // at least as good (median <= 0).
+  ASSERT_FALSE(result.opp_rtt.empty());
+  EXPECT_LE(result.opp_rtt.quantile(0.5), 0.002);
+  EXPECT_GE(result.rtt_within_3ms, 0.5);
+
+  // Opportunity is rare (paper: 2% / 0.2%); allow a loose upper bound.
+  EXPECT_LT(result.rtt_improvable_5ms, 0.35);
+  EXPECT_LT(result.hd_improvable_005, 0.25);
+
+  // Fig. 8 shape: most traffic sees little degradation.
+  ASSERT_FALSE(result.degr_rtt.empty());
+  EXPECT_LT(result.degr_rtt.quantile(0.5), 0.004);
+
+  // Table 1 populated and normalized: per (kind, threshold) the blue
+  // fractions over classes sum to ~1 for the overall scope.
+  double sum = 0;
+  bool any = false;
+  for (const auto& [key, cell] : result.table1) {
+    const auto& [kind, t, cls, scope] = key;
+    if (kind == AnalysisKind::kDegradationRtt && t == 0 && scope == -1) {
+      sum += cell.group_traffic;
+      any = true;
+    }
+  }
+  ASSERT_TRUE(any);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_F(IntegrationTest, InjectedContinuousOpportunityIsDetected) {
+  // Force every group to have a persistently slower preferred route; the
+  // analyzer must find widespread continuous MinRTT opportunity.
+  WorldConfig wc = world_config();
+  wc.groups_per_continent = 2;
+  wc.continuous_opportunity_fraction = 1.0;
+  wc.dest_diurnal_fraction = 0;
+  wc.route_diurnal_fraction = 0;
+  wc.episodic_fraction = 0;
+  const World world = build_world(wc);
+
+  DatasetConfig dc = dataset_config();
+  const auto result = run_edge_analysis(world, dc);
+  EXPECT_GT(result.rtt_improvable_5ms, 0.3)
+      << "injected 5-15 ms continuous opportunity should be visible";
+
+  double continuous_share = 0;
+  for (const auto& [key, cell] : result.table1) {
+    const auto& [kind, t, cls, scope] = key;
+    if (kind == AnalysisKind::kOpportunityRtt && t == 0 && scope == -1 &&
+        cls == TemporalClass::kContinuous) {
+      continuous_share = cell.group_traffic;
+    }
+  }
+  EXPECT_GT(continuous_share, 0.2);
+}
+
+TEST_F(IntegrationTest, InjectedDiurnalDegradationIsDetected) {
+  WorldConfig wc = world_config();
+  wc.groups_per_continent = 2;
+  wc.dest_diurnal_fraction = 1.0;
+  wc.continuous_opportunity_fraction = 0;
+  wc.route_diurnal_fraction = 0;
+  wc.episodic_fraction = 0;
+  World world = build_world(wc);
+  // Make the injected congestion unambiguous.
+  for (auto& g : world.groups) {
+    g.dest_peak_delay = std::max(g.dest_peak_delay, 0.015);
+  }
+
+  const auto result = run_edge_analysis(world, dataset_config());
+  double diurnal_share = 0, uneventful_share = 0;
+  for (const auto& [key, cell] : result.table1) {
+    const auto& [kind, t, cls, scope] = key;
+    if (kind == AnalysisKind::kDegradationRtt && t == 0 && scope == -1) {
+      if (cls == TemporalClass::kDiurnal) diurnal_share = cell.group_traffic;
+      if (cls == TemporalClass::kUneventful) uneventful_share = cell.group_traffic;
+    }
+  }
+  EXPECT_GT(diurnal_share, 0.3) << "peak-hour congestion should classify as diurnal";
+  EXPECT_LT(uneventful_share, 0.5);
+}
+
+}  // namespace
+}  // namespace fbedge

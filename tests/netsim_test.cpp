@@ -1,0 +1,159 @@
+// Tests for the discrete-event engine and the link model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/simulator.h"
+
+namespace fbedge {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.3, [&] { order.push_back(3); });
+  sim.schedule(0.1, [&] { order.push_back(1); });
+  sim.schedule(0.2, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.3);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule(1.0, [&] { sim.schedule(0.5, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule(1.0, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule(i * 1.0, [&] { ++count; });
+  sim.run_until(5.5);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Link.
+// ---------------------------------------------------------------------------
+
+struct Delivery {
+  Packet packet;
+  SimTime at;
+};
+
+TEST(Link, PropagationDelayOnly) {
+  Simulator sim;
+  std::vector<Delivery> got;
+  Link link(sim, {.rate = 0, .delay = 0.010},
+            [&](const Packet& p) { got.push_back({p, sim.now()}); });
+  Packet p;
+  p.payload = 1460;
+  link.send(p);
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].at, 0.010);
+}
+
+TEST(Link, SerializationAtRate) {
+  Simulator sim;
+  std::vector<Delivery> got;
+  // 1500 B wire size at 1.2 Mbps = 10 ms serialization, plus 5 ms prop.
+  Link link(sim, {.rate = 1.2e6, .delay = 0.005},
+            [&](const Packet& p) { got.push_back({p, sim.now()}); });
+  Packet p;
+  p.payload = 1460;
+  p.header = 40;
+  link.send(p);
+  link.send(p);  // queues behind the first
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NEAR(got[0].at, 0.015, 1e-9);
+  EXPECT_NEAR(got[1].at, 0.025, 1e-9);  // second waits for the first
+}
+
+TEST(Link, DroptailQueueDropsWhenFull) {
+  Simulator sim;
+  int delivered = 0;
+  Link link(sim, {.rate = 1e6, .delay = 0.001, .queue_capacity = 4500},
+            [&](const Packet&) { ++delivered; });
+  Packet p;
+  p.payload = 1460;
+  for (int i = 0; i < 10; ++i) link.send(p);
+  sim.run();
+  EXPECT_GT(link.packets_dropped_queue(), 0u);
+  EXPECT_EQ(delivered + static_cast<int>(link.packets_dropped_queue()), 10);
+}
+
+TEST(Link, RandomLossDropsApproximatelyAtRate) {
+  Simulator sim;
+  int delivered = 0;
+  Link link(sim, {.rate = 0, .delay = 0.001, .loss_rate = 0.3},
+            [&](const Packet&) { ++delivered; }, /*rng_seed=*/77);
+  Packet p;
+  p.payload = 100;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) link.send(p);
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.7, 0.03);
+}
+
+TEST(Link, JitterNeverReordersPackets) {
+  Simulator sim;
+  std::vector<std::int64_t> seqs;
+  Link link(sim, {.rate = 1e7, .delay = 0.002, .jitter = 0.005},
+            [&](const Packet& p) { seqs.push_back(p.seq); }, 5);
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.seq = i;
+    p.payload = 1000;
+    link.send(p);
+  }
+  sim.run();
+  ASSERT_EQ(seqs.size(), 200u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_LT(seqs[i - 1], seqs[i]);
+}
+
+TEST(Link, QueueDrainsAfterIdle) {
+  Simulator sim;
+  int delivered = 0;
+  Link link(sim, {.rate = 1e6, .delay = 0.001, .queue_capacity = 100000},
+            [&](const Packet&) { ++delivered; });
+  Packet p;
+  p.payload = 1460;
+  link.send(p);
+  sim.run();
+  EXPECT_EQ(link.queued_bytes(), 0);
+  // A later packet is not delayed by the long-gone first one.
+  const SimTime before = sim.now();
+  link.send(p);
+  sim.run();
+  EXPECT_NEAR(sim.now() - before, 0.012 + 0.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace fbedge

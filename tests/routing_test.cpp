@@ -1,0 +1,177 @@
+// Tests for BGP route representation, the §6.1 policy tiebreakers, and the
+// longest-prefix-match trie.
+#include <gtest/gtest.h>
+
+#include "routing/policy.h"
+#include "routing/prefix_trie.h"
+#include "routing/route.h"
+
+namespace fbedge {
+namespace {
+
+Route make_route(Relationship rel, std::vector<std::uint32_t> path, int prefix_len = 24) {
+  Route r;
+  r.prefix = IpPrefix{0x0a000000, prefix_len};
+  r.relationship = rel;
+  r.as_path = std::move(path);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Route attributes.
+// ---------------------------------------------------------------------------
+
+TEST(Route, PrefixContains) {
+  const IpPrefix p{0x0a010000, 16};  // 10.1.0.0/16
+  EXPECT_TRUE(p.contains(0x0a010203));
+  EXPECT_FALSE(p.contains(0x0a020203));
+  EXPECT_TRUE((IpPrefix{0, 0}).contains(0xffffffff));  // default route
+}
+
+TEST(Route, PrependDetection) {
+  EXPECT_EQ(make_route(Relationship::kTransit, {3356, 100}).prepend_count(), 0);
+  EXPECT_EQ(make_route(Relationship::kTransit, {3356, 100, 100}).prepend_count(), 1);
+  EXPECT_EQ(make_route(Relationship::kTransit, {3356, 100, 100, 100}).prepend_count(), 2);
+  EXPECT_TRUE(make_route(Relationship::kTransit, {3356, 100, 100}).is_prepended());
+}
+
+TEST(Route, PrefixToString) {
+  EXPECT_EQ((IpPrefix{0x0a010200, 24}).to_string(), "10.1.2.0/24");
+}
+
+// ---------------------------------------------------------------------------
+// Policy tiebreakers, in order (§6.1).
+// ---------------------------------------------------------------------------
+
+TEST(Policy, LongestPrefixWinsFirst) {
+  // A transit /24 beats a private-peer /16: prefix length precedes all.
+  const auto specific = make_route(Relationship::kTransit, {3356, 100}, 24);
+  const auto broad = make_route(Relationship::kPrivatePeer, {100}, 16);
+  DecisionReason reason;
+  EXPECT_LT(RoutingPolicy::compare(specific, broad, &reason), 0);
+  EXPECT_EQ(reason, DecisionReason::kLongerPrefix);
+}
+
+TEST(Policy, PeerBeatsTransit) {
+  const auto peer = make_route(Relationship::kPublicPeer, {100, 100, 100});
+  const auto transit = make_route(Relationship::kTransit, {3356, 100});
+  DecisionReason reason;
+  // Even with a longer (prepended) AS path, the peer wins: relationship is
+  // checked before path length.
+  EXPECT_LT(RoutingPolicy::compare(peer, transit, &reason), 0);
+  EXPECT_EQ(reason, DecisionReason::kPeerOverTransit);
+}
+
+TEST(Policy, ShorterAsPathBreaksTransitTie) {
+  const auto short_path = make_route(Relationship::kTransit, {3356, 100});
+  const auto long_path = make_route(Relationship::kTransit, {1299, 200, 100});
+  DecisionReason reason;
+  EXPECT_LT(RoutingPolicy::compare(short_path, long_path, &reason), 0);
+  EXPECT_EQ(reason, DecisionReason::kShorterAsPath);
+}
+
+TEST(Policy, PrependingCountsTowardLength) {
+  const auto plain = make_route(Relationship::kTransit, {3356, 100});
+  const auto prepended = make_route(Relationship::kTransit, {3356, 100, 100});
+  EXPECT_LT(RoutingPolicy::compare(plain, prepended), 0);
+}
+
+TEST(Policy, PrivateBeatsPublicAsLastTiebreaker) {
+  const auto pni = make_route(Relationship::kPrivatePeer, {100});
+  const auto ixp = make_route(Relationship::kPublicPeer, {100});
+  DecisionReason reason;
+  EXPECT_LT(RoutingPolicy::compare(pni, ixp, &reason), 0);
+  EXPECT_EQ(reason, DecisionReason::kPrivateOverPublic);
+}
+
+TEST(Policy, IdenticalRoutesTie) {
+  const auto a = make_route(Relationship::kTransit, {3356, 100});
+  DecisionReason reason;
+  EXPECT_EQ(RoutingPolicy::compare(a, a, &reason), 0);
+  EXPECT_EQ(reason, DecisionReason::kEqual);
+}
+
+TEST(Policy, RankOrdersFullSet) {
+  const auto ranked = RoutingPolicy::rank({
+      make_route(Relationship::kTransit, {1299, 200, 100}),    // longest transit
+      make_route(Relationship::kPublicPeer, {100}),            // IXP peer
+      make_route(Relationship::kTransit, {3356, 100}),         // short transit
+      make_route(Relationship::kPrivatePeer, {100}),           // PNI
+  });
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].relationship, Relationship::kPrivatePeer);
+  EXPECT_EQ(ranked[1].relationship, Relationship::kPublicPeer);
+  EXPECT_EQ(ranked[2].relationship, Relationship::kTransit);
+  EXPECT_EQ(ranked[2].as_path_length(), 2);
+  EXPECT_EQ(ranked[3].as_path_length(), 3);
+}
+
+TEST(Policy, RankIsStableForTies) {
+  const auto a = make_route(Relationship::kTransit, {3356, 100});
+  auto b = a;
+  b.as_path = {1299, 100};  // same length, same relationship
+  const auto ranked = RoutingPolicy::rank({a, b});
+  EXPECT_EQ(ranked[0].as_path[0], 3356u);  // input order preserved
+}
+
+TEST(Policy, LostOnAsPath) {
+  const auto pref = make_route(Relationship::kTransit, {3356, 100});
+  const auto alt_long = make_route(Relationship::kTransit, {1299, 200, 100});
+  const auto alt_transit_vs_peer = make_route(Relationship::kTransit, {3356, 100});
+  const auto peer = make_route(Relationship::kPublicPeer, {100});
+  EXPECT_TRUE(RoutingPolicy::lost_on_as_path(pref, alt_long));
+  // Peer-vs-transit decisions are not AS-path losses.
+  EXPECT_FALSE(RoutingPolicy::lost_on_as_path(peer, alt_transit_vs_peer));
+}
+
+// ---------------------------------------------------------------------------
+// PrefixTrie.
+// ---------------------------------------------------------------------------
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<int> trie;
+  trie.insert({0x0a000000, 8}, 8);    // 10.0.0.0/8
+  trie.insert({0x0a010000, 16}, 16);  // 10.1.0.0/16
+  trie.insert({0x0a010200, 24}, 24);  // 10.1.2.0/24
+
+  ASSERT_NE(trie.lookup(0x0a010203), nullptr);
+  EXPECT_EQ(*trie.lookup(0x0a010203), 24);
+  EXPECT_EQ(*trie.lookup(0x0a010303), 16);
+  EXPECT_EQ(*trie.lookup(0x0a020303), 8);
+  EXPECT_EQ(trie.lookup(0x0b000000), nullptr);
+}
+
+TEST(PrefixTrie, ExactFindAndOverwrite) {
+  PrefixTrie<int> trie;
+  trie.insert({0x0a010000, 16}, 1);
+  trie.insert({0x0a010000, 16}, 2);  // overwrite
+  ASSERT_NE(trie.find({0x0a010000, 16}), nullptr);
+  EXPECT_EQ(*trie.find({0x0a010000, 16}), 2);
+  EXPECT_EQ(trie.find({0x0a010000, 17}), nullptr);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert({0, 0}, 42);
+  EXPECT_EQ(*trie.lookup(0x01020304), 42);
+  EXPECT_EQ(*trie.lookup(0xfffffffe), 42);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInsertedPrefixes) {
+  PrefixTrie<int> trie;
+  trie.insert({0x0a000000, 8}, 1);
+  trie.insert({0xc0a80000, 16}, 2);  // 192.168.0.0/16
+  trie.insert({0x0a010200, 24}, 3);
+  int visited = 0;
+  trie.for_each([&](const IpPrefix& p, int v) {
+    ++visited;
+    EXPECT_NE(trie.find(p), nullptr);
+    EXPECT_EQ(*trie.find(p), v);
+  });
+  EXPECT_EQ(visited, 3);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fbedge

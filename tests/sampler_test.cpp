@@ -1,0 +1,180 @@
+// Tests for the load-balancer sampling layer: §3.2.5 coalescing and
+// eligibility, and hash-based sampling / route-override decisions.
+#include <gtest/gtest.h>
+
+#include "sampler/coalescer.h"
+#include "sampler/sampler.h"
+
+namespace fbedge {
+namespace {
+
+constexpr Duration kRtt = 0.050;
+
+ResponseWrite make_write(SimTime first_nic, Duration nic_span, Duration ack_delay,
+                         Bytes bytes, Bytes last_pkt = 1440, Bytes wnic = 14400) {
+  ResponseWrite w;
+  w.first_byte_nic = first_nic;
+  w.last_byte_nic = first_nic + nic_span;
+  w.second_last_ack = first_nic + ack_delay * 0.9;
+  w.last_ack = first_nic + ack_delay;
+  w.bytes = bytes;
+  w.last_packet_bytes = last_pkt;
+  w.wnic = wnic;
+  return w;
+}
+
+TEST(Coalescer, SingleWriteProducesOneTxn) {
+  const auto out = coalesce_session({make_write(0, 0.001, 0.06, 20000)}, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_EQ(out.txns[0].btotal, 20000 - 1440);
+  EXPECT_NEAR(out.txns[0].ttotal, 0.06 * 0.9, 1e-9);
+  EXPECT_EQ(out.txns[0].wnic, 14400);
+  EXPECT_DOUBLE_EQ(out.txns[0].min_rtt, kRtt);
+  EXPECT_EQ(out.ineligible_groups, 0);
+}
+
+TEST(Coalescer, EmptySession) {
+  const auto out = coalesce_session({}, kRtt);
+  EXPECT_TRUE(out.txns.empty());
+}
+
+TEST(Coalescer, BackToBackWritesMerge) {
+  // Second write starts the instant the first finishes writing to the NIC.
+  auto w1 = make_write(0, 0.0005, 0.080, 10000);
+  auto w2 = make_write(0.0005, 0.0005, 0.085, 15000);
+  const auto out = coalesce_session({w1, w2}, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_EQ(out.coalesced_writes, 1);
+  // Combined bytes minus the *tail's* last packet.
+  EXPECT_EQ(out.txns[0].btotal, 25000 - 1440);
+  // Clock: head's first NIC byte to tail's second-to-last ACK.
+  EXPECT_NEAR(out.txns[0].ttotal, 0.0005 + 0.085 * 0.9, 1e-9);
+  // Wnic from the head.
+  EXPECT_EQ(out.txns[0].wnic, 14400);
+}
+
+TEST(Coalescer, MultiplexedWritesMerge) {
+  auto w1 = make_write(0, 0.010, 0.080, 10000);
+  auto w2 = make_write(0.050, 0.010, 0.060, 15000);  // big gap, but multiplexed
+  w2.multiplexed = true;
+  const auto out = coalesce_session({w1, w2}, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+}
+
+TEST(Coalescer, PreemptedWritesMerge) {
+  auto w1 = make_write(0, 0.010, 0.080, 10000);
+  auto w2 = make_write(0.050, 0.010, 0.060, 4000);
+  w2.preempted = true;
+  const auto out = coalesce_session({w1, w2}, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+}
+
+TEST(Coalescer, SeparatedWritesStaySeparate) {
+  auto w1 = make_write(0, 0.001, 0.060, 10000);
+  auto w2 = make_write(1.0, 0.001, 0.060, 15000);  // a second later
+  const auto out = coalesce_session({w1, w2}, kRtt);
+  ASSERT_EQ(out.txns.size(), 2u);
+  EXPECT_EQ(out.coalesced_writes, 0);
+}
+
+TEST(Coalescer, InFlightWithoutCoalescingIsIneligible) {
+  // w2 starts while w1's bytes are unacked (first_byte < w1.last_ack) but
+  // does not meet any coalescing condition (gap from last_byte_nic is big,
+  // no flags) -> w2's group is dropped.
+  auto w1 = make_write(0, 0.001, 0.200, 10000);
+  auto w2 = make_write(0.100, 0.001, 0.060, 15000);
+  const auto out = coalesce_session({w1, w2}, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_EQ(out.ineligible_groups, 1);
+  EXPECT_EQ(out.txns[0].btotal, 10000 - 1440);
+}
+
+TEST(Coalescer, EligibilityRestoredAfterQuietPeriod) {
+  auto w1 = make_write(0, 0.001, 0.200, 10000);
+  auto w2 = make_write(0.100, 0.001, 0.060, 15000);  // ineligible
+  auto w3 = make_write(2.0, 0.001, 0.060, 9000);     // well after w2 acked
+  const auto out = coalesce_session({w1, w2, w3}, kRtt);
+  EXPECT_EQ(out.txns.size(), 2u);
+  EXPECT_EQ(out.ineligible_groups, 1);
+}
+
+TEST(Coalescer, ChainOfBackToBackWritesMergesAll) {
+  std::vector<ResponseWrite> writes;
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    writes.push_back(make_write(t, 0.0004, 0.070, 3000, 3000 % 1440 == 0 ? 1440 : 120));
+    t += 0.0004;
+  }
+  const auto out = coalesce_session(writes, kRtt);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_EQ(out.coalesced_writes, 4);
+  EXPECT_EQ(out.txns[0].btotal, 5 * 3000 - writes.back().last_packet_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// SessionSampler.
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, DecisionsAreDeterministic) {
+  SessionSampler sampler({.sample_rate = 0.5});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const SessionId id{i};
+    EXPECT_EQ(sampler.should_sample(id), sampler.should_sample(id));
+    EXPECT_EQ(sampler.choose_route(id, 3), sampler.choose_route(id, 3));
+  }
+}
+
+TEST(Sampler, SampleRateApproximatelyHonored) {
+  SessionSampler sampler({.sample_rate = 0.1});
+  int sampled = 0;
+  const int n = 50000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (sampler.should_sample(SessionId{i})) ++sampled;
+  }
+  EXPECT_NEAR(static_cast<double>(sampled) / n, 0.1, 0.01);
+}
+
+TEST(Sampler, RouteSplitMatchesConfig) {
+  SamplerConfig cfg;
+  cfg.preferred_fraction = 0.47;
+  cfg.num_alternates = 2;
+  SessionSampler sampler(cfg);
+  int counts[3] = {0, 0, 0};
+  const int n = 60000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int r = sampler.choose_route(SessionId{i}, 3);
+    ASSERT_GE(r, 0);
+    ASSERT_LE(r, 2);
+    ++counts[r];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.47, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.265, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.265, 0.01);
+}
+
+TEST(Sampler, SingleRouteAlwaysPreferred) {
+  SessionSampler sampler;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.choose_route(SessionId{i}, 1), 0);
+  }
+}
+
+TEST(Sampler, AlternateCountClampedToAvailableRoutes) {
+  SamplerConfig cfg;
+  cfg.num_alternates = 5;
+  SessionSampler sampler(cfg);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_LE(sampler.choose_route(SessionId{i}, 2), 1);
+  }
+}
+
+TEST(Sampler, HostingProviderFiltered) {
+  ClientInfo hosting;
+  hosting.hosting_provider = true;
+  ClientInfo user;
+  EXPECT_FALSE(SessionSampler::keep_for_analysis(hosting));
+  EXPECT_TRUE(SessionSampler::keep_for_analysis(user));
+}
+
+}  // namespace
+}  // namespace fbedge

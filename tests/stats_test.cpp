@@ -1,0 +1,314 @@
+// Tests for the statistics substrate: t-digest, exact quantiles, order-
+// statistic median CIs, and the Price-Bonett difference-of-medians CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/cdf.h"
+#include "stats/median_ci.h"
+#include "stats/quantiles.h"
+#include "stats/tdigest.h"
+#include "stats/welford.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact quantiles.
+// ---------------------------------------------------------------------------
+
+TEST(Quantiles, SmallSamples) {
+  EXPECT_DOUBLE_EQ(quantile({5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+}
+
+TEST(Quantiles, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0, 20.0}, 0.75), 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// Welford.
+// ---------------------------------------------------------------------------
+
+TEST(Welford, MatchesClosedForm) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// t-digest.
+// ---------------------------------------------------------------------------
+
+struct DigestCase {
+  const char* name;
+  int n;
+  int dist;  // 0 uniform, 1 lognormal, 2 bimodal (HDratio-like)
+};
+
+class TDigestAccuracy : public ::testing::TestWithParam<DigestCase> {};
+
+TEST_P(TDigestAccuracy, QuantilesCloseToExact) {
+  const auto& p = GetParam();
+  Rng rng(1234);
+  TDigest digest(100);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    double v = 0;
+    switch (p.dist) {
+      case 0: v = rng.uniform(0, 100); break;
+      case 1: v = rng.lognormal(3.0, 1.0); break;
+      default: v = rng.bernoulli(0.6) ? 1.0 : rng.uniform(0.0, 0.2); break;
+    }
+    digest.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = quantile_sorted(values, q);
+    const double approx = digest.quantile(q);
+    // Rank error: q must fall within 2% of the approximate value's rank
+    // *range* (a range because distributions with atoms — e.g. the
+    // HDratio-like bimodal mass at 1.0 — give one value a wide rank span).
+    const double n = static_cast<double>(values.size());
+    const auto rank_lo = static_cast<double>(
+                             std::lower_bound(values.begin(), values.end(), approx) -
+                             values.begin()) /
+                         n;
+    const auto rank_hi = static_cast<double>(
+                             std::upper_bound(values.begin(), values.end(), approx) -
+                             values.begin()) /
+                         n;
+    EXPECT_GE(q, rank_lo - 0.02) << p.name << " q=" << q << " exact=" << exact
+                                 << " approx=" << approx;
+    EXPECT_LE(q, rank_hi + 0.02) << p.name << " q=" << q << " exact=" << exact
+                                 << " approx=" << approx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, TDigestAccuracy,
+                         ::testing::Values(DigestCase{"uniform_1k", 1000, 0},
+                                           DigestCase{"uniform_100k", 100000, 0},
+                                           DigestCase{"lognormal_10k", 10000, 1},
+                                           DigestCase{"bimodal_10k", 10000, 2}));
+
+TEST(TDigest, EmptyReturnsNaN) {
+  TDigest d;
+  EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(d.cdf(1.0)));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(TDigest, SingleValue) {
+  TDigest d;
+  d.add(42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+}
+
+TEST(TDigest, MinMaxPreserved) {
+  Rng rng(7);
+  TDigest d;
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal(0, 10);
+    d.add(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(d.min(), lo);
+  EXPECT_DOUBLE_EQ(d.max(), hi);
+  EXPECT_LE(d.quantile(1.0), hi + 1e-12);
+  EXPECT_GE(d.quantile(0.0), lo - 1e-12);
+}
+
+TEST(TDigest, MergeEquivalentToCombinedStream) {
+  Rng rng(99);
+  TDigest a(100), b(100), combined(100);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.lognormal(0, 1);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(a.quantile(q), combined.quantile(q),
+                0.05 * std::max(1.0, combined.quantile(q)));
+  }
+  EXPECT_DOUBLE_EQ(a.total_weight(), combined.total_weight());
+}
+
+TEST(TDigest, WeightedMedianShifts) {
+  TDigest d;
+  d.add(0.0, 1.0);
+  d.add(10.0, 9.0);
+  EXPECT_GT(d.quantile(0.5), 5.0);
+}
+
+TEST(TDigest, CdfIsMonotoneAndInverseOfQuantile) {
+  Rng rng(5);
+  TDigest d;
+  for (int i = 0; i < 10000; ++i) d.add(rng.uniform(0, 1000));
+  double prev = -1;
+  for (double x = 0; x <= 1000; x += 50) {
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  for (double q : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 0.03);
+  }
+}
+
+TEST(TDigest, BoundedSize) {
+  Rng rng(3);
+  TDigest d(100);
+  for (int i = 0; i < 200000; ++i) d.add(rng.lognormal(0, 2));
+  EXPECT_LE(d.centroids().size(), 220u);  // ~2x compression bound
+}
+
+// ---------------------------------------------------------------------------
+// normal_quantile.
+// ---------------------------------------------------------------------------
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Median confidence intervals.
+// ---------------------------------------------------------------------------
+
+TEST(MedianCi, ContainsSampleMedian) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50, 10));
+  const auto ci = median_confidence_interval(xs);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 50.0, 2.0);
+}
+
+TEST(MedianCi, CoverageNearNominal) {
+  // Monte Carlo: the 95% CI should contain the true median (= 0 for a
+  // standard normal) in roughly 95% of trials.
+  Rng rng(17);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 81; ++i) xs.push_back(rng.normal(0, 1));
+    const auto ci = median_confidence_interval(xs, 0.95);
+    if (ci.contains(0.0)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GE(coverage, 0.90);
+  EXPECT_LE(coverage, 0.995);
+}
+
+TEST(MedianCi, WidthShrinksWithSampleSize) {
+  Rng rng(23);
+  auto make = [&](int n) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(rng.normal(0, 1));
+    return median_confidence_interval(xs).width();
+  };
+  EXPECT_GT(make(50), make(5000));
+}
+
+TEST(MedianCi, SketchAgreesWithExact) {
+  Rng rng(31);
+  std::vector<double> xs;
+  TDigest d;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.lognormal(2, 0.5);
+    xs.push_back(v);
+    d.add(v);
+  }
+  const auto exact = median_confidence_interval(xs);
+  const auto sketch = median_confidence_interval(d);
+  EXPECT_NEAR(sketch.estimate, exact.estimate, 0.05 * exact.estimate);
+  EXPECT_NEAR(sketch.lower, exact.lower, 0.1 * exact.estimate);
+  EXPECT_NEAR(sketch.upper, exact.upper, 0.1 * exact.estimate);
+}
+
+TEST(MedianDifference, DetectsShift) {
+  Rng rng(41);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.normal(60, 5));
+    b.push_back(rng.normal(50, 5));
+  }
+  const auto ci = median_difference_interval(a, b);
+  EXPECT_NEAR(ci.estimate, 10.0, 2.0);
+  EXPECT_GT(ci.lower, 5.0);  // clearly positive
+}
+
+TEST(MedianDifference, NoFalseShiftOnEqualDistributions) {
+  Rng rng(43);
+  int false_positive = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 100; ++i) {
+      a.push_back(rng.normal(50, 5));
+      b.push_back(rng.normal(50, 5));
+    }
+    const auto ci = median_difference_interval(a, b);
+    if (!ci.contains(0.0)) ++false_positive;
+  }
+  EXPECT_LE(false_positive, trials / 10);  // ~5% nominal
+}
+
+TEST(MedianDifference, SketchDetectsShiftToo) {
+  Rng rng(47);
+  TDigest a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.add(rng.normal(0.060, 0.005));
+    b.add(rng.normal(0.050, 0.005));
+  }
+  const auto ci = median_difference_interval(a, b);
+  EXPECT_GT(ci.lower, 0.005);  // >= 5 ms improvement, confidently
+}
+
+// ---------------------------------------------------------------------------
+// WeightedCdf.
+// ---------------------------------------------------------------------------
+
+TEST(WeightedCdf, FractionsAndQuantiles) {
+  WeightedCdf cdf;
+  cdf.add(1.0, 1.0);
+  cdf.add(2.0, 1.0);
+  cdf.add(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
+}
+
+TEST(WeightedCdf, SeriesIsMonotone) {
+  Rng rng(53);
+  WeightedCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.lognormal(0, 1), rng.uniform(0.5, 2));
+  double prev = -1e300;
+  for (const auto& [v, q] : cdf.series(25)) {
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,216 @@
+// Tests for the packet-level TCP model and the MinRTT / RTT estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "tcp/minrtt.h"
+#include "tcp/rtt_estimator.h"
+#include "tcp/tcp.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MinRttEstimator.
+// ---------------------------------------------------------------------------
+
+TEST(MinRtt, TracksMinimum) {
+  MinRttEstimator est(300.0);
+  est.add(0.050, 0.0);
+  est.add(0.030, 1.0);
+  est.add(0.040, 2.0);
+  EXPECT_DOUBLE_EQ(est.get(2.0), 0.030);
+}
+
+TEST(MinRtt, WindowExpiresOldMinimum) {
+  MinRttEstimator est(10.0);
+  est.add(0.010, 0.0);
+  est.add(0.050, 1.0);
+  EXPECT_DOUBLE_EQ(est.get(5.0), 0.010);
+  // After the window passes, only the 50 ms sample remains eligible.
+  EXPECT_DOUBLE_EQ(est.get(11.0), 0.050);
+  EXPECT_DOUBLE_EQ(est.lifetime_min(), 0.010);
+}
+
+TEST(MinRtt, EmptyIsInfinite) {
+  MinRttEstimator est;
+  EXPECT_TRUE(std::isinf(est.get(0.0)));
+  EXPECT_FALSE(est.has_sample());
+}
+
+// ---------------------------------------------------------------------------
+// RttEstimator (RFC 6298).
+// ---------------------------------------------------------------------------
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator est(0.2);
+  est.add_sample(0.1);
+  EXPECT_DOUBLE_EQ(est.srtt(), 0.1);
+  EXPECT_DOUBLE_EQ(est.rttvar(), 0.05);
+  EXPECT_DOUBLE_EQ(est.rto(), 0.3);  // srtt + 4*rttvar
+}
+
+TEST(RttEstimator, RtoRespectsMinimum) {
+  RttEstimator est(0.2);
+  for (int i = 0; i < 50; ++i) est.add_sample(0.001);
+  EXPECT_DOUBLE_EQ(est.rto(), 0.2);
+}
+
+TEST(RttEstimator, TimeoutBacksOffExponentially) {
+  RttEstimator est(0.2);
+  est.add_sample(0.1);
+  const double base = est.rto();
+  est.on_timeout();
+  EXPECT_DOUBLE_EQ(est.rto(), 2 * base);
+  est.on_timeout();
+  EXPECT_DOUBLE_EQ(est.rto(), 4 * base);
+  est.add_sample(0.1);  // fresh sample resets backoff
+  EXPECT_LE(est.rto(), base);  // backoff gone (rttvar decay may shrink rto)
+  EXPECT_GE(est.rto(), 0.2);   // but never below rto_min
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end TCP transfers.
+// ---------------------------------------------------------------------------
+
+struct TransferOutcome {
+  TransferReport report;
+  SimTime completed_at{-1};
+};
+
+TransferOutcome run_transfer(Bytes size, LinkConfig forward, TcpConfig tcp = {},
+                             Duration deadline = 300.0, std::uint64_t seed = 1) {
+  Simulator sim;
+  TcpConnection conn(sim, tcp, forward, {.rate = 0, .delay = forward.delay}, seed);
+  TransferOutcome out;
+  conn.sender().write(size, [&](const TransferReport& r) {
+    out.report = r;
+    out.completed_at = sim.now();
+  });
+  sim.run_until(deadline);
+  return out;
+}
+
+TEST(Tcp, SingleWindowTransferTakesOneRtt) {
+  // 10 packets fit in IW10: all sent at t=0, delivered after one-way delay,
+  // ACKed after the full RTT (plus negligible serialization).
+  const auto out = run_transfer(10 * 1440, {.rate = 1e9, .delay = 0.030});
+  ASSERT_GE(out.completed_at, 0);
+  EXPECT_NEAR(out.report.last_byte_acked - out.report.first_byte_sent, 0.060, 0.002);
+  EXPECT_EQ(out.report.bytes, 10 * 1440);
+  EXPECT_EQ(out.report.retransmits, 0u);
+}
+
+TEST(Tcp, SlowStartDoublesPerRtt) {
+  // 70 packets from IW10: rounds of 10, 20, 40 -> ~3 RTTs total.
+  const auto out = run_transfer(70 * 1440, {.rate = 1e9, .delay = 0.030});
+  ASSERT_GE(out.completed_at, 0);
+  const Duration elapsed = out.report.full_duration();
+  EXPECT_NEAR(elapsed, 3 * 0.060, 0.015);
+}
+
+TEST(Tcp, WnicCapturedAtFirstByte) {
+  TcpConfig tcp;
+  tcp.initial_cwnd = 10;
+  const auto out = run_transfer(5 * 1440, {.rate = 1e9, .delay = 0.010}, tcp);
+  EXPECT_EQ(out.report.wnic, 10 * 1440);
+}
+
+TEST(Tcp, SecondToLastAckPrecedesLastOnDelayedAckTail) {
+  // Odd packet count: the final packet's ACK may wait for the delayed-ACK
+  // timer; the second-to-last ACK must not (§3.2.5 motivation).
+  TcpConfig tcp;
+  const auto out = run_transfer(11 * 1440, {.rate = 1e9, .delay = 0.020}, tcp);
+  ASSERT_GE(out.completed_at, 0);
+  EXPECT_LE(out.report.second_to_last_acked, out.report.last_byte_acked);
+}
+
+TEST(Tcp, MinRttMeasuredCloseToPathRtt) {
+  const auto out = run_transfer(40 * 1440, {.rate = 1e8, .delay = 0.025});
+  ASSERT_GE(out.completed_at, 0);
+  EXPECT_GE(out.report.min_rtt, 0.050);
+  EXPECT_LE(out.report.min_rtt, 0.056);
+}
+
+TEST(Tcp, BottleneckStretchesTransfer) {
+  // 100 packets through 2 Mbps: serialization alone is
+  // 100*1480*8/2e6 = 0.592 s.
+  const auto out = run_transfer(100 * 1440,
+                                {.rate = 2e6, .delay = 0.010, .queue_capacity = 1 << 20});
+  ASSERT_GE(out.completed_at, 0);
+  EXPECT_GE(out.report.full_duration(), 0.59);
+  EXPECT_EQ(out.report.retransmits, 0u);
+}
+
+TEST(Tcp, RecoversFromRandomLoss) {
+  const auto out = run_transfer(
+      200 * 1440, {.rate = 1e7, .delay = 0.020, .loss_rate = 0.02}, {}, 300.0, 9);
+  ASSERT_GE(out.completed_at, 0) << "transfer must complete despite loss";
+  EXPECT_GT(out.report.retransmits, 0u);
+}
+
+TEST(Tcp, LossMakesTransferSlower) {
+  const auto clean = run_transfer(150 * 1440, {.rate = 1e7, .delay = 0.020});
+  const auto lossy = run_transfer(
+      150 * 1440, {.rate = 1e7, .delay = 0.020, .loss_rate = 0.05}, {}, 300.0, 4);
+  ASSERT_GE(clean.completed_at, 0);
+  ASSERT_GE(lossy.completed_at, 0);
+  EXPECT_GT(lossy.report.full_duration(), clean.report.full_duration());
+}
+
+TEST(Tcp, SequentialWritesShareTheGrownWindow) {
+  Simulator sim;
+  TcpConnection conn(sim, {}, {.rate = 1e9, .delay = 0.020}, {.rate = 0, .delay = 0.020});
+  std::optional<TransferReport> first, second;
+  conn.sender().write(60 * 1440, [&](const TransferReport& r) {
+    first = r;
+    conn.sender().write(30 * 1440, [&](const TransferReport& r2) { second = r2; });
+  });
+  sim.run_until(60.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // The second write starts with the window grown by the first (> IW10).
+  EXPECT_GT(second->wnic, 10 * 1440);
+  // 30 packets fit in the grown window: ~1 RTT.
+  EXPECT_NEAR(second->full_duration(), 0.040, 0.015);
+}
+
+TEST(Tcp, BackToBackWritesBothComplete) {
+  Simulator sim;
+  TcpConnection conn(sim, {}, {.rate = 1e8, .delay = 0.015}, {.rate = 0, .delay = 0.015});
+  int done = 0;
+  conn.sender().write(8 * 1440, [&](const TransferReport&) { ++done; });
+  conn.sender().write(24 * 1440, [&](const TransferReport&) { ++done; });
+  sim.run_until(60.0);
+  EXPECT_EQ(done, 2);
+  EXPECT_TRUE(conn.sender().idle());
+}
+
+TEST(Tcp, RtoRecoversFromTotalBlackout) {
+  // Forward link drops everything for a while: deliver after RTO retries.
+  Simulator sim;
+  TcpConfig tcp;
+  LinkConfig forward{.rate = 1e8, .delay = 0.010, .loss_rate = 1.0};
+  TcpConnection conn(sim, tcp, forward, {.rate = 0, .delay = 0.010}, 2);
+  bool done = false;
+  conn.sender().write(5 * 1440, [&](const TransferReport&) { done = true; });
+  sim.schedule(3.0, [&] { conn.forward_link().config().loss_rate = 0.0; });
+  sim.run_until(120.0);
+  EXPECT_TRUE(done);
+  EXPECT_GT(conn.sender().timeouts(), 0u);
+}
+
+TEST(Tcp, ReceiverCountsAllBytesOnce) {
+  Simulator sim;
+  TcpConnection conn(sim, {}, {.rate = 1e7, .delay = 0.010, .loss_rate = 0.03},
+                     {.rate = 0, .delay = 0.010}, 13);
+  bool done = false;
+  conn.sender().write(100 * 1440, [&](const TransferReport&) { done = true; });
+  sim.run_until(300.0);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(conn.receiver().rcv_nxt(), 100 * 1440);
+}
+
+}  // namespace
+}  // namespace fbedge

@@ -1,0 +1,118 @@
+// Tests for the packet trace recorder, used both directly and as an
+// independent check on TCP/link behaviour.
+#include <gtest/gtest.h>
+
+#include "netsim/trace.h"
+#include "tcp/tcp.h"
+
+namespace fbedge {
+namespace {
+
+TEST(Trace, RecordsAndDumps) {
+  TraceRecorder trace;
+  Packet data;
+  data.seq = 0;
+  data.payload = 1440;
+  trace.record_send(0.001, data);
+  Packet ack;
+  ack.is_ack = true;
+  ack.ack = 1440;
+  trace.record_deliver(0.051, ack);
+  EXPECT_EQ(trace.size(), 2u);
+  const std::string dump = trace.dump();
+  EXPECT_NE(dump.find("seq=0..1440"), std::string::npos);
+  EXPECT_NE(dump.find("ack=1440"), std::string::npos);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, DumpTruncates) {
+  TraceRecorder trace;
+  Packet p;
+  p.payload = 100;
+  for (int i = 0; i < 50; ++i) trace.record_send(i * 0.001, p);
+  const std::string dump = trace.dump(10);
+  EXPECT_NE(dump.find("truncated"), std::string::npos);
+}
+
+TEST(Trace, TapObservesTcpTransferWithoutPerturbingIt) {
+  // Interpose the recorder on the data path of a full TCP transfer and
+  // verify (a) the transfer is unchanged and (b) the trace accounts for
+  // every byte exactly once (no loss on a clean link).
+  Simulator sim;
+  TraceRecorder trace;
+  TcpConfig tcp;
+  LinkConfig forward{.rate = 1e7, .delay = 0.020, .queue_capacity = 1 << 20};
+
+  // Manual wiring with the tap between the forward link and the receiver.
+  std::unique_ptr<TcpReceiver> receiver;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<Link> reverse = std::make_unique<Link>(
+      sim, LinkConfig{.rate = 0, .delay = 0.020},
+      [&](const Packet& p) { sender->on_ack(p); });
+  std::unique_ptr<Link> forward_link = std::make_unique<Link>(
+      sim, forward,
+      trace.tap([&](const Packet& p) { receiver->on_data(p); },
+                [&sim] { return sim.now(); }));
+  sender = std::make_unique<TcpSender>(sim, tcp, [&](const Packet& p) {
+    trace.record_send(sim.now(), p);
+    forward_link->send(p);
+  });
+  receiver = std::make_unique<TcpReceiver>(sim, tcp, [&](const Packet& p) {
+    reverse->send(p);
+  });
+
+  constexpr Bytes kSize = 64 * 1440;
+  bool done = false;
+  sender->write(kSize, [&](const TransferReport&) { done = true; });
+  sim.run_until(60.0);
+  ASSERT_TRUE(done);
+
+  EXPECT_EQ(trace.payload_delivered(), kSize);
+  EXPECT_EQ(trace.data_deliveries(), 64);
+  EXPECT_TRUE(trace.deliveries_monotone());
+
+  // Sends precede their deliveries by at least the propagation delay.
+  SimTime first_send = 1e18, first_deliver = 1e18;
+  for (const auto& e : trace.events()) {
+    if (e.packet.is_ack) continue;
+    if (e.kind == TraceEvent::Kind::kSend) first_send = std::min(first_send, e.at);
+    if (e.kind == TraceEvent::Kind::kDeliver) {
+      first_deliver = std::min(first_deliver, e.at);
+    }
+  }
+  EXPECT_GE(first_deliver - first_send, 0.020);
+}
+
+TEST(Trace, CapturesRetransmissionsOnLossyLink) {
+  Simulator sim;
+  TraceRecorder trace;
+  TcpConfig tcp;
+  std::unique_ptr<TcpReceiver> receiver;
+  std::unique_ptr<TcpSender> sender;
+  auto reverse = std::make_unique<Link>(sim, LinkConfig{.rate = 0, .delay = 0.010},
+                                        [&](const Packet& p) { sender->on_ack(p); });
+  auto forward_link = std::make_unique<Link>(
+      sim, LinkConfig{.rate = 1e7, .delay = 0.010, .loss_rate = 0.05},
+      [&](const Packet& p) { receiver->on_data(p); }, 9);
+  sender = std::make_unique<TcpSender>(sim, tcp, [&](const Packet& p) {
+    trace.record_send(sim.now(), p);
+    forward_link->send(p);
+  });
+  receiver = std::make_unique<TcpReceiver>(sim, tcp,
+                                           [&](const Packet& p) { reverse->send(p); });
+  bool done = false;
+  sender->write(200 * 1440, [&](const TransferReport&) { done = true; });
+  sim.run_until(300.0);
+  ASSERT_TRUE(done);
+
+  int retx = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceEvent::Kind::kSend && e.packet.retransmit) ++retx;
+  }
+  EXPECT_GT(retx, 0);
+  EXPECT_NE(trace.dump(5000).find("RETX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbedge

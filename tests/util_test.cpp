@@ -1,0 +1,180 @@
+// Tests for the utility substrate: units, ids, RNG, geo vocabulary.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/geo.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Units.
+// ---------------------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_bits(1000), 8000.0);
+  EXPECT_DOUBLE_EQ(transmission_time(1500, 1.2e6), 0.010);
+  EXPECT_DOUBLE_EQ(goodput_bps(312500, 1.0), 2.5e6);
+  EXPECT_DOUBLE_EQ(ms(250), 0.25);
+  EXPECT_DOUBLE_EQ(to_ms(0.039), 39.0);
+  EXPECT_DOUBLE_EQ(mbps(2.5), 2.5e6);
+  EXPECT_DOUBLE_EQ(to_mbps(2.5e6), 2.5);
+}
+
+TEST(Units, Constants) {
+  EXPECT_DOUBLE_EQ(kMinute, 60.0);
+  EXPECT_DOUBLE_EQ(kDay, 86400.0);
+  EXPECT_EQ(kKiB, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Ids.
+// ---------------------------------------------------------------------------
+
+TEST(Ids, DistinctTypesCompareWithinType) {
+  const PopId a{1}, b{1}, c{2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Ids, HashDispersesValues) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<PopId>{}(PopId{i}));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ids, HashCombineOrderSensitive) {
+  const auto ab = hash_combine(hash_mix(1), 2);
+  const auto ba = hash_combine(hash_mix(2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+// ---------------------------------------------------------------------------
+// Geo.
+// ---------------------------------------------------------------------------
+
+TEST(Geo, CodesAndNames) {
+  EXPECT_EQ(to_code(Continent::kAfrica), "AF");
+  EXPECT_EQ(to_code(Continent::kSouthAmerica), "SA");
+  EXPECT_EQ(to_name(Continent::kOceania), "Oceania");
+  std::set<std::string_view> codes;
+  for (const Continent c : kAllContinents) codes.insert(to_code(c));
+  EXPECT_EQ(codes.size(), static_cast<std::size_t>(kNumContinents));
+}
+
+// ---------------------------------------------------------------------------
+// Rng.
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  Rng a2(42);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1, hi = 0, sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10, 3);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.02);
+  EXPECT_NEAR(sum / n, 0.02, 0.001);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(15);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(std::log(12.0), 0.8));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 12.0, 0.5);
+}
+
+TEST(Rng, ParetoTailHeavierThanExponential) {
+  Rng rng(17);
+  int pareto_big = 0, exp_big = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.pareto(1.0, 1.2) > 50) ++pareto_big;
+    if (rng.exponential(1.0 * 1.2 / 0.2) > 50) ++exp_big;  // matched-ish scale
+  }
+  EXPECT_GT(pareto_big, exp_big);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.37)) ++hits;
+  }
+  EXPECT_NEAR(hits / double(n), 0.37, 0.01);
+}
+
+}  // namespace
+}  // namespace fbedge

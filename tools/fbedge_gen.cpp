@@ -1,0 +1,88 @@
+// fbedge_gen — generate a synthetic sampled-session dataset to stdout (or
+// a file), one serialized SessionSample per line. Pairs with
+// fbedge_analyze, which re-ingests the file and runs the measurement
+// pipeline — the same produce/ship/analyze split as the paper's
+// production deployment (§2.2.2).
+//
+// Usage: fbedge_gen [--groups N] [--days D] [--scale S] [--seed X] [--out FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "fbedge/fbedge.h"
+
+using namespace fbedge;
+
+namespace {
+
+struct Options {
+  int groups_per_continent = 2;
+  int days = 1;
+  double scale = 0.2;
+  std::uint64_t seed = 2019;
+  std::string out;
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--groups") {
+      if (const char* v = next()) opts.groups_per_continent = std::atoi(v);
+    } else if (arg == "--days") {
+      if (const char* v = next()) opts.days = std::atoi(v);
+    } else if (arg == "--scale") {
+      if (const char* v = next()) opts.scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--out") {
+      if (const char* v = next()) opts.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fbedge_gen [--groups N] [--days D] [--scale S] "
+                   "[--seed X] [--out FILE]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  WorldConfig wc;
+  wc.seed = opts.seed;
+  wc.groups_per_continent = opts.groups_per_continent;
+  wc.days = opts.days;
+  const World world = build_world(wc);
+
+  DatasetConfig dc;
+  dc.seed = opts.seed;
+  dc.days = opts.days;
+  dc.session_scale = opts.scale;
+  DatasetGenerator generator(world, dc);
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!opts.out.empty()) {
+    file.open(opts.out);
+    if (!file) {
+      std::fprintf(stderr, "fbedge_gen: cannot open %s\n", opts.out.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+
+  std::uint64_t sessions = 0;
+  generator.generate([&](const SessionSample& s) {
+    (*out) << serialize_sample(s) << '\n';
+    ++sessions;
+  });
+  std::fprintf(stderr, "fbedge_gen: wrote %llu sessions from %zu user groups\n",
+               static_cast<unsigned long long>(sessions), world.groups.size());
+  return 0;
+}
