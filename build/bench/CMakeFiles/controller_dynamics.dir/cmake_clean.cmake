@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_dynamics.dir/controller_dynamics.cpp.o"
+  "CMakeFiles/controller_dynamics.dir/controller_dynamics.cpp.o.d"
+  "controller_dynamics"
+  "controller_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_check.dir/fidelity_check.cpp.o"
+  "CMakeFiles/fidelity_check.dir/fidelity_check.cpp.o.d"
+  "fidelity_check"
+  "fidelity_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_peer_transit.dir/fig10_peer_transit.cpp.o"
+  "CMakeFiles/fig10_peer_transit.dir/fig10_peer_transit.cpp.o.d"
+  "fig10_peer_transit"
+  "fig10_peer_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_peer_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sessions.dir/fig1_sessions.cpp.o"
+  "CMakeFiles/fig1_sessions.dir/fig1_sessions.cpp.o.d"
+  "fig1_sessions"
+  "fig1_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

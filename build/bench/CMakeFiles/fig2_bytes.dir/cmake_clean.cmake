@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bytes.dir/fig2_bytes.cpp.o"
+  "CMakeFiles/fig2_bytes.dir/fig2_bytes.cpp.o.d"
+  "fig2_bytes"
+  "fig2_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

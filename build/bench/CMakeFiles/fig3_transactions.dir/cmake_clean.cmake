@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_transactions.dir/fig3_transactions.cpp.o"
+  "CMakeFiles/fig3_transactions.dir/fig3_transactions.cpp.o.d"
+  "fig3_transactions"
+  "fig3_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_example.cpp" "bench/CMakeFiles/fig4_example.dir/fig4_example.cpp.o" "gcc" "bench/CMakeFiles/fig4_example.dir/fig4_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/fbedge_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fbedge_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/fbedge_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/fbedge_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/fbedge_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/fbedge_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/goodput/CMakeFiles/fbedge_goodput.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/fbedge_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbedge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fbedge_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rtt_vs_hd.dir/fig7_rtt_vs_hd.cpp.o"
+  "CMakeFiles/fig7_rtt_vs_hd.dir/fig7_rtt_vs_hd.cpp.o.d"
+  "fig7_rtt_vs_hd"
+  "fig7_rtt_vs_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rtt_vs_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

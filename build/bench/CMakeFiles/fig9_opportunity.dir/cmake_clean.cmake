@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_opportunity.dir/fig9_opportunity.cpp.o"
+  "CMakeFiles/fig9_opportunity.dir/fig9_opportunity.cpp.o.d"
+  "fig9_opportunity"
+  "fig9_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

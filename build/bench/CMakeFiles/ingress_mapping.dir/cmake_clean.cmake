@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingress_mapping.dir/ingress_mapping.cpp.o"
+  "CMakeFiles/ingress_mapping.dir/ingress_mapping.cpp.o.d"
+  "ingress_mapping"
+  "ingress_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingress_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tiers.dir/latency_tiers.cpp.o"
+  "CMakeFiles/latency_tiers.dir/latency_tiers.cpp.o.d"
+  "latency_tiers"
+  "latency_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_ladder_sweep.dir/rate_ladder_sweep.cpp.o"
+  "CMakeFiles/rate_ladder_sweep.dir/rate_ladder_sweep.cpp.o.d"
+  "rate_ladder_sweep"
+  "rate_ladder_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_ladder_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rate_ladder_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_classes.dir/table1_classes.cpp.o"
+  "CMakeFiles/table1_classes.dir/table1_classes.cpp.o.d"
+  "table1_classes"
+  "table1_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

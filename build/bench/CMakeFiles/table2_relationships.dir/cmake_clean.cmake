@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_relationships.dir/table2_relationships.cpp.o"
+  "CMakeFiles/table2_relationships.dir/table2_relationships.cpp.o.d"
+  "table2_relationships"
+  "table2_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_multiplexing.dir/h2_multiplexing.cpp.o"
+  "CMakeFiles/h2_multiplexing.dir/h2_multiplexing.cpp.o.d"
+  "h2_multiplexing"
+  "h2_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

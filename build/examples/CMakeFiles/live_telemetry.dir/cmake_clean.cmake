@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_telemetry.dir/live_telemetry.cpp.o"
+  "CMakeFiles/live_telemetry.dir/live_telemetry.cpp.o.d"
+  "live_telemetry"
+  "live_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

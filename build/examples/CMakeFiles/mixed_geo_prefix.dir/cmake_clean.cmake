@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_geo_prefix.dir/mixed_geo_prefix.cpp.o"
+  "CMakeFiles/mixed_geo_prefix.dir/mixed_geo_prefix.cpp.o.d"
+  "mixed_geo_prefix"
+  "mixed_geo_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_geo_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

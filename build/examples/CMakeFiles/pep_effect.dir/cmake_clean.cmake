@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_effect.dir/pep_effect.cpp.o"
+  "CMakeFiles/pep_effect.dir/pep_effect.cpp.o.d"
+  "pep_effect"
+  "pep_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_selection.dir/route_selection.cpp.o"
+  "CMakeFiles/route_selection.dir/route_selection.cpp.o.d"
+  "route_selection"
+  "route_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

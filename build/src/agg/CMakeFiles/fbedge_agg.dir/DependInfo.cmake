@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/classifier.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/classifier.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/classifier.cpp.o.d"
+  "/root/repo/src/agg/comparison.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/comparison.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/comparison.cpp.o.d"
+  "/root/repo/src/agg/degradation.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/degradation.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/degradation.cpp.o.d"
+  "/root/repo/src/agg/monitor.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/monitor.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/monitor.cpp.o.d"
+  "/root/repo/src/agg/opportunity.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/opportunity.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/opportunity.cpp.o.d"
+  "/root/repo/src/agg/rollup.cpp" "src/agg/CMakeFiles/fbedge_agg.dir/rollup.cpp.o" "gcc" "src/agg/CMakeFiles/fbedge_agg.dir/rollup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fbedge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fbedge_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_agg.dir/classifier.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/classifier.cpp.o.d"
+  "CMakeFiles/fbedge_agg.dir/comparison.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/comparison.cpp.o.d"
+  "CMakeFiles/fbedge_agg.dir/degradation.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/degradation.cpp.o.d"
+  "CMakeFiles/fbedge_agg.dir/monitor.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/monitor.cpp.o.d"
+  "CMakeFiles/fbedge_agg.dir/opportunity.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/opportunity.cpp.o.d"
+  "CMakeFiles/fbedge_agg.dir/rollup.cpp.o"
+  "CMakeFiles/fbedge_agg.dir/rollup.cpp.o.d"
+  "libfbedge_agg.a"
+  "libfbedge_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbedge_agg.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_analysis.dir/edge_analysis.cpp.o"
+  "CMakeFiles/fbedge_analysis.dir/edge_analysis.cpp.o.d"
+  "CMakeFiles/fbedge_analysis.dir/figures.cpp.o"
+  "CMakeFiles/fbedge_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/fbedge_analysis.dir/format.cpp.o"
+  "CMakeFiles/fbedge_analysis.dir/format.cpp.o.d"
+  "libfbedge_analysis.a"
+  "libfbedge_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/goodput/hdratio.cpp" "src/goodput/CMakeFiles/fbedge_goodput.dir/hdratio.cpp.o" "gcc" "src/goodput/CMakeFiles/fbedge_goodput.dir/hdratio.cpp.o.d"
+  "/root/repo/src/goodput/ideal_model.cpp" "src/goodput/CMakeFiles/fbedge_goodput.dir/ideal_model.cpp.o" "gcc" "src/goodput/CMakeFiles/fbedge_goodput.dir/ideal_model.cpp.o.d"
+  "/root/repo/src/goodput/rate_ladder.cpp" "src/goodput/CMakeFiles/fbedge_goodput.dir/rate_ladder.cpp.o" "gcc" "src/goodput/CMakeFiles/fbedge_goodput.dir/rate_ladder.cpp.o.d"
+  "/root/repo/src/goodput/tmodel.cpp" "src/goodput/CMakeFiles/fbedge_goodput.dir/tmodel.cpp.o" "gcc" "src/goodput/CMakeFiles/fbedge_goodput.dir/tmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_goodput.dir/hdratio.cpp.o"
+  "CMakeFiles/fbedge_goodput.dir/hdratio.cpp.o.d"
+  "CMakeFiles/fbedge_goodput.dir/ideal_model.cpp.o"
+  "CMakeFiles/fbedge_goodput.dir/ideal_model.cpp.o.d"
+  "CMakeFiles/fbedge_goodput.dir/rate_ladder.cpp.o"
+  "CMakeFiles/fbedge_goodput.dir/rate_ladder.cpp.o.d"
+  "CMakeFiles/fbedge_goodput.dir/tmodel.cpp.o"
+  "CMakeFiles/fbedge_goodput.dir/tmodel.cpp.o.d"
+  "libfbedge_goodput.a"
+  "libfbedge_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

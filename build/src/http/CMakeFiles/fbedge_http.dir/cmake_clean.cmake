@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_http.dir/h2_scheduler.cpp.o"
+  "CMakeFiles/fbedge_http.dir/h2_scheduler.cpp.o.d"
+  "libfbedge_http.a"
+  "libfbedge_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_netsim.dir/link.cpp.o"
+  "CMakeFiles/fbedge_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/fbedge_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/fbedge_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fbedge_netsim.dir/trace.cpp.o"
+  "CMakeFiles/fbedge_netsim.dir/trace.cpp.o.d"
+  "libfbedge_netsim.a"
+  "libfbedge_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_routing.dir/controller.cpp.o"
+  "CMakeFiles/fbedge_routing.dir/controller.cpp.o.d"
+  "CMakeFiles/fbedge_routing.dir/policy.cpp.o"
+  "CMakeFiles/fbedge_routing.dir/policy.cpp.o.d"
+  "libfbedge_routing.a"
+  "libfbedge_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampler/coalescer.cpp" "src/sampler/CMakeFiles/fbedge_sampler.dir/coalescer.cpp.o" "gcc" "src/sampler/CMakeFiles/fbedge_sampler.dir/coalescer.cpp.o.d"
+  "/root/repo/src/sampler/io.cpp" "src/sampler/CMakeFiles/fbedge_sampler.dir/io.cpp.o" "gcc" "src/sampler/CMakeFiles/fbedge_sampler.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/fbedge_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fbedge_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/goodput/CMakeFiles/fbedge_goodput.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_sampler.dir/coalescer.cpp.o"
+  "CMakeFiles/fbedge_sampler.dir/coalescer.cpp.o.d"
+  "CMakeFiles/fbedge_sampler.dir/io.cpp.o"
+  "CMakeFiles/fbedge_sampler.dir/io.cpp.o.d"
+  "libfbedge_sampler.a"
+  "libfbedge_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

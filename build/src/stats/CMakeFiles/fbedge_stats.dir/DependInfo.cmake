@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/fbedge_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/fbedge_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/median_ci.cpp" "src/stats/CMakeFiles/fbedge_stats.dir/median_ci.cpp.o" "gcc" "src/stats/CMakeFiles/fbedge_stats.dir/median_ci.cpp.o.d"
+  "/root/repo/src/stats/tdigest.cpp" "src/stats/CMakeFiles/fbedge_stats.dir/tdigest.cpp.o" "gcc" "src/stats/CMakeFiles/fbedge_stats.dir/tdigest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

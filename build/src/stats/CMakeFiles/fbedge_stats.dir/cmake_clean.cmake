@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/fbedge_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/fbedge_stats.dir/median_ci.cpp.o"
+  "CMakeFiles/fbedge_stats.dir/median_ci.cpp.o.d"
+  "CMakeFiles/fbedge_stats.dir/tdigest.cpp.o"
+  "CMakeFiles/fbedge_stats.dir/tdigest.cpp.o.d"
+  "libfbedge_stats.a"
+  "libfbedge_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

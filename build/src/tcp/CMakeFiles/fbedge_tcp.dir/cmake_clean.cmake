@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_tcp.dir/fluid_model.cpp.o"
+  "CMakeFiles/fbedge_tcp.dir/fluid_model.cpp.o.d"
+  "CMakeFiles/fbedge_tcp.dir/pep.cpp.o"
+  "CMakeFiles/fbedge_tcp.dir/pep.cpp.o.d"
+  "CMakeFiles/fbedge_tcp.dir/tcp.cpp.o"
+  "CMakeFiles/fbedge_tcp.dir/tcp.cpp.o.d"
+  "libfbedge_tcp.a"
+  "libfbedge_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cartographer.cpp" "src/workload/CMakeFiles/fbedge_workload.dir/cartographer.cpp.o" "gcc" "src/workload/CMakeFiles/fbedge_workload.dir/cartographer.cpp.o.d"
+  "/root/repo/src/workload/distributions.cpp" "src/workload/CMakeFiles/fbedge_workload.dir/distributions.cpp.o" "gcc" "src/workload/CMakeFiles/fbedge_workload.dir/distributions.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/fbedge_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/fbedge_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/packet_generator.cpp" "src/workload/CMakeFiles/fbedge_workload.dir/packet_generator.cpp.o" "gcc" "src/workload/CMakeFiles/fbedge_workload.dir/packet_generator.cpp.o.d"
+  "/root/repo/src/workload/world.cpp" "src/workload/CMakeFiles/fbedge_workload.dir/world.cpp.o" "gcc" "src/workload/CMakeFiles/fbedge_workload.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/fbedge_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/fbedge_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fbedge_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/fbedge_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/fbedge_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/fbedge_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/goodput/CMakeFiles/fbedge_goodput.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbedge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_workload.dir/cartographer.cpp.o"
+  "CMakeFiles/fbedge_workload.dir/cartographer.cpp.o.d"
+  "CMakeFiles/fbedge_workload.dir/distributions.cpp.o"
+  "CMakeFiles/fbedge_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/fbedge_workload.dir/generator.cpp.o"
+  "CMakeFiles/fbedge_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/fbedge_workload.dir/packet_generator.cpp.o"
+  "CMakeFiles/fbedge_workload.dir/packet_generator.cpp.o.d"
+  "CMakeFiles/fbedge_workload.dir/world.cpp.o"
+  "CMakeFiles/fbedge_workload.dir/world.cpp.o.d"
+  "libfbedge_workload.a"
+  "libfbedge_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartographer_test.dir/cartographer_test.cpp.o"
+  "CMakeFiles/cartographer_test.dir/cartographer_test.cpp.o.d"
+  "cartographer_test"
+  "cartographer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartographer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescing_goodput_test.dir/coalescing_goodput_test.cpp.o"
+  "CMakeFiles/coalescing_goodput_test.dir/coalescing_goodput_test.cpp.o.d"
+  "coalescing_goodput_test"
+  "coalescing_goodput_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescing_goodput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_analysis_test.dir/edge_analysis_test.cpp.o"
+  "CMakeFiles/edge_analysis_test.dir/edge_analysis_test.cpp.o.d"
+  "edge_analysis_test"
+  "edge_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodput_test.dir/goodput_test.cpp.o"
+  "CMakeFiles/goodput_test.dir/goodput_test.cpp.o.d"
+  "goodput_test"
+  "goodput_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

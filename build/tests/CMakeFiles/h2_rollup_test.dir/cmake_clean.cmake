@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_rollup_test.dir/h2_rollup_test.cpp.o"
+  "CMakeFiles/h2_rollup_test.dir/h2_rollup_test.cpp.o.d"
+  "h2_rollup_test"
+  "h2_rollup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_rollup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_io_test.dir/monitor_io_test.cpp.o"
+  "CMakeFiles/monitor_io_test.dir/monitor_io_test.cpp.o.d"
+  "monitor_io_test"
+  "monitor_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_analyze.dir/fbedge_analyze.cpp.o"
+  "CMakeFiles/fbedge_analyze.dir/fbedge_analyze.cpp.o.d"
+  "fbedge_analyze"
+  "fbedge_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

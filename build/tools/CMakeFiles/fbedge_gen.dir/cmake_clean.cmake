@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbedge_gen.dir/fbedge_gen.cpp.o"
+  "CMakeFiles/fbedge_gen.dir/fbedge_gen.cpp.o.d"
+  "fbedge_gen"
+  "fbedge_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbedge_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
