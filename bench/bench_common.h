@@ -2,32 +2,103 @@
 //
 // Each bench binary regenerates one figure or table of the paper from a
 // freshly synthesized dataset. Sizes are chosen so a single binary runs in
-// tens of seconds on one core; pass a positive integer argument to scale
-// the number of user groups per continent.
+// tens of seconds; pass a positive integer argument to scale the number of
+// user groups per continent.
+//
+// Common flags (after the optional group-count positional):
+//   --threads N    worker threads for the sharded runtime (default:
+//                  hardware concurrency; results are byte-identical for
+//                  any N, including 1)
+//   --json PATH    also emit headline metrics as machine-readable JSON
+//                  (metric name -> value) for cross-PR tracking
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "runtime/pipeline.h"
 #include "workload/generator.h"
 #include "workload/world.h"
 
 namespace fbedge::bench {
 
+/// Headline-metric sink for `--json`. Keys keep insertion order; write()
+/// is a no-op when no path was given.
+class JsonOutput {
+ public:
+  explicit JsonOutput(std::string path = {}) : path_(std::move(path)) {}
+
+  void add(const std::string& name, double value) {
+    entries_.emplace_back(name, value);
+  }
+
+  /// Writes `{"name": value, ...}`; returns false on I/O failure.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.10g%s\n", entries_[i].first.c_str(),
+                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+  std::string path_;
+};
+
 struct RunConfig {
   WorldConfig world;
   DatasetConfig dataset;
+  /// threads=0 -> hardware concurrency (resolve_threads).
+  RuntimeOptions runtime;
+  std::string json_path;
 };
+
+/// Parses the shared command line: an optional positional integer (user
+/// groups per continent) plus --threads/--json. Exits on unknown flags.
+inline void parse_common_args(int argc, char** argv, RunConfig& rc,
+                              int default_groups) {
+  rc.world.groups_per_continent = default_groups;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--threads") {
+      if (const char* v = next()) rc.runtime.threads = std::atoi(v);
+    } else if (arg == "--json") {
+      if (const char* v = next()) rc.json_path = v;
+    } else if (!arg.empty() && arg[0] != '-') {
+      rc.world.groups_per_continent = std::atoi(arg.c_str());
+    } else {
+      std::fprintf(stderr, "usage: %s [groups] [--threads N] [--json PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
 
 /// Traffic-characterization runs (Figs. 1-3): modest world, full sessions.
 inline RunConfig traffic_run(int argc, char** argv) {
   RunConfig rc;
   rc.world.seed = 2019;
-  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 4;
   rc.world.days = 2;
   rc.dataset.seed = 2019;
   rc.dataset.days = 2;
   rc.dataset.session_scale = 0.5;
+  parse_common_args(argc, argv, rc, 4);
   return rc;
 }
 
@@ -35,11 +106,11 @@ inline RunConfig traffic_run(int argc, char** argv) {
 inline RunConfig performance_run(int argc, char** argv) {
   RunConfig rc;
   rc.world.seed = 2019;
-  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 12;
   rc.world.days = 2;
   rc.dataset.seed = 2019;
   rc.dataset.days = 2;
   rc.dataset.session_scale = 0.4;
+  parse_common_args(argc, argv, rc, 12);
   return rc;
 }
 
@@ -50,10 +121,10 @@ inline RunConfig edge_run(int argc, char** argv) {
   RunConfig rc;
   rc.world.seed = 2019;
   rc.world.days = 10;
-  rc.world.groups_per_continent = argc > 1 ? std::atoi(argv[1]) : 10;
   rc.dataset.seed = 2019;
   rc.dataset.days = 10;
   rc.dataset.session_scale = 1.0;
+  parse_common_args(argc, argv, rc, 10);
   return rc;
 }
 

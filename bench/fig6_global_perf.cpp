@@ -1,5 +1,6 @@
 // Figure 6 reproduction: distributions of MinRTT and HDratio over all
 // sessions and per continent, plus the §4 ablations (naive goodput, D1).
+// Runs on the sharded runtime; stdout is byte-identical for any --threads.
 #include "analysis/figures.h"
 #include "analysis/format.h"
 #include "bench_common.h"
@@ -9,7 +10,9 @@ using namespace fbedge;
 int main(int argc, char** argv) {
   const auto rc = bench::performance_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto perf = measure_global_performance(world, rc.dataset);
+  RunStats stats;
+  const auto perf =
+      measure_global_performance(world, rc.dataset, {}, rc.runtime, &stats);
 
   print_header("Figure 6(a): MinRTT CDF, all sessions [ms]");
   print_cdf("MinRTT", perf.minrtt_all, 20, 1e3);
@@ -54,5 +57,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(perf.sessions_total),
               static_cast<unsigned long long>(perf.sessions_hd_testable),
               static_cast<unsigned long long>(perf.filtered_hosting));
-  return 0;
+  stats.print("fig6_global_perf");
+
+  bench::JsonOutput json(rc.json_path);
+  json.add("minrtt_p50_ms", perf.minrtt_all.quantile(0.5) * 1e3);
+  json.add("minrtt_p80_ms", perf.minrtt_all.quantile(0.8) * 1e3);
+  json.add("hdratio_gt0", 1.0 - perf.hdratio_all.fraction_at_or_below(0.0));
+  json.add("hdratio_eq1", 1.0 - perf.hdratio_all.fraction_at_or_below(0.999));
+  json.add("hdratio_naive_median", perf.hdratio_naive_all.quantile(0.5));
+  json.add("sessions_total", static_cast<double>(perf.sessions_total));
+  json.add("sessions_hd_testable", static_cast<double>(perf.sessions_hd_testable));
+  json.add("runtime_threads", stats.threads);
+  json.add("runtime_wall_seconds", stats.wall_seconds);
+  json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_steals", static_cast<double>(stats.steals));
+  return json.write() ? 0 : 1;
 }

@@ -10,7 +10,9 @@ using namespace fbedge;
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto result = run_edge_analysis(world, rc.dataset);
+  RunStats stats;
+  const auto result =
+      run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime, &stats);
 
   print_header(
       "Figure 9(a): MinRTT_P50 difference CDF [ms, preferred - alternate; "
@@ -40,5 +42,21 @@ int main(int argc, char** argv) {
               result.opp_valid_traffic_hd);
   std::printf("measured: median diff rtt=%.2f ms (negative = preferred better)\n",
               result.opp_rtt.empty() ? 0.0 : result.opp_rtt.quantile(0.5) * 1e3);
-  return 0;
+  stats.print("fig9_opportunity");
+
+  bench::JsonOutput json(rc.json_path);
+  json.add("rtt_within_3ms", result.rtt_within_3ms);
+  json.add("hd_within_0025", result.hd_within_0025);
+  json.add("rtt_improvable_5ms", result.rtt_improvable_5ms);
+  json.add("hd_improvable_005", result.hd_improvable_005);
+  json.add("opp_valid_traffic_rtt", result.opp_valid_traffic_rtt);
+  json.add("opp_valid_traffic_hd", result.opp_valid_traffic_hd);
+  json.add("opp_rtt_median_ms",
+           result.opp_rtt.empty() ? 0.0 : result.opp_rtt.quantile(0.5) * 1e3);
+  json.add("groups_analyzed", result.groups_analyzed);
+  json.add("runtime_threads", stats.threads);
+  json.add("runtime_wall_seconds", stats.wall_seconds);
+  json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_steals", static_cast<double>(stats.steals));
+  return json.write() ? 0 : 1;
 }

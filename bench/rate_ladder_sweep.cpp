@@ -23,24 +23,41 @@ int main(int argc, char** argv) {
     std::array<int, 5> tested{};
     int sessions{0};
   };
-  std::array<ContinentTally, kNumContinents> tallies{};
+  using Tallies = std::array<ContinentTally, kNumContinents>;
 
-  generator.generate([&](const SessionSample& s) {
-    if (!SessionSampler::keep_for_analysis(s.client)) return;
-    if (s.route_index != 0) return;
-    const auto coalesced = coalesce_session(s.writes, s.min_rtt);
-    RateLadderEvaluator ladder(ladder_spec);
-    for (const auto& txn : coalesced.txns) ladder.evaluate(txn);
-    auto& tally = tallies[static_cast<std::size_t>(s.client.continent)];
-    ++tally.sessions;
-    const auto& rungs = ladder.results();
-    for (std::size_t r = 0; r < rungs.size(); ++r) {
-      const auto ratio = rungs[r].ratio();
-      if (!ratio) continue;
-      ++tally.tested[r];
-      if (*ratio >= 0.5) ++tally.sustained[r];
-    }
-  });
+  RunStats stats;
+  const Tallies tallies = shard_map_reduce(
+      world, rc.runtime, Tallies{},
+      [&](const UserGroupProfile& group, std::size_t) {
+        Tallies part{};
+        generator.generate_group(group, [&](const SessionSample& s) {
+          if (!SessionSampler::keep_for_analysis(s.client)) return;
+          if (s.route_index != 0) return;
+          const auto coalesced = coalesce_session(s.writes, s.min_rtt);
+          RateLadderEvaluator ladder(ladder_spec);
+          for (const auto& txn : coalesced.txns) ladder.evaluate(txn);
+          auto& tally = part[static_cast<std::size_t>(s.client.continent)];
+          ++tally.sessions;
+          const auto& rungs = ladder.results();
+          for (std::size_t r = 0; r < rungs.size(); ++r) {
+            const auto ratio = rungs[r].ratio();
+            if (!ratio) continue;
+            ++tally.tested[r];
+            if (*ratio >= 0.5) ++tally.sustained[r];
+          }
+        });
+        return part;
+      },
+      [](Tallies& acc, Tallies&& part, std::size_t) {
+        for (std::size_t c = 0; c < acc.size(); ++c) {
+          acc[c].sessions += part[c].sessions;
+          for (std::size_t r = 0; r < acc[c].sustained.size(); ++r) {
+            acc[c].sustained[r] += part[c].sustained[r];
+            acc[c].tested[r] += part[c].tested[r];
+          }
+        }
+      },
+      &stats);
 
   std::printf("==== Rate ladder: share of testable sessions sustaining each "
               "bitrate ====\n");
@@ -65,5 +82,22 @@ int main(int argc, char** argv) {
   std::printf("\nHigher rungs are testable on fewer sessions (larger responses\n");
   std::printf("needed) and sustained by fewer still; the HD column matches the\n");
   std::printf("Figure 6(c) shares.\n");
-  return 0;
+  stats.print("rate_ladder_sweep");
+
+  bench::JsonOutput json(rc.json_path);
+  for (const Continent c : kAllContinents) {
+    const auto& tally = tallies[static_cast<std::size_t>(c)];
+    if (tally.sessions == 0) continue;
+    // HD rung (2.5 Mbps) sustained share per continent.
+    for (std::size_t r = 0; r < ladder_spec.size(); ++r) {
+      if (ladder_spec[r].name != "hd-2.5" || tally.tested[r] == 0) continue;
+      json.add(std::string("hd_sustained_") + std::string(to_code(c)),
+               static_cast<double>(tally.sustained[r]) / tally.tested[r]);
+    }
+  }
+  json.add("runtime_threads", stats.threads);
+  json.add("runtime_wall_seconds", stats.wall_seconds);
+  json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_steals", static_cast<double>(stats.steals));
+  return json.write() ? 0 : 1;
 }

@@ -54,7 +54,9 @@ void print_analysis(const EdgeAnalysisResult& result, AnalysisKind kind,
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto result = run_edge_analysis(world, rc.dataset);
+  RunStats stats;
+  const auto result =
+      run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime, &stats);
 
   bench::print_paper_note(
       "most degradation is diurnal (destination congestion at peak hours) "
@@ -70,5 +72,29 @@ int main(int argc, char** argv) {
   print_analysis(result, AnalysisKind::kOpportunityHd, {"+0.05"});
 
   std::printf("\ngroups analyzed: %d\n", result.groups_analyzed);
-  return 0;
+  stats.print("table1_classes");
+
+  bench::JsonOutput json(rc.json_path);
+  // Overall uneventful share at the first threshold of each analysis — the
+  // headline "how much traffic is boring" numbers.
+  const auto overall = [&](AnalysisKind kind, TemporalClass cls) {
+    const auto it = result.table1.find({kind, 0, cls, -1});
+    return it == result.table1.end() ? 0.0 : it->second.group_traffic;
+  };
+  json.add("degr_rtt_uneventful",
+           overall(AnalysisKind::kDegradationRtt, TemporalClass::kUneventful));
+  json.add("degr_rtt_diurnal",
+           overall(AnalysisKind::kDegradationRtt, TemporalClass::kDiurnal));
+  json.add("degr_hd_uneventful",
+           overall(AnalysisKind::kDegradationHd, TemporalClass::kUneventful));
+  json.add("opp_rtt_continuous",
+           overall(AnalysisKind::kOpportunityRtt, TemporalClass::kContinuous));
+  json.add("opp_rtt_uneventful",
+           overall(AnalysisKind::kOpportunityRtt, TemporalClass::kUneventful));
+  json.add("groups_analyzed", result.groups_analyzed);
+  json.add("runtime_threads", stats.threads);
+  json.add("runtime_wall_seconds", stats.wall_seconds);
+  json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_steals", static_cast<double>(stats.steals));
+  return json.write() ? 0 : 1;
 }

@@ -27,6 +27,19 @@ struct Table1Accumulator {
     }
   }
 
+  /// Folds another accumulator in (both maps are ordered, so the merge is
+  /// deterministic for any shard count).
+  void merge(const Table1Accumulator& other) {
+    for (const auto& [key, cell] : other.cells) {
+      auto& mine = cells[key];
+      mine.group_traffic += cell.group_traffic;
+      mine.event_traffic += cell.event_traffic;
+    }
+    for (const auto& [key, denom] : other.denominators) {
+      denominators[key] += denom;
+    }
+  }
+
   void normalize_into(decltype(EdgeAnalysisResult::table1)& out) const {
     for (const auto& [key, cell] : cells) {
       const auto& [kind, threshold_idx, cls, scope] = key;
@@ -69,13 +82,279 @@ int first_alternate_of(const UserGroupProfile& group, Relationship rel) {
   return -1;
 }
 
+/// Everything one user group contributes to the sweep, before the final
+/// normalizations. The sharded runtime produces one of these per group and
+/// merges them in group-id order; the CDF fields and the raw table sums
+/// live in an EdgeAnalysisResult whose scalar outputs stay zero until
+/// normalization.
+struct EdgePartial {
+  EdgeAnalysisResult res;  // CDFs + raw table2 traffic sums
+  Table1Accumulator table1;
+
+  double degr_valid_rtt_traffic{0};
+  double degr_valid_hd_traffic{0};
+  double preferred_traffic_total{0};
+  double opp_valid_rtt_traffic{0};
+  double opp_valid_hd_traffic{0};
+  double within3_traffic{0};
+  double within0025_traffic{0};
+  double improvable_rtt_traffic{0};
+  double improvable_hd_traffic{0};
+
+  void merge(const EdgePartial& other) {
+    res.degr_rtt.merge(other.res.degr_rtt);
+    res.degr_rtt_lower.merge(other.res.degr_rtt_lower);
+    res.degr_rtt_upper.merge(other.res.degr_rtt_upper);
+    res.degr_hd.merge(other.res.degr_hd);
+    res.degr_hd_lower.merge(other.res.degr_hd_lower);
+    res.degr_hd_upper.merge(other.res.degr_hd_upper);
+    res.opp_rtt.merge(other.res.opp_rtt);
+    res.opp_rtt_lower.merge(other.res.opp_rtt_lower);
+    res.opp_rtt_upper.merge(other.res.opp_rtt_upper);
+    res.opp_hd.merge(other.res.opp_hd);
+    res.opp_hd_lower.merge(other.res.opp_hd_lower);
+    res.opp_hd_upper.merge(other.res.opp_hd_upper);
+    res.fig10_peer_vs_transit.merge(other.res.fig10_peer_vs_transit);
+    res.fig10_transit_vs_transit.merge(other.res.fig10_transit_vs_transit);
+    res.fig10_private_vs_public.merge(other.res.fig10_private_vs_public);
+    for (const auto& [pair, row] : other.res.table2_rtt) {
+      auto& mine = res.table2_rtt[pair];
+      mine.absolute += row.absolute;
+      mine.longer += row.longer;
+      mine.prepended += row.prepended;
+    }
+    for (const auto& [pair, row] : other.res.table2_hd) {
+      auto& mine = res.table2_hd[pair];
+      mine.absolute += row.absolute;
+      mine.longer += row.longer;
+      mine.prepended += row.prepended;
+    }
+    res.total_traffic += other.res.total_traffic;
+    res.groups_analyzed += other.res.groups_analyzed;
+    table1.merge(other.table1);
+
+    degr_valid_rtt_traffic += other.degr_valid_rtt_traffic;
+    degr_valid_hd_traffic += other.degr_valid_hd_traffic;
+    preferred_traffic_total += other.preferred_traffic_total;
+    opp_valid_rtt_traffic += other.opp_valid_rtt_traffic;
+    opp_valid_hd_traffic += other.opp_valid_hd_traffic;
+    within3_traffic += other.within3_traffic;
+    within0025_traffic += other.within0025_traffic;
+    improvable_rtt_traffic += other.improvable_rtt_traffic;
+    improvable_hd_traffic += other.improvable_hd_traffic;
+  }
+};
+
+EdgePartial analyze_group(const DatasetGenerator& generator,
+                          const UserGroupProfile& group,
+                          const AnalysisThresholds& thresholds,
+                          const ComparisonConfig& comparison,
+                          const GoodputConfig& goodput,
+                          const ClassifierConfig& classifier_config) {
+  EdgePartial part;
+  EdgeAnalysisResult& out = part.res;
+
+  // ---- aggregate this group's sessions -----------------------------------
+  GroupSeries series;
+  series.continent = group.continent;
+  generator.generate_group(group, [&](const SessionSample& s) {
+    if (!SessionSampler::keep_for_analysis(s.client)) return;
+    const SessionMetrics m = compute_session_metrics(s, goodput);
+    series.windows[window_index(s.established_at)]
+        .route(s.route_index)
+        .add_session(m.min_rtt, m.hdratio, m.traffic);
+  });
+  if (series.windows.empty()) return part;
+  out.total_traffic += static_cast<double>(series.total_traffic());
+  for (const auto& [w, agg] : series.windows) {
+    if (const RouteWindowAgg* pref = agg.route(0)) {
+      part.preferred_traffic_total += static_cast<double>(pref->traffic());
+    }
+  }
+  ++out.groups_analyzed;
+  const int continent = static_cast<int>(group.continent);
+
+  // ---- degradation (§5, Fig. 8) ------------------------------------------
+  const DegradationResult degr = analyze_degradation(series, comparison);
+  std::unordered_map<int, const DegradationWindow*> degr_by_window;
+  for (const auto& dw : degr.windows) {
+    degr_by_window[dw.window] = &dw;
+    const double weight = std::max<double>(1, static_cast<double>(dw.traffic));
+    if (dw.rtt.valid()) {
+      part.degr_valid_rtt_traffic += static_cast<double>(dw.traffic);
+      out.degr_rtt.add(dw.rtt.diff.estimate, weight);
+      out.degr_rtt_lower.add(dw.rtt.diff.lower, weight);
+      out.degr_rtt_upper.add(dw.rtt.diff.upper, weight);
+    }
+    if (dw.hd.valid()) {
+      part.degr_valid_hd_traffic += static_cast<double>(dw.traffic);
+      out.degr_hd.add(dw.hd.diff.estimate, weight);
+      out.degr_hd_lower.add(dw.hd.diff.lower, weight);
+      out.degr_hd_upper.add(dw.hd.diff.upper, weight);
+    }
+  }
+
+  // ---- opportunity (§6, Fig. 9) ------------------------------------------
+  const auto opp = analyze_opportunity(series, comparison);
+  std::unordered_map<int, const OpportunityWindow*> opp_by_window;
+  for (const auto& ow : opp) {
+    opp_by_window[ow.window] = &ow;
+    const double weight = std::max<double>(1, static_cast<double>(ow.traffic));
+    if (ow.rtt.valid()) {
+      part.opp_valid_rtt_traffic += static_cast<double>(ow.traffic);
+      out.opp_rtt.add(ow.rtt.diff.estimate, weight);
+      out.opp_rtt_lower.add(ow.rtt.diff.lower, weight);
+      out.opp_rtt_upper.add(ow.rtt.diff.upper, weight);
+      // Preferred within 3 ms of optimal: the alternate is at most 3 ms
+      // faster (diff = preferred - alternate).
+      if (ow.rtt.diff.estimate <= 0.003) {
+        part.within3_traffic += static_cast<double>(ow.traffic);
+      }
+      if (ow.rtt_opportunity(thresholds.opportunity_rtt.front())) {
+        part.improvable_rtt_traffic += static_cast<double>(ow.traffic);
+      }
+    }
+    if (ow.hd.valid()) {
+      part.opp_valid_hd_traffic += static_cast<double>(ow.traffic);
+      out.opp_hd.add(ow.hd.diff.estimate, weight);
+      out.opp_hd_lower.add(ow.hd.diff.lower, weight);
+      out.opp_hd_upper.add(ow.hd.diff.upper, weight);
+      if (ow.hd.diff.estimate <= 0.025) {
+        part.within0025_traffic += static_cast<double>(ow.traffic);
+      }
+      if (ow.hd_opportunity(thresholds.opportunity_hd.front())) {
+        part.improvable_hd_traffic += static_cast<double>(ow.traffic);
+      }
+    }
+  }
+
+  // ---- Table 1: temporal classification at every threshold ---------------
+  for (std::size_t t = 0; t < thresholds.degradation_rtt.size(); ++t) {
+    const Duration th = thresholds.degradation_rtt[t];
+    const auto obs = make_observations(
+        series,
+        [&](int w) { return degr_by_window.at(w)->rtt.exceeds(th); },
+        [&](int w) {
+          const auto it = degr_by_window.find(w);
+          return it != degr_by_window.end() && it->second->rtt.valid();
+        },
+        [&](int w, const WindowAgg&) {
+          const auto it = degr_by_window.find(w);
+          return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
+        });
+    part.table1.add(AnalysisKind::kDegradationRtt, static_cast<int>(t),
+                    classify_temporal(obs, classifier_config), continent);
+  }
+  for (std::size_t t = 0; t < thresholds.degradation_hd.size(); ++t) {
+    const double th = thresholds.degradation_hd[t];
+    const auto obs = make_observations(
+        series, [&](int w) { return degr_by_window.at(w)->hd.exceeds(th); },
+        [&](int w) {
+          const auto it = degr_by_window.find(w);
+          return it != degr_by_window.end() && it->second->hd.valid();
+        },
+        [&](int w, const WindowAgg&) {
+          const auto it = degr_by_window.find(w);
+          return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
+        });
+    part.table1.add(AnalysisKind::kDegradationHd, static_cast<int>(t),
+                    classify_temporal(obs, classifier_config), continent);
+  }
+  for (std::size_t t = 0; t < thresholds.opportunity_rtt.size(); ++t) {
+    const Duration th = thresholds.opportunity_rtt[t];
+    const auto obs = make_observations(
+        series, [&](int w) { return opp_by_window.at(w)->rtt_opportunity(th); },
+        [&](int w) {
+          const auto it = opp_by_window.find(w);
+          return it != opp_by_window.end() && it->second->rtt.valid();
+        },
+        [&](int w, const WindowAgg& agg) {
+          const auto it = opp_by_window.find(w);
+          return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
+        });
+    part.table1.add(AnalysisKind::kOpportunityRtt, static_cast<int>(t),
+                    classify_temporal(obs, classifier_config), continent);
+  }
+  for (std::size_t t = 0; t < thresholds.opportunity_hd.size(); ++t) {
+    const double th = thresholds.opportunity_hd[t];
+    const auto obs = make_observations(
+        series, [&](int w) { return opp_by_window.at(w)->hd_opportunity(th); },
+        [&](int w) {
+          const auto it = opp_by_window.find(w);
+          return it != opp_by_window.end() && it->second->hd.valid();
+        },
+        [&](int w, const WindowAgg& agg) {
+          const auto it = opp_by_window.find(w);
+          return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
+        });
+    part.table1.add(AnalysisKind::kOpportunityHd, static_cast<int>(t),
+                    classify_temporal(obs, classifier_config), continent);
+  }
+
+  // ---- Table 2: opportunity by relationship pair -------------------------
+  const Route& preferred_route = group.routes.front().route;
+  for (const auto& ow : opp) {
+    if (ow.rtt_alternate > 0 &&
+        ow.rtt_opportunity(thresholds.opportunity_rtt.front())) {
+      const Route& alt = group.routes[static_cast<std::size_t>(ow.rtt_alternate)].route;
+      auto& row = out.table2_rtt[{preferred_route.relationship, alt.relationship}];
+      const double tr = static_cast<double>(ow.traffic);
+      row.absolute += tr;
+      if (RoutingPolicy::lost_on_as_path(preferred_route, alt)) row.longer += tr;
+      if (alt.prepend_count() > preferred_route.prepend_count()) row.prepended += tr;
+    }
+    if (ow.hd_alternate > 0 && ow.hd_opportunity(thresholds.opportunity_hd.front())) {
+      const Route& alt = group.routes[static_cast<std::size_t>(ow.hd_alternate)].route;
+      auto& row = out.table2_hd[{preferred_route.relationship, alt.relationship}];
+      const double tr = static_cast<double>(ow.traffic);
+      row.absolute += tr;
+      if (RoutingPolicy::lost_on_as_path(preferred_route, alt)) row.longer += tr;
+      if (alt.prepend_count() > preferred_route.prepend_count()) row.prepended += tr;
+    }
+  }
+
+  // ---- Fig. 10: relationship-type comparisons ----------------------------
+  struct RelComparison {
+    WeightedCdf* cdf;
+    bool applies;
+    int alt_index;
+  };
+  const bool pref_is_peer = is_peer(preferred_route.relationship);
+  const int alt_transit = first_alternate_of(group, Relationship::kTransit);
+  const int alt_public = first_alternate_of(group, Relationship::kPublicPeer);
+  const RelComparison comparisons[] = {
+      {&out.fig10_peer_vs_transit, pref_is_peer && alt_transit > 0, alt_transit},
+      {&out.fig10_transit_vs_transit,
+       preferred_route.relationship == Relationship::kTransit && alt_transit > 0,
+       alt_transit},
+      {&out.fig10_private_vs_public,
+       preferred_route.relationship == Relationship::kPrivatePeer && alt_public > 0,
+       alt_public},
+  };
+  for (const auto& rc : comparisons) {
+    if (!rc.applies) continue;
+    for (const auto& [w, agg] : series.windows) {
+      const RouteWindowAgg* pref = agg.route(0);
+      const RouteWindowAgg* alt = agg.route(rc.alt_index);
+      if (!pref || !alt) continue;
+      const Comparison cmp = compare_minrtt(*pref, *alt, comparison);
+      if (!cmp.valid()) continue;
+      rc.cdf->add(cmp.diff.estimate,
+                  std::max<double>(1, static_cast<double>(agg.total_traffic())));
+    }
+  }
+
+  return part;
+}
+
 }  // namespace
 
 EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& config,
                                      const AnalysisThresholds& thresholds,
                                      const ComparisonConfig& comparison,
-                                     GoodputConfig goodput) {
-  EdgeAnalysisResult out;
+                                     GoodputConfig goodput,
+                                     const RuntimeOptions& runtime,
+                                     RunStats* stats) {
   ClassifierConfig classifier_config;
   classifier_config.total_windows = config.days * 96;
   // Diurnal detection needs the pattern to repeat on multiple days; scale
@@ -84,207 +363,21 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
 
   DatasetGenerator generator(world, config);
 
-  double degr_valid_rtt_traffic = 0;
-  double degr_valid_hd_traffic = 0;
-  double preferred_traffic_total = 0;
-  double opp_valid_rtt_traffic = 0;
-  double opp_valid_hd_traffic = 0;
-  double within3_traffic = 0;
-  double within0025_traffic = 0;
-  double improvable_rtt_traffic = 0;
-  double improvable_hd_traffic = 0;
-  Table1Accumulator table1;
+  // Map every group to its contribution on the pool, fold in group-id
+  // order: the result does not depend on the thread count.
+  EdgePartial total = shard_map_reduce(
+      world, runtime, EdgePartial{},
+      [&](const UserGroupProfile& group, std::size_t) {
+        return analyze_group(generator, group, thresholds, comparison, goodput,
+                             classifier_config);
+      },
+      [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
+      stats);
 
-  for (const auto& group : world.groups) {
-    // ---- aggregate this group's sessions -------------------------------
-    GroupSeries series;
-    series.continent = group.continent;
-    generator.generate_group(group, [&](const SessionSample& s) {
-      if (!SessionSampler::keep_for_analysis(s.client)) return;
-      const SessionMetrics m = compute_session_metrics(s, goodput);
-      series.windows[window_index(s.established_at)]
-          .route(s.route_index)
-          .add_session(m.min_rtt, m.hdratio, m.traffic);
-    });
-    if (series.windows.empty()) continue;
-    out.total_traffic += static_cast<double>(series.total_traffic());
-    for (const auto& [w, agg] : series.windows) {
-      if (const RouteWindowAgg* pref = agg.route(0)) {
-        preferred_traffic_total += static_cast<double>(pref->traffic());
-      }
-    }
-    ++out.groups_analyzed;
-    const int continent = static_cast<int>(group.continent);
-
-    // ---- degradation (§5, Fig. 8) ---------------------------------------
-    const DegradationResult degr = analyze_degradation(series, comparison);
-    std::unordered_map<int, const DegradationWindow*> degr_by_window;
-    for (const auto& dw : degr.windows) {
-      degr_by_window[dw.window] = &dw;
-      const double weight = std::max<double>(1, static_cast<double>(dw.traffic));
-      if (dw.rtt.valid()) {
-        degr_valid_rtt_traffic += static_cast<double>(dw.traffic);
-        out.degr_rtt.add(dw.rtt.diff.estimate, weight);
-        out.degr_rtt_lower.add(dw.rtt.diff.lower, weight);
-        out.degr_rtt_upper.add(dw.rtt.diff.upper, weight);
-      }
-      if (dw.hd.valid()) {
-        degr_valid_hd_traffic += static_cast<double>(dw.traffic);
-        out.degr_hd.add(dw.hd.diff.estimate, weight);
-        out.degr_hd_lower.add(dw.hd.diff.lower, weight);
-        out.degr_hd_upper.add(dw.hd.diff.upper, weight);
-      }
-    }
-
-    // ---- opportunity (§6, Fig. 9) ---------------------------------------
-    const auto opp = analyze_opportunity(series, comparison);
-    std::unordered_map<int, const OpportunityWindow*> opp_by_window;
-    for (const auto& ow : opp) {
-      opp_by_window[ow.window] = &ow;
-      const double weight = std::max<double>(1, static_cast<double>(ow.traffic));
-      if (ow.rtt.valid()) {
-        opp_valid_rtt_traffic += static_cast<double>(ow.traffic);
-        out.opp_rtt.add(ow.rtt.diff.estimate, weight);
-        out.opp_rtt_lower.add(ow.rtt.diff.lower, weight);
-        out.opp_rtt_upper.add(ow.rtt.diff.upper, weight);
-        // Preferred within 3 ms of optimal: the alternate is at most 3 ms
-        // faster (diff = preferred - alternate).
-        if (ow.rtt.diff.estimate <= 0.003) within3_traffic += static_cast<double>(ow.traffic);
-        if (ow.rtt_opportunity(thresholds.opportunity_rtt.front())) {
-          improvable_rtt_traffic += static_cast<double>(ow.traffic);
-        }
-      }
-      if (ow.hd.valid()) {
-        opp_valid_hd_traffic += static_cast<double>(ow.traffic);
-        out.opp_hd.add(ow.hd.diff.estimate, weight);
-        out.opp_hd_lower.add(ow.hd.diff.lower, weight);
-        out.opp_hd_upper.add(ow.hd.diff.upper, weight);
-        if (ow.hd.diff.estimate <= 0.025) within0025_traffic += static_cast<double>(ow.traffic);
-        if (ow.hd_opportunity(thresholds.opportunity_hd.front())) {
-          improvable_hd_traffic += static_cast<double>(ow.traffic);
-        }
-      }
-    }
-
-    // ---- Table 1: temporal classification at every threshold ------------
-    for (std::size_t t = 0; t < thresholds.degradation_rtt.size(); ++t) {
-      const Duration th = thresholds.degradation_rtt[t];
-      const auto obs = make_observations(
-          series,
-          [&](int w) { return degr_by_window.at(w)->rtt.exceeds(th); },
-          [&](int w) {
-            const auto it = degr_by_window.find(w);
-            return it != degr_by_window.end() && it->second->rtt.valid();
-          },
-          [&](int w, const WindowAgg&) {
-            const auto it = degr_by_window.find(w);
-            return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
-          });
-      table1.add(AnalysisKind::kDegradationRtt, static_cast<int>(t),
-                 classify_temporal(obs, classifier_config), continent);
-    }
-    for (std::size_t t = 0; t < thresholds.degradation_hd.size(); ++t) {
-      const double th = thresholds.degradation_hd[t];
-      const auto obs = make_observations(
-          series, [&](int w) { return degr_by_window.at(w)->hd.exceeds(th); },
-          [&](int w) {
-            const auto it = degr_by_window.find(w);
-            return it != degr_by_window.end() && it->second->hd.valid();
-          },
-          [&](int w, const WindowAgg&) {
-            const auto it = degr_by_window.find(w);
-            return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
-          });
-      table1.add(AnalysisKind::kDegradationHd, static_cast<int>(t),
-                 classify_temporal(obs, classifier_config), continent);
-    }
-    for (std::size_t t = 0; t < thresholds.opportunity_rtt.size(); ++t) {
-      const Duration th = thresholds.opportunity_rtt[t];
-      const auto obs = make_observations(
-          series, [&](int w) { return opp_by_window.at(w)->rtt_opportunity(th); },
-          [&](int w) {
-            const auto it = opp_by_window.find(w);
-            return it != opp_by_window.end() && it->second->rtt.valid();
-          },
-          [&](int w, const WindowAgg& agg) {
-            const auto it = opp_by_window.find(w);
-            return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
-          });
-      table1.add(AnalysisKind::kOpportunityRtt, static_cast<int>(t),
-                 classify_temporal(obs, classifier_config), continent);
-    }
-    for (std::size_t t = 0; t < thresholds.opportunity_hd.size(); ++t) {
-      const double th = thresholds.opportunity_hd[t];
-      const auto obs = make_observations(
-          series, [&](int w) { return opp_by_window.at(w)->hd_opportunity(th); },
-          [&](int w) {
-            const auto it = opp_by_window.find(w);
-            return it != opp_by_window.end() && it->second->hd.valid();
-          },
-          [&](int w, const WindowAgg& agg) {
-            const auto it = opp_by_window.find(w);
-            return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
-          });
-      table1.add(AnalysisKind::kOpportunityHd, static_cast<int>(t),
-                 classify_temporal(obs, classifier_config), continent);
-    }
-
-    // ---- Table 2: opportunity by relationship pair ----------------------
-    const Route& preferred_route = group.routes.front().route;
-    for (const auto& ow : opp) {
-      if (ow.rtt_alternate > 0 &&
-          ow.rtt_opportunity(thresholds.opportunity_rtt.front())) {
-        const Route& alt = group.routes[static_cast<std::size_t>(ow.rtt_alternate)].route;
-        auto& row = out.table2_rtt[{preferred_route.relationship, alt.relationship}];
-        const double tr = static_cast<double>(ow.traffic);
-        row.absolute += tr;
-        if (RoutingPolicy::lost_on_as_path(preferred_route, alt)) row.longer += tr;
-        if (alt.prepend_count() > preferred_route.prepend_count()) row.prepended += tr;
-      }
-      if (ow.hd_alternate > 0 && ow.hd_opportunity(thresholds.opportunity_hd.front())) {
-        const Route& alt = group.routes[static_cast<std::size_t>(ow.hd_alternate)].route;
-        auto& row = out.table2_hd[{preferred_route.relationship, alt.relationship}];
-        const double tr = static_cast<double>(ow.traffic);
-        row.absolute += tr;
-        if (RoutingPolicy::lost_on_as_path(preferred_route, alt)) row.longer += tr;
-        if (alt.prepend_count() > preferred_route.prepend_count()) row.prepended += tr;
-      }
-    }
-
-    // ---- Fig. 10: relationship-type comparisons --------------------------
-    struct RelComparison {
-      WeightedCdf* cdf;
-      bool applies;
-      int alt_index;
-    };
-    const bool pref_is_peer = is_peer(preferred_route.relationship);
-    const int alt_transit = first_alternate_of(group, Relationship::kTransit);
-    const int alt_public = first_alternate_of(group, Relationship::kPublicPeer);
-    const RelComparison comparisons[] = {
-        {&out.fig10_peer_vs_transit, pref_is_peer && alt_transit > 0, alt_transit},
-        {&out.fig10_transit_vs_transit,
-         preferred_route.relationship == Relationship::kTransit && alt_transit > 0,
-         alt_transit},
-        {&out.fig10_private_vs_public,
-         preferred_route.relationship == Relationship::kPrivatePeer && alt_public > 0,
-         alt_public},
-    };
-    for (const auto& rc : comparisons) {
-      if (!rc.applies) continue;
-      for (const auto& [w, agg] : series.windows) {
-        const RouteWindowAgg* pref = agg.route(0);
-        const RouteWindowAgg* alt = agg.route(rc.alt_index);
-        if (!pref || !alt) continue;
-        const Comparison cmp = compare_minrtt(*pref, *alt, comparison);
-        if (!cmp.valid()) continue;
-        rc.cdf->add(cmp.diff.estimate,
-                    std::max<double>(1, static_cast<double>(agg.total_traffic())));
-      }
-    }
-  }
+  EdgeAnalysisResult out = std::move(total.res);
 
   // ---- normalizations ----------------------------------------------------
-  table1.normalize_into(out.table1);
+  total.table1.normalize_into(out.table1);
   for (auto* rows : {&out.table2_rtt, &out.table2_hd}) {
     for (auto& [pair, row] : *rows) {
       row.absolute /= std::max(1.0, out.total_traffic);
@@ -304,15 +397,21 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
   // Degradation analysis covers preferred-route traffic only (§2.2.3);
   // validity fractions are therefore relative to preferred-route traffic.
   out.degr_valid_traffic_rtt =
-      degr_valid_rtt_traffic / std::max(1.0, preferred_traffic_total);
+      total.degr_valid_rtt_traffic / std::max(1.0, total.preferred_traffic_total);
   out.degr_valid_traffic_hd =
-      degr_valid_hd_traffic / std::max(1.0, preferred_traffic_total);
-  out.opp_valid_traffic_rtt = opp_valid_rtt_traffic / std::max(1.0, out.total_traffic);
-  out.opp_valid_traffic_hd = opp_valid_hd_traffic / std::max(1.0, out.total_traffic);
-  out.rtt_within_3ms = within3_traffic / std::max(1.0, opp_valid_rtt_traffic);
-  out.hd_within_0025 = within0025_traffic / std::max(1.0, opp_valid_hd_traffic);
-  out.rtt_improvable_5ms = improvable_rtt_traffic / std::max(1.0, opp_valid_rtt_traffic);
-  out.hd_improvable_005 = improvable_hd_traffic / std::max(1.0, opp_valid_hd_traffic);
+      total.degr_valid_hd_traffic / std::max(1.0, total.preferred_traffic_total);
+  out.opp_valid_traffic_rtt =
+      total.opp_valid_rtt_traffic / std::max(1.0, out.total_traffic);
+  out.opp_valid_traffic_hd =
+      total.opp_valid_hd_traffic / std::max(1.0, out.total_traffic);
+  out.rtt_within_3ms =
+      total.within3_traffic / std::max(1.0, total.opp_valid_rtt_traffic);
+  out.hd_within_0025 =
+      total.within0025_traffic / std::max(1.0, total.opp_valid_hd_traffic);
+  out.rtt_improvable_5ms =
+      total.improvable_rtt_traffic / std::max(1.0, total.opp_valid_rtt_traffic);
+  out.hd_improvable_005 =
+      total.improvable_hd_traffic / std::max(1.0, total.opp_valid_hd_traffic);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "agg/degradation.h"
 #include "agg/opportunity.h"
 #include "analysis/session_metrics.h"
+#include "runtime/pipeline.h"
 #include "stats/cdf.h"
 #include "util/geo.h"
 #include "workload/generator.h"
@@ -108,9 +109,14 @@ struct EdgeAnalysisResult {
   int groups_analyzed{0};
 };
 
-EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& config,
-                                     const AnalysisThresholds& thresholds = {},
-                                     const ComparisonConfig& comparison = {},
-                                     GoodputConfig goodput = {});
+/// Runs the full §5/§6 sweep, sharded by user group across
+/// `runtime.threads` workers. Per-group contributions are folded in
+/// group-id order, so the result is byte-identical for any thread count.
+EdgeAnalysisResult run_edge_analysis(
+    const World& world, const DatasetConfig& config,
+    const AnalysisThresholds& thresholds = {},
+    const ComparisonConfig& comparison = {}, GoodputConfig goodput = {},
+    const RuntimeOptions& runtime = RuntimeOptions::sequential(),
+    RunStats* stats = nullptr);
 
 }  // namespace fbedge

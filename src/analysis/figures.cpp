@@ -35,36 +35,65 @@ TrafficCharacterization characterize_traffic(const World& world,
   return out;
 }
 
+void GlobalPerformance::merge(const GlobalPerformance& other) {
+  minrtt_all.merge(other.minrtt_all);
+  hdratio_all.merge(other.hdratio_all);
+  hdratio_naive_all.merge(other.hdratio_naive_all);
+  for (std::size_t c = 0; c < minrtt_continent.size(); ++c) {
+    minrtt_continent[c].merge(other.minrtt_continent[c]);
+    hdratio_continent[c].merge(other.hdratio_continent[c]);
+  }
+  for (std::size_t b = 0; b < hdratio_by_rtt.size(); ++b) {
+    hdratio_by_rtt[b].merge(other.hdratio_by_rtt[b]);
+  }
+  sessions_total += other.sessions_total;
+  sessions_hd_testable += other.sessions_hd_testable;
+  filtered_hosting += other.filtered_hosting;
+}
+
 GlobalPerformance measure_global_performance(const World& world,
                                              const DatasetConfig& config,
-                                             GoodputConfig goodput) {
-  GlobalPerformance out;
+                                             GoodputConfig goodput,
+                                             const RuntimeOptions& runtime,
+                                             RunStats* stats) {
+  // The generator is immutable after construction; every shard shares it
+  // and draws from per-group Rng streams (util/rng.h entity_stream).
   DatasetGenerator generator(world, config);
-  generator.generate([&](const SessionSample& s) {
-    if (!SessionSampler::keep_for_analysis(s.client)) {
-      ++out.filtered_hosting;
-      return;
-    }
-    // §4 uses measurements from the policy-preferred route only.
-    if (s.route_index != 0) return;
-    const SessionMetrics m = compute_session_metrics(s, goodput);
-    ++out.sessions_total;
+  return shard_map_reduce(
+      world, runtime, GlobalPerformance{},
+      [&](const UserGroupProfile& group, std::size_t) {
+        GlobalPerformance part;
+        generator.generate_group(group, [&](const SessionSample& s) {
+          if (!SessionSampler::keep_for_analysis(s.client)) {
+            ++part.filtered_hosting;
+            return;
+          }
+          // §4 uses measurements from the policy-preferred route only.
+          if (s.route_index != 0) return;
+          const SessionMetrics m = compute_session_metrics(s, goodput);
+          ++part.sessions_total;
 
-    const int continent = static_cast<int>(s.client.continent);
-    out.minrtt_all.add(m.min_rtt);
-    out.minrtt_continent[static_cast<std::size_t>(continent)].add(m.min_rtt);
+          const int continent = static_cast<int>(s.client.continent);
+          part.minrtt_all.add(m.min_rtt);
+          part.minrtt_continent[static_cast<std::size_t>(continent)].add(m.min_rtt);
 
-    if (m.hdratio) {
-      ++out.sessions_hd_testable;
-      out.hdratio_all.add(*m.hdratio);
-      out.hdratio_continent[static_cast<std::size_t>(continent)].add(*m.hdratio);
-      out.hdratio_by_rtt[static_cast<std::size_t>(
-                            GlobalPerformance::rtt_bucket(m.min_rtt))]
-          .add(*m.hdratio);
-      if (m.hdratio_naive) out.hdratio_naive_all.add(*m.hdratio_naive);
-    }
-  });
-  return out;
+          if (m.hdratio) {
+            ++part.sessions_hd_testable;
+            part.hdratio_all.add(*m.hdratio);
+            part.hdratio_continent[static_cast<std::size_t>(continent)].add(
+                *m.hdratio);
+            part.hdratio_by_rtt[static_cast<std::size_t>(
+                                    GlobalPerformance::rtt_bucket(m.min_rtt))]
+                .add(*m.hdratio);
+            if (m.hdratio_naive) part.hdratio_naive_all.add(*m.hdratio_naive);
+          }
+        });
+        return part;
+      },
+      [](GlobalPerformance& acc, GlobalPerformance&& part, std::size_t) {
+        acc.merge(part);
+      },
+      stats);
 }
 
 }  // namespace fbedge

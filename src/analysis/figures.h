@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "analysis/session_metrics.h"
+#include "runtime/pipeline.h"
 #include "stats/cdf.h"
 #include "util/geo.h"
 #include "workload/generator.h"
@@ -54,10 +55,17 @@ struct GlobalPerformance {
     if (ms_value <= 80) return 2;
     return 3;
   }
+
+  /// Folds another group's partial in (sharded-runtime reducer).
+  void merge(const GlobalPerformance& other);
 };
 
-GlobalPerformance measure_global_performance(const World& world,
-                                             const DatasetConfig& config,
-                                             GoodputConfig goodput = {});
+/// Runs the Fig. 6/7 pipeline over every user group, sharded across
+/// `runtime.threads` workers. Per-group partials are merged in group-id
+/// order, so the result is byte-identical for any thread count.
+GlobalPerformance measure_global_performance(
+    const World& world, const DatasetConfig& config, GoodputConfig goodput = {},
+    const RuntimeOptions& runtime = RuntimeOptions::sequential(),
+    RunStats* stats = nullptr);
 
 }  // namespace fbedge

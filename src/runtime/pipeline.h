@@ -1,0 +1,69 @@
+// Sharded map-reduce over the measurement pipeline, with deterministic
+// merge.
+//
+// The workload -> sampler -> goodput -> agg pipeline shares no state
+// between user groups until aggregation, and each group's sessions come
+// from an Rng stream derived from (seed, group id) alone. So the parallel
+// schedule is: map every group to a partial result on the pool (any
+// thread, any order), then fold the partials IN GROUP-ID ORDER. The fold
+// order is what makes results byte-identical for every thread count,
+// including 1 — reducers only ever see the same sequence of merges.
+//
+// World *building* stays single-threaded (src/workload/world.cpp is
+// calibration- and draw-order-sensitive); only the per-group measurement
+// work is sharded.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/run_stats.h"
+#include "runtime/shard_plan.h"
+#include "runtime/thread_pool.h"
+#include "workload/world.h"
+
+namespace fbedge {
+
+/// Execution knobs threaded through the analysis runners and benches.
+struct RuntimeOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  int threads{0};
+
+  static RuntimeOptions sequential() { return RuntimeOptions{1}; }
+};
+
+/// Maps fn(i) over [0, n), returning the results indexed by i. The result
+/// type must be default-constructible and movable; each slot is written by
+/// exactly one task.
+template <typename Fn>
+auto parallel_map(std::size_t n, const RuntimeOptions& options, Fn&& fn,
+                  RunStats* stats = nullptr) {
+  using Partial = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  std::vector<Partial> partials(n);
+  ThreadPool pool(resolve_threads(options.threads));
+  RunStats rs = pool.parallel_for(
+      ShardPlan::make(n, pool.threads()),
+      [&](std::size_t i) { partials[i] = fn(i); });
+  if (stats) stats->accumulate(rs);
+  return partials;
+}
+
+/// The canonical sharded pipeline shape: one partial per user group,
+/// folded into `init` in group-id order. `per_group(group, index)` must
+/// not touch shared mutable state; `fold(acc, partial, index)` runs on the
+/// calling thread only.
+template <typename Result, typename PerGroup, typename Fold>
+Result shard_map_reduce(const World& world, const RuntimeOptions& options,
+                        Result init, PerGroup&& per_group, Fold&& fold,
+                        RunStats* stats = nullptr) {
+  auto partials = parallel_map(
+      world.groups.size(), options,
+      [&](std::size_t g) { return per_group(world.groups[g], g); }, stats);
+  for (std::size_t g = 0; g < partials.size(); ++g) {
+    fold(init, std::move(partials[g]), g);
+  }
+  return init;
+}
+
+}  // namespace fbedge

@@ -1,0 +1,74 @@
+// Execution observability for sharded pipeline runs.
+//
+// Every parallel_for reports where the work actually went: how many tasks
+// each shard executed, how many of those were stolen from another shard's
+// queue, and how busy each worker was relative to the run's wall time.
+// Bench binaries print this (to stderr, so measurement output stays
+// byte-identical across thread counts) to prove shard utilization.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace fbedge {
+
+/// Counters for one worker/shard of a parallel run.
+struct ShardStats {
+  std::uint64_t tasks{0};
+  std::uint64_t steals{0};
+  double busy_seconds{0};
+};
+
+/// Aggregate counters for one parallel_for (or a whole bench run when
+/// accumulated across phases).
+struct RunStats {
+  int threads{0};
+  std::uint64_t tasks{0};
+  std::uint64_t steals{0};
+  double wall_seconds{0};
+  double cpu_seconds{0};  // sum of per-worker busy time
+  std::vector<ShardStats> shards;
+
+  /// Fraction of the available thread-seconds spent executing tasks.
+  double utilization() const {
+    return threads > 0 && wall_seconds > 0
+               ? cpu_seconds / (wall_seconds * threads)
+               : 0.0;
+  }
+
+  /// Folds another run's counters in (multi-phase benches); wall times add,
+  /// shard vectors add element-wise.
+  void accumulate(const RunStats& other) {
+    threads = std::max(threads, other.threads);
+    tasks += other.tasks;
+    steals += other.steals;
+    wall_seconds += other.wall_seconds;
+    cpu_seconds += other.cpu_seconds;
+    if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
+    for (std::size_t s = 0; s < other.shards.size(); ++s) {
+      shards[s].tasks += other.shards[s].tasks;
+      shards[s].steals += other.shards[s].steals;
+      shards[s].busy_seconds += other.shards[s].busy_seconds;
+    }
+  }
+
+  /// Human-readable dump. Defaults to stderr so stdout (the measurement
+  /// output) is independent of thread count and machine speed.
+  void print(const char* label, std::FILE* out = stderr) const {
+    std::fprintf(out,
+                 "[runtime] %s: threads=%d tasks=%llu steals=%llu "
+                 "wall=%.3fs cpu=%.3fs util=%.1f%%\n",
+                 label, threads, static_cast<unsigned long long>(tasks),
+                 static_cast<unsigned long long>(steals), wall_seconds,
+                 cpu_seconds, 100.0 * utilization());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      std::fprintf(out, "[runtime]   shard %zu: tasks=%llu steals=%llu busy=%.3fs\n",
+                   s, static_cast<unsigned long long>(shards[s].tasks),
+                   static_cast<unsigned long long>(shards[s].steals),
+                   shards[s].busy_seconds);
+    }
+  }
+};
+
+}  // namespace fbedge

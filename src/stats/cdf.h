@@ -23,6 +23,15 @@ class WeightedCdf {
     sorted_ = false;
   }
 
+  /// Appends every point of `other` (the reduce primitive of the sharded
+  /// runtime). Merging per-shard partials in a fixed order yields the same
+  /// point sequence as a single-threaded pass, so all queries are
+  /// byte-identical for any thread count.
+  void merge(const WeightedCdf& other) {
+    points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+    sorted_ = false;
+  }
+
   bool empty() const { return points_.empty(); }
   std::size_t size() const { return points_.size(); }
 

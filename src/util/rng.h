@@ -10,6 +10,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/ids.h"
+
 namespace fbedge {
 
 /// xoshiro256++ PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
@@ -96,5 +98,15 @@ class Rng {
   }
   std::uint64_t state_[4]{};
 };
+
+/// Derives the deterministic Rng stream for entity `key` of an experiment
+/// seeded with `seed`. The stream depends on (seed, key) only — never on
+/// which shard or thread processes the entity, or in what order — which is
+/// what lets the sharded runtime replay any entity's randomness exactly.
+/// DatasetGenerator uses this per user group; the sharded pipeline relies
+/// on it for thread-count-independent results.
+inline Rng entity_stream(std::uint64_t seed, std::uint64_t key) {
+  return Rng(hash_mix(seed ^ key));
+}
 
 }  // namespace fbedge

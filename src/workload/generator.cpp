@@ -144,9 +144,12 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
 
 void DatasetGenerator::generate_group(const UserGroupProfile& group,
                                       const SessionSink& sink) const {
-  // Deterministic per-group stream regardless of group order.
-  Rng rng(hash_mix(config_.seed ^ hash_mix(group.key.prefix.addr) ^
-                   (static_cast<std::uint64_t>(group.key.pop.value) << 32)));
+  // Deterministic per-group stream regardless of group order or which
+  // shard/thread of the runtime processes this group (same bits as the
+  // pre-runtime derivation; world calibration depends on it).
+  Rng rng = entity_stream(config_.seed,
+                          hash_mix(group.key.prefix.addr) ^
+                              (static_cast<std::uint64_t>(group.key.pop.value) << 32));
   std::uint64_t session_seq =
       static_cast<std::uint64_t>(group.key.prefix.addr) << 20;
 

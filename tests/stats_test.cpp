@@ -43,6 +43,39 @@ TEST(Welford, MatchesClosedForm) {
   EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
 }
 
+TEST(Welford, MergeMatchesSinglePass) {
+  Rng rng(61);
+  Welford parts[4], combined;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.lognormal(1.0, 0.7);
+    parts[i % 4].add(v);
+    combined.add(v);
+  }
+  Welford merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_NEAR(merged.mean(), combined.mean(), 1e-9 * std::abs(combined.mean()));
+  EXPECT_NEAR(merged.variance(), combined.variance(),
+              1e-9 * combined.variance());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford filled;
+  for (double x : {1.0, 2.0, 3.0}) filled.add(x);
+
+  Welford lhs_empty;
+  lhs_empty.merge(filled);
+  EXPECT_EQ(lhs_empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs_empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(lhs_empty.variance(), 1.0);
+
+  Welford rhs_empty;
+  filled.merge(rhs_empty);
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(filled.variance(), 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // t-digest.
 // ---------------------------------------------------------------------------
@@ -145,6 +178,45 @@ TEST(TDigest, MergeEquivalentToCombinedStream) {
                 0.05 * std::max(1.0, combined.quantile(q)));
   }
   EXPECT_DOUBLE_EQ(a.total_weight(), combined.total_weight());
+}
+
+TEST(TDigest, MergeOfManyPartsWithinRankError) {
+  // Shard-merge shape used by the runtime reducer: K per-shard digests
+  // folded into one must stay within the sketch's rank error of the exact
+  // quantiles of the combined stream.
+  Rng rng(101);
+  std::vector<TDigest> parts(8, TDigest(100));
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.lognormal(1.5, 0.8);
+    parts[static_cast<std::size_t>(i % 8)].add(v);
+    values.push_back(v);
+  }
+  TDigest merged(100);
+  for (const auto& p : parts) merged.merge(p);
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  EXPECT_DOUBLE_EQ(merged.total_weight(), n);
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double approx = merged.quantile(q);
+    const double rank = static_cast<double>(
+                            std::lower_bound(values.begin(), values.end(), approx) -
+                            values.begin()) /
+                        n;
+    EXPECT_NEAR(rank, q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(TDigest, MergeEmptyCases) {
+  TDigest filled, empty;
+  for (int i = 0; i < 100; ++i) filled.add(i);
+  const double median = filled.quantile(0.5);
+  filled.merge(empty);  // no-op
+  EXPECT_DOUBLE_EQ(filled.quantile(0.5), median);
+  EXPECT_DOUBLE_EQ(filled.total_weight(), 100.0);
+  empty.merge(filled);  // adopt
+  EXPECT_DOUBLE_EQ(empty.total_weight(), 100.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), median);
 }
 
 TEST(TDigest, WeightedMedianShifts) {
@@ -297,6 +369,28 @@ TEST(WeightedCdf, FractionsAndQuantiles) {
   EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3.0), 1.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
+}
+
+TEST(WeightedCdf, MergeEqualsCombinedExactly) {
+  // WeightedCdf::merge appends raw points, so merge-of-parts is *exactly*
+  // the single-pass distribution — the property the runtime reducer
+  // relies on for byte-identical bench output at any thread count.
+  Rng rng(59);
+  WeightedCdf parts[3], combined;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.lognormal(0, 1);
+    const double w = rng.uniform(0.5, 2.0);
+    parts[i % 3].add(v, w);
+    combined.add(v, w);
+  }
+  WeightedCdf merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.size(), combined.size());
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), combined.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(merged.fraction_at_or_below(1.0),
+                   combined.fraction_at_or_below(1.0));
 }
 
 TEST(WeightedCdf, SeriesIsMonotone) {
