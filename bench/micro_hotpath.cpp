@@ -1,0 +1,163 @@
+// Micro-benchmarks for the per-session / per-window hot paths: t_model
+// rate solving, t-digest add/merge, exact quantiles, window aggregation,
+// and response coalescing. End-to-end bench walls (fig6, table1) mix all
+// of these with generation cost; this binary tracks the constant factors
+// individually so perf wins/regressions are attributable.
+//
+// Usage: micro_hotpath [--json PATH]   (other common flags are ignored)
+#include <chrono>
+#include <cstdio>
+
+#include "agg/aggregation.h"
+#include "bench_common.h"
+#include "goodput/tmodel.h"
+#include "sampler/coalescer.h"
+#include "stats/quantiles.h"
+#include "stats/tdigest.h"
+#include "util/rng.h"
+
+using namespace fbedge;
+
+namespace {
+
+// Sink defeating dead-code elimination without fencing the loop body.
+volatile double g_sink = 0;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `body(i)` for i in [0, iters) and returns nanoseconds per call.
+template <typename F>
+double time_per_op(int iters, F&& body) {
+  const double t0 = now_seconds();
+  for (int i = 0; i < iters; ++i) body(i);
+  return (now_seconds() - t0) / static_cast<double>(iters) * 1e9;
+}
+
+/// Mixed realistic TxnTimings: sizes/windows/RTTs spanning the regimes the
+/// pipeline sees (single-round small responses to multi-round transfers).
+std::vector<TxnTiming> make_txns(std::size_t n) {
+  Rng rng(4242);
+  std::vector<TxnTiming> txns;
+  txns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TxnTiming t;
+    t.btotal = static_cast<Bytes>(std::exp(rng.uniform(std::log(2e3), std::log(2e7))));
+    t.wnic = static_cast<Bytes>(1460 * rng.uniform_int(2, 40));
+    t.min_rtt = rng.uniform(0.004, 0.25);
+    // Place Ttotal around the model time at a plausible delivered rate so
+    // the solver's search actually has to find an interior segment.
+    const BitsPerSecond rate = std::exp(rng.uniform(std::log(2e5), std::log(2e8)));
+    t.ttotal = t_model(t, rate) * rng.uniform(0.7, 1.5);
+    txns.push_back(t);
+  }
+  return txns;
+}
+
+std::vector<ResponseWrite> make_writes(std::size_t n) {
+  Rng rng(99);
+  std::vector<ResponseWrite> writes;
+  writes.reserve(n);
+  SimTime t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ResponseWrite w;
+    w.bytes = static_cast<Bytes>(rng.uniform_int(500, 60000));
+    w.wnic = 14600;
+    w.first_byte_nic = t;
+    w.last_byte_nic = t + 0.002;
+    w.second_last_ack = t + 0.030;
+    w.last_ack = t + 0.034;
+    w.last_packet_bytes = 1000;
+    // Mix of back-to-back runs and spaced-out responses.
+    t += rng.bernoulli(0.4) ? 0.00001 : 0.06;
+    writes.push_back(w);
+  }
+  return writes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RunConfig rc;
+  bench::parse_common_args(argc, argv, rc, 0);
+
+  // ---- t_model rate solving ----------------------------------------------
+  const auto txns = make_txns(4096);
+  const int solve_iters = 200000;
+  const double closed_ns = time_per_op(solve_iters, [&](int i) {
+    g_sink = estimate_delivery_rate(txns[static_cast<std::size_t>(i) % txns.size()]);
+  });
+  const double bisect_ns = time_per_op(20000, [&](int i) {
+    g_sink =
+        estimate_delivery_rate_bisect(txns[static_cast<std::size_t>(i) % txns.size()]);
+  });
+
+  // ---- t-digest ----------------------------------------------------------
+  Rng rng(7);
+  std::vector<double> values(200000);
+  for (auto& v : values) v = rng.lognormal(-3.0, 0.8);
+  TDigest digest(100);
+  const double add_ns = time_per_op(static_cast<int>(values.size()), [&](int i) {
+    digest.add(values[static_cast<std::size_t>(i)]);
+  });
+  g_sink = digest.quantile(0.5);
+
+  std::vector<TDigest> parts;
+  for (int p = 0; p < 64; ++p) {
+    TDigest d(100);
+    for (int i = 0; i < 10000; ++i) d.add(rng.lognormal(-3.0, 0.8));
+    d.compress();
+    parts.push_back(std::move(d));
+  }
+  TDigest merged(100);
+  const double merge_ns = time_per_op(static_cast<int>(parts.size()), [&](int i) {
+    merged.merge(parts[static_cast<std::size_t>(i)]);
+  });
+  g_sink = merged.quantile(0.9);
+
+  // ---- exact quantile (selection-based) ----------------------------------
+  std::vector<double> sample(100000);
+  for (auto& v : sample) v = rng.uniform();
+  const double quantile_ns = time_per_op(200, [&](int i) {
+    g_sink = quantile(sample, i % 2 ? 0.5 : 0.95);
+  });
+
+  // ---- window aggregation add path ---------------------------------------
+  GroupSeries series;
+  const double agg_ns = time_per_op(400000, [&](int i) {
+    const int w = (i / 500) % 960;  // in-order windows, 500 sessions each
+    series.windows[w].route(i % 3).add_session(
+        0.02 + 1e-7 * i, (i % 5) ? std::optional<double>(0.9) : std::nullopt, 20000);
+  });
+
+  // ---- response coalescing -----------------------------------------------
+  const auto writes = make_writes(64);
+  CoalescedSession scratch;
+  const double coalesce_ns = time_per_op(100000, [&](int) {
+    coalesce_session_into(writes, 0.040, scratch);
+    g_sink = static_cast<double>(scratch.txns.size());
+  });
+
+  std::printf("micro_hotpath (ns/op)\n");
+  std::printf("  tmodel_solve_closed   %10.1f\n", closed_ns);
+  std::printf("  tmodel_solve_bisect   %10.1f  (legacy reference, %.1fx)\n",
+              bisect_ns, bisect_ns / closed_ns);
+  std::printf("  tdigest_add           %10.1f  (amortized compress)\n", add_ns);
+  std::printf("  tdigest_merge         %10.1f  (per 10k-point digest)\n", merge_ns);
+  std::printf("  quantile_exact        %10.1f  (100k doubles)\n", quantile_ns);
+  std::printf("  agg_add_session       %10.1f\n", agg_ns);
+  std::printf("  coalesce_session      %10.1f  (64 writes)\n", coalesce_ns);
+
+  bench::JsonOutput json(rc.json_path);
+  json.add("tmodel_solve_closed_ns", closed_ns);
+  json.add("tmodel_solve_bisect_ns", bisect_ns);
+  json.add("tdigest_add_ns", add_ns);
+  json.add("tdigest_merge_ns", merge_ns);
+  json.add("quantile_exact_ns", quantile_ns);
+  json.add("agg_add_session_ns", agg_ns);
+  json.add("coalesce_session_ns", coalesce_ns);
+  return json.write() ? 0 : 1;
+}

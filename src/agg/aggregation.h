@@ -7,7 +7,7 @@
 // come from stats/median_ci.h.
 #pragma once
 
-#include <map>
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +16,7 @@
 #include "stats/median_ci.h"
 #include "stats/tdigest.h"
 #include "stats/welford.h"
+#include "util/expect.h"
 #include "util/units.h"
 
 namespace fbedge {
@@ -101,11 +102,71 @@ struct WindowAgg {
   }
 };
 
+/// Sorted flat map from window index to WindowAgg, replacing the former
+/// `std::map<int, WindowAgg>`: windows arrive (almost always) in time
+/// order, so inserts are amortized O(1) appends, lookups are a binary
+/// search over a contiguous vector, and iteration — the aggregation hot
+/// path — is a linear scan with no pointer chasing. Iteration yields
+/// (window, agg) pairs in ascending window order, exactly like the map.
+class WindowMap {
+ public:
+  using value_type = std::pair<int, WindowAgg>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  /// Returns the aggregation for `w`, inserting an empty one if missing.
+  WindowAgg& operator[](int w) {
+    if (!entries_.empty() && entries_.back().first == w) {
+      return entries_.back().second;  // repeated access to the open window
+    }
+    if (entries_.empty() || entries_.back().first < w) {
+      return entries_.emplace_back(w, WindowAgg{}).second;  // in-order append
+    }
+    const auto it = lower_bound(w);
+    if (it != entries_.end() && it->first == w) return it->second;
+    return entries_.emplace(it, w, WindowAgg{})->second;
+  }
+
+  /// Returns the aggregation for `w`; the window must be present.
+  WindowAgg& at(int w) {
+    const auto it = lower_bound(w);
+    FBEDGE_EXPECT(it != entries_.end() && it->first == w, "window not present");
+    return it->second;
+  }
+  const WindowAgg& at(int w) const {
+    const auto it = lower_bound(w);
+    FBEDGE_EXPECT(it != entries_.end() && it->first == w, "window not present");
+    return it->second;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  iterator lower_bound(int w) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), w,
+        [](const value_type& e, int key) { return e.first < key; });
+  }
+  const_iterator lower_bound(int w) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), w,
+        [](const value_type& e, int key) { return e.first < key; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
 /// Time series of windows for one user group, plus static group metadata.
 struct GroupSeries {
   Continent continent{Continent::kNorthAmerica};
   /// window index -> aggregation (sparse; groups can be idle off-hours).
-  std::map<int, WindowAgg> windows;
+  WindowMap windows;
 
   Bytes total_traffic() const {
     Bytes total = 0;

@@ -7,8 +7,6 @@
 // validity: four merged windows quadruple the sample count.
 #pragma once
 
-#include <map>
-
 #include "agg/aggregation.h"
 
 namespace fbedge {
@@ -27,13 +25,13 @@ class WindowRollup {
   void add_series(const GroupSeries& series);
 
   /// The rolled-up windows (coarse index -> WindowAgg).
-  const std::map<int, WindowAgg>& windows() const { return coarse_; }
+  const WindowMap& windows() const { return coarse_; }
 
   int factor() const { return factor_; }
 
  private:
   int factor_;
-  std::map<int, WindowAgg> coarse_;
+  WindowMap coarse_;
 };
 
 /// Merges `src` into `dst` (sketches merge; counts and traffic add).

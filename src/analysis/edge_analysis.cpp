@@ -1,7 +1,7 @@
 #include "analysis/edge_analysis.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <array>
 
 #include "routing/policy.h"
 
@@ -10,55 +10,107 @@ namespace fbedge {
 namespace {
 
 /// Raw (unnormalized) Table 1 accumulator plus its normalization totals.
+///
+/// The key space is tiny and fully enumerable — (4 kinds) x (a handful of
+/// thresholds) x (5 classes) x (overall + 6 continents) — so the former
+/// `std::map<std::tuple<...>>` is a dense flat array indexed arithmetically:
+/// add() on the per-group hot path is two array writes instead of two
+/// red-black-tree inserts, and merge() is an elementwise loop. `touched`
+/// preserves the map's presence semantics (a cell appears in the normalized
+/// output only if some group was classified into it).
 struct Table1Accumulator {
-  // (kind, threshold, class, continent or -1) -> absolute traffic sums
-  std::map<std::tuple<AnalysisKind, int, TemporalClass, int>, Table1Cell> cells;
-  // (kind, threshold, continent or -1) -> classified traffic total
-  std::map<std::tuple<AnalysisKind, int, int>, double> denominators;
+  static constexpr int kKinds = 4;
+  static constexpr int kMaxThresholds = 8;
+  static constexpr int kClasses = 5;  // TemporalClass values
+  static constexpr int kScopes = kNumContinents + 1;  // index 0 = overall (-1)
+  static constexpr int kCells = kKinds * kMaxThresholds * kClasses * kScopes;
+  static constexpr int kDenoms = kKinds * kMaxThresholds * kScopes;
+
+  std::array<Table1Cell, kCells> cells{};
+  std::array<bool, kCells> touched{};
+  std::array<double, kDenoms> denominators{};
+
+  static int cell_index(AnalysisKind kind, int threshold_idx, TemporalClass cls,
+                        int scope) {
+    return ((static_cast<int>(kind) * kMaxThresholds + threshold_idx) * kClasses +
+            static_cast<int>(cls)) *
+               kScopes +
+           (scope + 1);
+  }
+  static int denom_index(AnalysisKind kind, int threshold_idx, int scope) {
+    return (static_cast<int>(kind) * kMaxThresholds + threshold_idx) * kScopes +
+           (scope + 1);
+  }
 
   void add(AnalysisKind kind, int threshold_idx, const Classification& c,
            int continent) {
+    FBEDGE_EXPECT(threshold_idx < kMaxThresholds, "too many Table 1 thresholds");
     if (c.cls == TemporalClass::kExcluded) return;
     for (const int scope : {-1, continent}) {
-      auto& cell = cells[{kind, threshold_idx, c.cls, scope}];
+      auto& cell = cells[static_cast<std::size_t>(cell_index(kind, threshold_idx,
+                                                             c.cls, scope))];
+      touched[static_cast<std::size_t>(cell_index(kind, threshold_idx, c.cls,
+                                                  scope))] = true;
       cell.group_traffic += static_cast<double>(c.total_traffic);
       cell.event_traffic += static_cast<double>(c.event_traffic);
-      denominators[{kind, threshold_idx, scope}] += static_cast<double>(c.total_traffic);
+      denominators[static_cast<std::size_t>(denom_index(kind, threshold_idx, scope))] +=
+          static_cast<double>(c.total_traffic);
     }
   }
 
-  /// Folds another accumulator in (both maps are ordered, so the merge is
-  /// deterministic for any shard count).
+  /// Folds another accumulator in. Elementwise over fixed indices, so every
+  /// cell accumulates in the same (group-id) order the ordered-map version
+  /// did — the merged sums are bitwise identical for any shard count.
   void merge(const Table1Accumulator& other) {
-    for (const auto& [key, cell] : other.cells) {
-      auto& mine = cells[key];
-      mine.group_traffic += cell.group_traffic;
-      mine.event_traffic += cell.event_traffic;
+    for (int i = 0; i < kCells; ++i) {
+      cells[static_cast<std::size_t>(i)].group_traffic +=
+          other.cells[static_cast<std::size_t>(i)].group_traffic;
+      cells[static_cast<std::size_t>(i)].event_traffic +=
+          other.cells[static_cast<std::size_t>(i)].event_traffic;
+      touched[static_cast<std::size_t>(i)] =
+          touched[static_cast<std::size_t>(i)] || other.touched[static_cast<std::size_t>(i)];
     }
-    for (const auto& [key, denom] : other.denominators) {
-      denominators[key] += denom;
+    for (int i = 0; i < kDenoms; ++i) {
+      denominators[static_cast<std::size_t>(i)] +=
+          other.denominators[static_cast<std::size_t>(i)];
     }
   }
 
   void normalize_into(decltype(EdgeAnalysisResult::table1)& out) const {
-    for (const auto& [key, cell] : cells) {
-      const auto& [kind, threshold_idx, cls, scope] = key;
-      const auto denom_it = denominators.find({kind, threshold_idx, scope});
-      if (denom_it == denominators.end() || denom_it->second <= 0) continue;
-      Table1Cell normalized;
-      normalized.group_traffic = cell.group_traffic / denom_it->second;
-      normalized.event_traffic = cell.event_traffic / denom_it->second;
-      out[key] = normalized;
+    // Same enumeration order as the former map's tuple ordering:
+    // (kind, threshold, class, scope) with overall (-1) before continents.
+    for (int k = 0; k < kKinds; ++k) {
+      const auto kind = static_cast<AnalysisKind>(k);
+      for (int t = 0; t < kMaxThresholds; ++t) {
+        for (int c = 0; c < kClasses; ++c) {
+          const auto cls = static_cast<TemporalClass>(c);
+          for (int scope = -1; scope < kNumContinents; ++scope) {
+            if (!touched[static_cast<std::size_t>(cell_index(kind, t, cls, scope))]) {
+              continue;
+            }
+            const double denom =
+                denominators[static_cast<std::size_t>(denom_index(kind, t, scope))];
+            if (denom <= 0) continue;
+            const auto& cell =
+                cells[static_cast<std::size_t>(cell_index(kind, t, cls, scope))];
+            Table1Cell normalized;
+            normalized.group_traffic = cell.group_traffic / denom;
+            normalized.event_traffic = cell.event_traffic / denom;
+            out[{kind, t, cls, scope}] = normalized;
+          }
+        }
+      }
     }
   }
 };
 
-/// Builds classifier inputs for one group + one predicate over windows.
+/// Refills `obs` with classifier inputs for one group + one predicate over
+/// windows. The buffer is reused across the 11 per-group classifications.
 template <typename EventFn, typename ValidFn, typename TrafficFn>
-std::vector<WindowObservation> make_observations(const GroupSeries& series,
-                                                 EventFn event, ValidFn valid,
-                                                 TrafficFn traffic) {
-  std::vector<WindowObservation> obs;
+void make_observations_into(const GroupSeries& series,
+                            std::vector<WindowObservation>& obs, EventFn event,
+                            ValidFn valid, TrafficFn traffic) {
+  obs.clear();
   obs.reserve(series.windows.size());
   for (const auto& [w, agg] : series.windows) {
     WindowObservation o;
@@ -69,7 +121,6 @@ std::vector<WindowObservation> make_observations(const GroupSeries& series,
     o.traffic = traffic(w, agg);
     obs.push_back(o);
   }
-  return obs;
 }
 
 /// Most-preferred alternate (lowest index > 0) with the given relationship;
@@ -157,9 +208,10 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   // ---- aggregate this group's sessions -----------------------------------
   GroupSeries series;
   series.continent = group.continent;
+  CoalescedSession coalesce_scratch;
   generator.generate_group(group, [&](const SessionSample& s) {
     if (!SessionSampler::keep_for_analysis(s.client)) return;
-    const SessionMetrics m = compute_session_metrics(s, goodput);
+    const SessionMetrics m = compute_session_metrics(s, coalesce_scratch, goodput);
     series.windows[window_index(s.established_at)]
         .route(s.route_index)
         .add_session(m.min_rtt, m.hdratio, m.traffic);
@@ -174,11 +226,27 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   ++out.groups_analyzed;
   const int continent = static_cast<int>(group.continent);
 
+  // Window indexes are dense small ints (< days * 96), so the per-window
+  // degradation/opportunity lookups are flat pointer vectors instead of
+  // hash maps; lookup on the classification path is one indexed load.
+  const int total_windows = classifier_config.total_windows;
+  const auto window_slot = [total_windows](auto& vec, int w) -> auto& {
+    if (w >= static_cast<int>(vec.size())) {
+      vec.resize(static_cast<std::size_t>(std::max(w + 1, total_windows)), nullptr);
+    }
+    return vec[static_cast<std::size_t>(w)];
+  };
+  const auto window_at = [](const auto& vec, int w) {
+    return (w >= 0 && w < static_cast<int>(vec.size()))
+               ? vec[static_cast<std::size_t>(w)]
+               : nullptr;
+  };
+
   // ---- degradation (§5, Fig. 8) ------------------------------------------
   const DegradationResult degr = analyze_degradation(series, comparison);
-  std::unordered_map<int, const DegradationWindow*> degr_by_window;
+  std::vector<const DegradationWindow*> degr_by_window;
   for (const auto& dw : degr.windows) {
-    degr_by_window[dw.window] = &dw;
+    window_slot(degr_by_window, dw.window) = &dw;
     const double weight = std::max<double>(1, static_cast<double>(dw.traffic));
     if (dw.rtt.valid()) {
       part.degr_valid_rtt_traffic += static_cast<double>(dw.traffic);
@@ -196,9 +264,9 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
 
   // ---- opportunity (§6, Fig. 9) ------------------------------------------
   const auto opp = analyze_opportunity(series, comparison);
-  std::unordered_map<int, const OpportunityWindow*> opp_by_window;
+  std::vector<const OpportunityWindow*> opp_by_window;
   for (const auto& ow : opp) {
-    opp_by_window[ow.window] = &ow;
+    window_slot(opp_by_window, ow.window) = &ow;
     const double weight = std::max<double>(1, static_cast<double>(ow.traffic));
     if (ow.rtt.valid()) {
       part.opp_valid_rtt_traffic += static_cast<double>(ow.traffic);
@@ -229,63 +297,67 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   }
 
   // ---- Table 1: temporal classification at every threshold ---------------
+  std::vector<WindowObservation> obs;  // reused across all 11 classifications
   for (std::size_t t = 0; t < thresholds.degradation_rtt.size(); ++t) {
     const Duration th = thresholds.degradation_rtt[t];
-    const auto obs = make_observations(
-        series,
-        [&](int w) { return degr_by_window.at(w)->rtt.exceeds(th); },
+    make_observations_into(
+        series, obs,
+        [&](int w) { return window_at(degr_by_window, w)->rtt.exceeds(th); },
         [&](int w) {
-          const auto it = degr_by_window.find(w);
-          return it != degr_by_window.end() && it->second->rtt.valid();
+          const DegradationWindow* dw = window_at(degr_by_window, w);
+          return dw != nullptr && dw->rtt.valid();
         },
         [&](int w, const WindowAgg&) {
-          const auto it = degr_by_window.find(w);
-          return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
+          const DegradationWindow* dw = window_at(degr_by_window, w);
+          return dw != nullptr ? dw->traffic : Bytes{0};
         });
     part.table1.add(AnalysisKind::kDegradationRtt, static_cast<int>(t),
                     classify_temporal(obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.degradation_hd.size(); ++t) {
     const double th = thresholds.degradation_hd[t];
-    const auto obs = make_observations(
-        series, [&](int w) { return degr_by_window.at(w)->hd.exceeds(th); },
+    make_observations_into(
+        series, obs,
+        [&](int w) { return window_at(degr_by_window, w)->hd.exceeds(th); },
         [&](int w) {
-          const auto it = degr_by_window.find(w);
-          return it != degr_by_window.end() && it->second->hd.valid();
+          const DegradationWindow* dw = window_at(degr_by_window, w);
+          return dw != nullptr && dw->hd.valid();
         },
         [&](int w, const WindowAgg&) {
-          const auto it = degr_by_window.find(w);
-          return it != degr_by_window.end() ? it->second->traffic : Bytes{0};
+          const DegradationWindow* dw = window_at(degr_by_window, w);
+          return dw != nullptr ? dw->traffic : Bytes{0};
         });
     part.table1.add(AnalysisKind::kDegradationHd, static_cast<int>(t),
                     classify_temporal(obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.opportunity_rtt.size(); ++t) {
     const Duration th = thresholds.opportunity_rtt[t];
-    const auto obs = make_observations(
-        series, [&](int w) { return opp_by_window.at(w)->rtt_opportunity(th); },
+    make_observations_into(
+        series, obs,
+        [&](int w) { return window_at(opp_by_window, w)->rtt_opportunity(th); },
         [&](int w) {
-          const auto it = opp_by_window.find(w);
-          return it != opp_by_window.end() && it->second->rtt.valid();
+          const OpportunityWindow* ow = window_at(opp_by_window, w);
+          return ow != nullptr && ow->rtt.valid();
         },
         [&](int w, const WindowAgg& agg) {
-          const auto it = opp_by_window.find(w);
-          return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
+          const OpportunityWindow* ow = window_at(opp_by_window, w);
+          return ow != nullptr ? ow->traffic : agg.total_traffic();
         });
     part.table1.add(AnalysisKind::kOpportunityRtt, static_cast<int>(t),
                     classify_temporal(obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.opportunity_hd.size(); ++t) {
     const double th = thresholds.opportunity_hd[t];
-    const auto obs = make_observations(
-        series, [&](int w) { return opp_by_window.at(w)->hd_opportunity(th); },
+    make_observations_into(
+        series, obs,
+        [&](int w) { return window_at(opp_by_window, w)->hd_opportunity(th); },
         [&](int w) {
-          const auto it = opp_by_window.find(w);
-          return it != opp_by_window.end() && it->second->hd.valid();
+          const OpportunityWindow* ow = window_at(opp_by_window, w);
+          return ow != nullptr && ow->hd.valid();
         },
         [&](int w, const WindowAgg& agg) {
-          const auto it = opp_by_window.find(w);
-          return it != opp_by_window.end() ? it->second->traffic : agg.total_traffic();
+          const OpportunityWindow* ow = window_at(opp_by_window, w);
+          return ow != nullptr ? ow->traffic : agg.total_traffic();
         });
     part.table1.add(AnalysisKind::kOpportunityHd, static_cast<int>(t),
                     classify_temporal(obs, classifier_config), continent);

@@ -63,6 +63,7 @@ GlobalPerformance measure_global_performance(const World& world,
       world, runtime, GlobalPerformance{},
       [&](const UserGroupProfile& group, std::size_t) {
         GlobalPerformance part;
+        CoalescedSession coalesce_scratch;
         generator.generate_group(group, [&](const SessionSample& s) {
           if (!SessionSampler::keep_for_analysis(s.client)) {
             ++part.filtered_hosting;
@@ -70,7 +71,7 @@ GlobalPerformance measure_global_performance(const World& world,
           }
           // §4 uses measurements from the policy-preferred route only.
           if (s.route_index != 0) return;
-          const SessionMetrics m = compute_session_metrics(s, goodput);
+          const SessionMetrics m = compute_session_metrics(s, coalesce_scratch, goodput);
           ++part.sessions_total;
 
           const int continent = static_cast<int>(s.client.continent);

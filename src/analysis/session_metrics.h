@@ -23,23 +23,32 @@ struct SessionMetrics {
 };
 
 /// Runs coalescing (§3.2.5) and the goodput methodology (§3.2) over one
-/// session sample.
+/// session sample. `scratch` is a caller-owned coalescing buffer reused
+/// across sessions so the per-session allocation disappears.
 inline SessionMetrics compute_session_metrics(const SessionSample& sample,
+                                              CoalescedSession& scratch,
                                               GoodputConfig config = {}) {
   SessionMetrics m;
   m.min_rtt = sample.min_rtt;
   m.traffic = sample.total_bytes;
 
-  const CoalescedSession coalesced = coalesce_session(sample.writes, sample.min_rtt);
-  m.txns_eligible = static_cast<int>(coalesced.txns.size());
+  coalesce_session_into(sample.writes, sample.min_rtt, scratch);
+  m.txns_eligible = static_cast<int>(scratch.txns.size());
 
   HdEvaluator eval(config);
-  for (const auto& txn : coalesced.txns) eval.evaluate(txn);
+  for (const auto& txn : scratch.txns) eval.evaluate(txn);
   const SessionHd& hd = eval.result();
   m.txns_tested = hd.tested;
   m.hdratio = hd.hdratio();
   m.hdratio_naive = hd.hdratio_naive();
   return m;
+}
+
+/// Convenience overload with a per-call coalescing buffer.
+inline SessionMetrics compute_session_metrics(const SessionSample& sample,
+                                              GoodputConfig config = {}) {
+  CoalescedSession scratch;
+  return compute_session_metrics(sample, scratch, config);
 }
 
 }  // namespace fbedge

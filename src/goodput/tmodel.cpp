@@ -1,7 +1,10 @@
 #include "goodput/tmodel.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "util/expect.h"
 
@@ -33,12 +36,71 @@ bool achieved_rate(const TxnTiming& txn, BitsPerSecond r) {
   return txn.ttotal <= t_model(txn, r);
 }
 
-BitsPerSecond estimate_delivery_rate(const TxnTiming& txn, BitsPerSecond max_rate) {
-  // Tmodel(R) >= (n+1)*MinRTT > Ttotal can hold for every R when the
-  // transfer beat one round-trip (measurement jitter); then every rate is
-  // "achieved" and we report the cap.
+namespace {
+
+constexpr BitsPerSecond kMinRate = 1.0;  // 1 bit/s
+
+// Positive finite doubles are order-isomorphic to their bit patterns, so a
+// bracket search over bits visits every representable rate and terminates
+// in <= 64 predicate evaluations regardless of bracket width.
+std::uint64_t rate_bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+double rate_from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+// Polishes a closed-form candidate into the exact boundary double R in
+// [kMinRate, max_rate]: achieved_rate(R) holds and fails one ULP above.
+// The candidate is usually within a couple of ULP, but cancellation in
+// Ttotal - (n+1)*MinRTT can push it hundreds of ULP off when Ttotal barely
+// exceeds the round-trip floor, so we gallop to a bracket and bisect over
+// the bit patterns: ~2*log2(gap) evaluations, exact for any gap.
+// Caller guarantees achieved_rate(kMinRate) && !achieved_rate(max_rate).
+double refine_candidate(const TxnTiming& txn, double r, BitsPerSecond max_rate) {
+  if (!(r >= kMinRate)) r = kMinRate;  // also catches NaN
+  if (r > max_rate) r = max_rate;
+  std::uint64_t lo, hi;
+  if (achieved_rate(txn, r)) {
+    lo = rate_bits(r);
+    const std::uint64_t cap = rate_bits(max_rate);
+    std::uint64_t step = 1;
+    for (;;) {
+      const std::uint64_t probe = (cap - lo < step) ? cap : lo + step;
+      if (!achieved_rate(txn, rate_from_bits(probe))) {
+        hi = probe;
+        break;
+      }
+      lo = probe;
+      if (probe == cap) return max_rate;  // unreachable per caller contract
+      step *= 2;
+    }
+  } else {
+    hi = rate_bits(r);
+    const std::uint64_t floor_b = rate_bits(static_cast<double>(kMinRate));
+    std::uint64_t step = 1;
+    for (;;) {
+      const std::uint64_t probe = (hi - floor_b < step) ? floor_b : hi - step;
+      if (achieved_rate(txn, rate_from_bits(probe))) {
+        lo = probe;
+        break;
+      }
+      hi = probe;
+      if (probe == floor_b) return kMinRate;  // unreachable per caller contract
+      step *= 2;
+    }
+  }
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (achieved_rate(txn, rate_from_bits(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return rate_from_bits(lo);
+}
+
+}  // namespace
+
+BitsPerSecond estimate_delivery_rate_bisect(const TxnTiming& txn, BitsPerSecond max_rate) {
   if (achieved_rate(txn, max_rate)) return max_rate;
-  constexpr BitsPerSecond kMinRate = 1.0;  // 1 bit/s
   if (!achieved_rate(txn, kMinRate)) return 0.0;
 
   // Bisect in log-rate space. Tmodel is non-increasing in R up to the
@@ -54,6 +116,59 @@ BitsPerSecond estimate_delivery_rate(const TxnTiming& txn, BitsPerSecond max_rat
     }
   }
   return std::exp(lo);
+}
+
+BitsPerSecond estimate_delivery_rate(const TxnTiming& txn, BitsPerSecond max_rate) {
+  // Tmodel(R) >= (n+1)*MinRTT > Ttotal can hold for every R when the
+  // transfer beat one round-trip (measurement jitter); then every rate is
+  // "achieved" and we report the cap.
+  if (achieved_rate(txn, max_rate)) return max_rate;
+  if (!achieved_rate(txn, kMinRate)) return 0.0;
+
+  // Walk the slow-start schedule exactly as t_model's loop would (same
+  // mutation order, same break conditions, so `sent`/`cwnd` are bitwise the
+  // values t_model sees). Segment n covers the rate interval where exactly
+  // n doubling rounds run; within it Tmodel(R) = (n+1)*MinRTT + rem*8/R, so
+  // Tmodel(R) = Ttotal gives the boundary rate directly.
+  const double btotal = static_cast<double>(txn.btotal);
+  double cwnd = static_cast<double>(txn.wnic);
+  double sent = 0;
+  double seg_lo = kMinRate;  // lower edge of segment n: cwnd_{n-1}*8/MinRTT
+  double result = -1.0;
+  for (int n = 0; n <= 65; ++n) {
+    // Terminal segment: the transfer finishes inside slow start (byte cap)
+    // or the round cap is hit; it extends to arbitrarily large rates.
+    const bool last = sent + cwnd >= btotal || n == 65;
+    const double denom = txn.ttotal - (n + 1) * txn.min_rtt;
+    if (denom > 0) {
+      const double rem = std::max(0.0, btotal - sent);
+      const double cand = rem * 8.0 / denom;
+      if (last || cand <= cwnd * 8.0 / txn.min_rtt) {
+        // cand below the segment means Ttotal sits inside the discontinuity
+        // at the segment edge; the flip is then exactly at seg_lo (t_model's
+        // strict `<` keeps n-1 rounds at the edge itself, so it is achieved,
+        // while one ULP above enters this segment, which is not). Clamping
+        // hands refine_candidate a value at most a couple of ULP away.
+        result = refine_candidate(txn, std::max(cand, seg_lo), max_rate);
+        break;
+      }
+    }
+    // denom <= 0: Tmodel >= (n+1)*MinRTT >= Ttotal throughout this segment,
+    // i.e. every rate here is achieved; the flip is in a later segment.
+    if (last) break;
+    seg_lo = cwnd * 8.0 / txn.min_rtt;
+    sent += cwnd;
+    cwnd *= 2.0;
+  }
+  if (result < 0) result = estimate_delivery_rate_bisect(txn, max_rate);
+#ifndef NDEBUG
+  // Debug-mode cross-check against the reference bisection (which lands
+  // within ~1 ULP of the predicate boundary the refinement solves exactly).
+  const double bis = estimate_delivery_rate_bisect(txn, max_rate);
+  FBEDGE_EXPECT(std::abs(result - bis) <= 1e-9 * std::max(result, bis) + 1e-12,
+                "closed-form delivery rate diverged from bisection");
+#endif
+  return result;
 }
 
 }  // namespace fbedge

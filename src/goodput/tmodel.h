@@ -44,7 +44,20 @@ bool achieved_rate(const TxnTiming& txn, BitsPerSecond r);
 /// Largest rate R such that Ttotal <= Tmodel(R); the transaction's
 /// estimated delivery rate. Returns 0 if even a negligible rate was not
 /// achieved (Ttotal enormous), and caps the search at `max_rate`.
+///
+/// Solved in closed form per slow-start segment: the doubling schedule
+/// fixes n for any rate interval (thr_{n-1}, thr_n], where Tmodel is a
+/// hyperbola in R, so Tmodel(R) = Ttotal inverts directly. The candidate is
+/// then refined by ULP steps against the real `achieved_rate` predicate, so
+/// the result is the exact largest double satisfying it. Debug builds
+/// cross-check against the legacy bisection.
 BitsPerSecond estimate_delivery_rate(const TxnTiming& txn,
                                      BitsPerSecond max_rate = 100 * kGbps);
+
+/// Legacy 100-iteration log-space bisection solver. Kept as the reference
+/// implementation for tests and the debug-mode cross-check; prefer
+/// `estimate_delivery_rate`, which is ~50x cheaper and at least as exact.
+BitsPerSecond estimate_delivery_rate_bisect(const TxnTiming& txn,
+                                            BitsPerSecond max_rate = 100 * kGbps);
 
 }  // namespace fbedge

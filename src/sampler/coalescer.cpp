@@ -30,7 +30,16 @@ TxnTiming finalize(const std::vector<ResponseWrite>& writes, const Group& g,
 CoalescedSession coalesce_session(const std::vector<ResponseWrite>& writes,
                                   Duration min_rtt, CoalescerConfig config) {
   CoalescedSession out;
-  if (writes.empty()) return out;
+  coalesce_session_into(writes, min_rtt, out, config);
+  return out;
+}
+
+void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration min_rtt,
+                           CoalescedSession& out, CoalescerConfig config) {
+  out.txns.clear();
+  out.ineligible_groups = 0;
+  out.coalesced_writes = 0;
+  if (writes.empty()) return;
 
   Group group{0, 0, writes[0].bytes};
   // last_ack of the most recently *closed* group; used for the
@@ -66,7 +75,6 @@ CoalescedSession coalesce_session(const std::vector<ResponseWrite>& writes,
     group = Group{i, i, cur.bytes};
   }
   close_group(current_eligible);
-  return out;
 }
 
 }  // namespace fbedge

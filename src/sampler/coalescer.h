@@ -40,4 +40,10 @@ struct CoalescedSession {
 CoalescedSession coalesce_session(const std::vector<ResponseWrite>& writes,
                                   Duration min_rtt, CoalescerConfig config = {});
 
+/// As coalesce_session, but refills `out` in place (the txns vector keeps
+/// its capacity across sessions) so the per-session allocation disappears
+/// on the analysis hot path. Identical output.
+void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration min_rtt,
+                           CoalescedSession& out, CoalescerConfig config = {});
+
 }  // namespace fbedge

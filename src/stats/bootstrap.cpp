@@ -9,14 +9,16 @@ namespace fbedge {
 
 namespace {
 
-std::vector<double> resample(const std::vector<double>& sample, Rng& rng) {
-  std::vector<double> out;
-  out.reserve(sample.size());
+// Fills `out` with a with-replacement resample. The caller owns the buffer
+// so it is reused across iterations (the RNG draw sequence is unchanged
+// from the allocating version).
+void resample_into(const std::vector<double>& sample, Rng& rng,
+                   std::vector<double>& out) {
+  out.clear();
   const auto n = static_cast<std::int64_t>(sample.size());
   for (std::size_t i = 0; i < sample.size(); ++i) {
     out.push_back(sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
   }
-  return out;
 }
 
 ConfidenceInterval percentile_interval(std::vector<double> stats, double point,
@@ -40,8 +42,10 @@ ConfidenceInterval bootstrap_ci(
   Rng rng(seed);
   std::vector<double> stats;
   stats.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> draw;
+  draw.reserve(sample.size());
   for (int r = 0; r < resamples; ++r) {
-    auto draw = resample(sample, rng);
+    resample_into(sample, rng, draw);
     stats.push_back(statistic(draw));
   }
   auto copy = sample;
@@ -56,10 +60,16 @@ ConfidenceInterval bootstrap_median_difference(const std::vector<double>& a,
   Rng rng(seed);
   std::vector<double> stats;
   stats.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> da;
+  std::vector<double> db;
+  da.reserve(a.size());
+  db.reserve(b.size());
   for (int r = 0; r < resamples; ++r) {
-    auto da = resample(a, rng);
-    auto db = resample(b, rng);
-    stats.push_back(median(std::move(da)) - median(std::move(db)));
+    resample_into(a, rng, da);
+    resample_into(b, rng, db);
+    std::sort(da.begin(), da.end());
+    std::sort(db.begin(), db.end());
+    stats.push_back(median_sorted(da) - median_sorted(db));
   }
   const double point = median(a) - median(b);
   return percentile_interval(std::move(stats), point, alpha);

@@ -24,10 +24,22 @@ inline double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-/// Quantile of an unsorted sample (copies and sorts).
+/// Quantile of an unsorted sample. Selection-based: nth_element places the
+/// lower order statistic, and the upper one is the minimum of the remaining
+/// tail — both are exact order statistics, so the result is bitwise
+/// identical to sorting fully, at O(n) instead of O(n log n).
 inline double quantile(std::vector<double> values, double q) {
-  std::sort(values.begin(), values.end());
-  return quantile_sorted(values, q);
+  FBEDGE_EXPECT(!values.empty(), "quantile of empty sample");
+  if (values.size() == 1) return values[0];
+  const double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double lo_v = *lo_it;
+  if (lo + 1 >= values.size()) return lo_v;
+  const double hi_v = *std::min_element(lo_it + 1, values.end());
+  return lo_v + frac * (hi_v - lo_v);
 }
 
 inline double median_sorted(const std::vector<double>& sorted) {

@@ -19,14 +19,42 @@ double k_scale(double q, double compression) {
   return compression / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
 }
 
+// Inverse of k_scale: the largest q with k(q) <= k. Returns 2.0 (never
+// binding) once k exceeds k(1) = compression/4, mirroring k_scale's clamp.
+// Evaluating the merge criterion as `q <= k_inverse(k_lo + 1)` costs one
+// sin() per *emitted* centroid instead of one asin() per *input* centroid —
+// the dominant transcendental saving in compress().
+double k_inverse(double k, double compression) {
+  const double arg = k * (2.0 * M_PI) / compression;
+  if (arg >= M_PI / 2.0) return 2.0;
+  return (std::sin(arg) + 1.0) / 2.0;
+}
+
+/// Sort order for centroids: by mean, then weight. The weight tie-break
+/// keeps the merge order — and therefore the output centroids — identical
+/// across toolchains even when many points share a mean (std::sort on
+/// equal keys is otherwise implementation-defined).
+struct CentroidLess {
+  bool operator()(const TDigest::Centroid& a, const TDigest::Centroid& b) const {
+    return a.mean < b.mean || (a.mean == b.mean && a.weight < b.weight);
+  }
+};
+// A functor (not a function pointer) so std::sort inlines the comparison.
+constexpr CentroidLess centroid_less{};
+
 }  // namespace
 
 TDigest::TDigest(double compression)
     : compression_(compression),
+      buffer_limit_(static_cast<std::size_t>(compression * 4)),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
   FBEDGE_EXPECT(compression >= 20.0, "t-digest compression too small");
-  buffer_.reserve(static_cast<std::size_t>(compression * 4));
+  // The buffer grows on demand: most digests live in per-window aggregates
+  // that see a handful of points, and reserving the full merge buffer up
+  // front (compression*4 entries) made constructing those aggregates the
+  // dominant allocation cost. Sustained feeds reach capacity once and keep
+  // it across compress() cycles.
 }
 
 void TDigest::add(double value, double weight) {
@@ -37,15 +65,13 @@ void TDigest::add(double value, double weight) {
   ++count_;
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
-  if (buffer_.size() >= static_cast<std::size_t>(compression_ * 4)) compress();
+  if (buffer_.size() >= buffer_limit_) compress();
 }
 
 void TDigest::merge(const TDigest& other) {
   other.compress();
-  for (const auto& c : other.centroids_) {
-    buffer_.push_back(c);
-    unmerged_weight_ += c.weight;
-  }
+  buffer_.insert(buffer_.end(), other.centroids_.begin(), other.centroids_.end());
+  unmerged_weight_ += other.total_weight_;
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
@@ -54,43 +80,57 @@ void TDigest::merge(const TDigest& other) {
 
 void TDigest::compress() const {
   if (buffer_.empty()) return;
-  // Merge centroids and buffer into one sorted list.
-  std::vector<Centroid> all;
-  all.reserve(centroids_.size() + buffer_.size());
-  all.insert(all.end(), centroids_.begin(), centroids_.end());
-  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  // Only the buffer is unsorted; centroids_ is an already-sorted run.
+  std::sort(buffer_.begin(), buffer_.end(), centroid_less);
+  absorb_sorted_run(buffer_.data(), buffer_.size());
   buffer_.clear();
-  std::sort(all.begin(), all.end(),
-            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+  unmerged_weight_ = 0;
+}
+
+void TDigest::absorb_sorted_run(const Centroid* run, std::size_t n) const {
+  // Two-pointer merge of the two sorted runs into the persistent scratch;
+  // centroids_ wins ties so older centroids keep their position.
+  scratch_.clear();
+  scratch_.reserve(centroids_.size() + n);
+  std::size_t ci = 0;
+  std::size_t ri = 0;
+  while (ci < centroids_.size() && ri < n) {
+    if (centroid_less(run[ri], centroids_[ci])) {
+      scratch_.push_back(run[ri++]);
+    } else {
+      scratch_.push_back(centroids_[ci++]);
+    }
+  }
+  scratch_.insert(scratch_.end(), centroids_.begin() + static_cast<std::ptrdiff_t>(ci),
+                  centroids_.end());
+  scratch_.insert(scratch_.end(), run + ri, run + n);
 
   double total = 0;
-  for (const auto& c : all) total += c.weight;
+  for (const auto& c : scratch_) total += c.weight;
 
-  std::vector<Centroid> merged;
-  merged.reserve(static_cast<std::size_t>(compression_ * 2));
-  double so_far = 0;         // weight in fully-merged centroids
-  Centroid cur = all.front();
-  double k_lo = k_scale(0.0, compression_);
-  for (std::size_t i = 1; i < all.size(); ++i) {
-    const Centroid& next = all[i];
+  centroids_.clear();
+  centroids_.reserve(static_cast<std::size_t>(compression_ * 2));
+  double so_far = 0;  // weight in fully-merged centroids
+  Centroid cur = scratch_.front();
+  // q up to which the open centroid may grow: k(q) - k(so_far/total) <= 1.
+  double q_limit = k_inverse(k_scale(0.0, compression_) + 1.0, compression_);
+  for (std::size_t i = 1; i < scratch_.size(); ++i) {
+    const Centroid& next = scratch_[i];
     const double proposed_q = (so_far + cur.weight + next.weight) / total;
-    if (k_scale(proposed_q, compression_) - k_lo <= 1.0) {
+    if (std::min(proposed_q, 1.0) <= q_limit) {
       // Merge next into cur (weighted mean).
       const double w = cur.weight + next.weight;
       cur.mean += (next.mean - cur.mean) * next.weight / w;
       cur.weight = w;
     } else {
       so_far += cur.weight;
-      merged.push_back(cur);
-      k_lo = k_scale(so_far / total, compression_);
+      centroids_.push_back(cur);
+      q_limit = k_inverse(k_scale(so_far / total, compression_) + 1.0, compression_);
       cur = next;
     }
   }
-  merged.push_back(cur);
-
-  centroids_ = std::move(merged);
+  centroids_.push_back(cur);
   total_weight_ = total;
-  const_cast<TDigest*>(this)->unmerged_weight_ = 0;
 }
 
 const std::vector<TDigest::Centroid>& TDigest::centroids() const {

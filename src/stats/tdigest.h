@@ -6,6 +6,13 @@
 // t-digests in streaming analytics frameworks. This is that data structure:
 // a mergeable, bounded-size sketch with very low error near the tails and
 // near the median.
+//
+// Hot-path design (see DESIGN.md "performance notes"): `centroids_` is kept
+// sorted between compressions, so compress() only sorts the small unmerged
+// buffer and two-pointer-merges it with the existing run into a persistent
+// scratch vector — no allocation and no O(n log n) work over data that is
+// already sorted. Ties sort by (mean, weight) so the output is identical
+// across toolchains regardless of std::sort's handling of equal keys.
 #pragma once
 
 #include <cstddef>
@@ -65,13 +72,24 @@ class TDigest {
   const std::vector<Centroid>& centroids() const;
 
  private:
+  /// Merges the sorted `run` with the sorted `centroids_` and rebuilds the
+  /// centroid set under the k1 size limit. `run` must not alias members.
+  void absorb_sorted_run(const Centroid* run, std::size_t n) const;
+
   double compression_;
+  /// Buffered points before an automatic compress; cached from the ctor so
+  /// add() does not recompute the float->size_t conversion per call.
+  std::size_t buffer_limit_;
   // Logically-const caching: compress() reshapes internal representation
   // without changing the distribution represented.
   mutable std::vector<Centroid> centroids_;
   mutable std::vector<Centroid> buffer_;
+  /// Persistent merge scratch: compress() writes the combined sorted run
+  /// here, then rebuilds centroids_ from it. Reused across compressions so
+  /// the steady state allocates nothing.
+  mutable std::vector<Centroid> scratch_;
   mutable double total_weight_{0};
-  double unmerged_weight_{0};
+  mutable double unmerged_weight_{0};
   std::size_t count_{0};
   double min_;
   double max_;

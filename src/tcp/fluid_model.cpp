@@ -14,49 +14,103 @@ BitsPerSecond mathis_rate(Bytes mss, Duration rtt, double loss_rate) {
 
 FluidTransfer FluidTcpConnection::transfer(Bytes size, SimTime start,
                                            const PathConditions& path) {
+  FluidTrialCache cache;
+  const FluidTransfer out = transfer_candidate(size, start, path, cache);
+  commit(cache);
+  return out;
+}
+
+FluidTransfer FluidTcpConnection::transfer_candidate(Bytes size, SimTime start,
+                                                     const PathConditions& path,
+                                                     FluidTrialCache& cache) const {
   FBEDGE_EXPECT(size > 0, "empty fluid transfer");
   FBEDGE_EXPECT(path.min_rtt > 0 && path.bottleneck > 0, "invalid path conditions");
 
-  // Slow-start-after-idle: a long-idle connection loses its inflated cwnd,
-  // which is why Wstart must be modeled from ideal growth rather than read
-  // from Wnic alone (§3.2.2).
-  if (config_.idle_restart && last_activity_ > 0 &&
-      start - last_activity_ > config_.idle_restart_after) {
-    cwnd_pkts_ = std::min(cwnd_pkts_, config_.initial_cwnd);
-    ssthresh_pkts_ = 1e9;
+  const double mss_d = static_cast<double>(config_.mss);
+
+  if (cache.fresh) {
+    cache.fresh = false;
+    double cwnd0 = cwnd_pkts_;
+    double ssthresh0 = ssthresh_pkts_;
+    // Slow-start-after-idle: a long-idle connection loses its inflated cwnd,
+    // which is why Wstart must be modeled from ideal growth rather than read
+    // from Wnic alone (§3.2.2).
+    if (config_.idle_restart && last_activity_ > 0 &&
+        start - last_activity_ > config_.idle_restart_after) {
+      cwnd0 = std::min(cwnd0, config_.initial_cwnd);
+      ssthresh0 = 1e9;
+    }
+    cache.cwnd = cwnd0;
+    cache.ssthresh = ssthresh0;
+    cache.wnic = static_cast<Bytes>(cwnd0 * mss_d);
+    cache.rng = rng_;
+
+    cache.loss = std::min(path.loss_rate, 0.5);
+    // mathis_rate returns +inf for loss <= 0, where min() picks the
+    // bottleneck anyway; branching skips the sqrt without changing the
+    // value.
+    cache.sustainable =
+        cache.loss > 0
+            ? std::min(path.bottleneck,
+                       mathis_rate(config_.mss, path.min_rtt, cache.loss))
+            : path.bottleneck;
+    cache.bdp_pkts =
+        std::max(1.0, cache.sustainable * path.min_rtt / to_bits(config_.mss));
+    cache.pkt_time = to_bits(config_.mss) / path.bottleneck;
+    // (1-p)^s via exp(s*log(1-p)): one log per path (taken lazily at the
+    // first round that needs it) instead of a pow per round; s = 1 and
+    // s = 2 have exact closed forms and skip even that.
+    cache.q_keep = 1.0 - cache.loss;
+    cache.log_keep_ready = false;
   }
 
-  const double mss_d = static_cast<double>(config_.mss);
-  const std::int64_t packets_total = (size + config_.mss - 1) / config_.mss;
+  // Division by a compile-time constant compiles to a multiply; the default
+  // MSS covers essentially every connection, so give the compiler that
+  // constant. Identical integer arithmetic either way.
+  std::int64_t packets_total;
+  if (config_.mss == 1440) {
+    packets_total = (size + 1439) / 1440;
+  } else {
+    packets_total = (size + config_.mss - 1) / config_.mss;
+  }
   const Bytes last_pkt =
       size - (packets_total - 1) * config_.mss;  // in (0, mss]
 
   FluidTransfer out;
   out.bytes = size;
   out.last_packet_bytes = last_pkt;
-  out.wnic = static_cast<Bytes>(cwnd_pkts_ * mss_d);
+  out.wnic = cache.wnic;
+  out.observed_rtt = cache.observed_rtt;
+  out.loss_events = cache.loss_events;
 
-  const double loss = std::min(path.loss_rate, 0.5);
-  const BitsPerSecond sustainable =
-      std::min(path.bottleneck, mathis_rate(config_.mss, path.min_rtt, loss));
-  const double bdp_pkts =
-      std::max(1.0, sustainable * path.min_rtt / to_bits(config_.mss));
-  const Duration pkt_time = to_bits(config_.mss) / path.bottleneck;
+  const double loss = cache.loss;
+  const BitsPerSecond sustainable = cache.sustainable;
+  const double bdp_pkts = cache.bdp_pkts;
+  const Duration pkt_time = cache.pkt_time;
+  const double q_keep = cache.q_keep;
 
+  Rng rng = cache.rng;
   auto draw_rtt = [&]() {
-    return path.min_rtt + (path.jitter > 0 ? rng_.exponential(path.jitter) : 0.0);
+    return path.min_rtt + (path.jitter > 0 ? rng.exponential(path.jitter) : 0.0);
   };
 
   const std::int64_t second_last_target = packets_total - 1;  // packets acked
-  Duration t = 0;
+  Duration t = cache.t;
   Duration t_second_last = -1;
   Duration t_last = -1;
-  std::int64_t acked = 0;
-  double cwnd = cwnd_pkts_;
-  int rounds = 0;
+  std::int64_t acked = cache.acked;
+  double cwnd = cache.cwnd;
+  double ssthresh = cache.ssthresh;
+  int rounds = cache.rounds;
   constexpr int kMaxRounds = 200;
 
   while (acked < packets_total) {
+    // A round whose window neither touches the transfer tail nor drains is
+    // size-independent: it runs identically (same draws, same arithmetic)
+    // for every candidate size >= this one, so after executing it we fold
+    // it into the checkpoint and the next candidate resumes past it.
+    const bool common = rounds < kMaxRounds && cwnd < bdp_pkts &&
+                        acked + static_cast<std::int64_t>(cwnd) < second_last_target;
     const Duration rtt_r = draw_rtt();
     if (rounds == 0) out.observed_rtt = rtt_r;
 
@@ -78,8 +132,21 @@ FluidTransfer FluidTcpConnection::transfer(Bytes size, SimTime start,
         std::min<std::int64_t>(static_cast<std::int64_t>(cwnd), packets_total - acked);
     FBEDGE_EXPECT(s >= 1, "fluid round sends nothing");
 
-    const double p_round = loss > 0 ? 1.0 - std::pow(1.0 - loss, static_cast<double>(s)) : 0.0;
-    const bool lost = p_round > 0 && rng_.bernoulli(p_round);
+    double p_round = 0.0;
+    if (loss > 0) {
+      if (s == 1) {
+        p_round = 1.0 - q_keep;  // == 1 - pow(1-p, 1)
+      } else if (s == 2) {
+        p_round = 1.0 - q_keep * q_keep;  // == 1 - pow(1-p, 2)
+      } else {
+        if (!cache.log_keep_ready) {
+          cache.log_keep = std::log(q_keep);
+          cache.log_keep_ready = true;
+        }
+        p_round = 1.0 - std::exp(static_cast<double>(s) * cache.log_keep);
+      }
+    }
+    const bool lost = p_round > 0 && rng.bernoulli(p_round);
 
     if (lost) {
       // One segment lost: the cumulative ACK stalls at it, fast retransmit
@@ -88,27 +155,38 @@ FluidTransfer FluidTcpConnection::transfer(Bytes size, SimTime start,
       acked += s - 1;
       t += rtt_r + draw_rtt();  // the round + a recovery round
       cwnd = std::max(cwnd / 2.0, 1.0);
-      ssthresh_pkts_ = cwnd;
-      continue;
-    }
-
-    // ACK of the j-th packet of this round (1-based) arrives at
-    // t + j*pkt_time + rtt (bottleneck serialization spaces deliveries).
-    if (t_second_last < 0 && acked + s >= second_last_target && second_last_target > acked) {
-      t_second_last =
-          t + static_cast<double>(second_last_target - acked) * pkt_time + rtt_r;
-    }
-    if (acked + s >= packets_total) {
-      t_last = t + static_cast<double>(packets_total - acked) * pkt_time + rtt_r;
-    }
-    acked += s;
-    t += rtt_r;
-
-    // Window growth, driven by packets ACKed this round.
-    if (cwnd < ssthresh_pkts_) {
-      cwnd = std::min(cwnd + static_cast<double>(s), 2.0 * cwnd);
+      ssthresh = cwnd;
     } else {
-      cwnd += 1.0;  // one MSS per RTT in congestion avoidance
+      // ACK of the j-th packet of this round (1-based) arrives at
+      // t + j*pkt_time + rtt (bottleneck serialization spaces deliveries).
+      if (t_second_last < 0 && acked + s >= second_last_target &&
+          second_last_target > acked) {
+        t_second_last =
+            t + static_cast<double>(second_last_target - acked) * pkt_time + rtt_r;
+      }
+      if (acked + s >= packets_total) {
+        t_last = t + static_cast<double>(packets_total - acked) * pkt_time + rtt_r;
+      }
+      acked += s;
+      t += rtt_r;
+
+      // Window growth, driven by packets ACKed this round.
+      if (cwnd < ssthresh) {
+        cwnd = std::min(cwnd + static_cast<double>(s), 2.0 * cwnd);
+      } else {
+        cwnd += 1.0;  // one MSS per RTT in congestion avoidance
+      }
+    }
+
+    if (common) {
+      cache.t = t;
+      cache.acked = acked;
+      cache.cwnd = cwnd;
+      cache.ssthresh = ssthresh;
+      cache.rounds = rounds;
+      cache.loss_events = out.loss_events;
+      cache.observed_rtt = out.observed_rtt;
+      cache.rng = rng;
     }
   }
 
@@ -117,9 +195,19 @@ FluidTransfer FluidTcpConnection::transfer(Bytes size, SimTime start,
 
   out.full_duration = t_last;
   out.adjusted_duration = t_second_last;
-  cwnd_pkts_ = std::min(cwnd, 2.0 * bdp_pkts);
-  last_activity_ = start + out.full_duration;
+  cache.end_cwnd = std::min(cwnd, 2.0 * bdp_pkts);
+  cache.end_ssthresh = ssthresh;
+  cache.end_rng = rng;
+  cache.end_activity = start + out.full_duration;
   return out;
+}
+
+void FluidTcpConnection::commit(const FluidTrialCache& cache) {
+  FBEDGE_EXPECT(!cache.fresh, "commit without a simulated candidate");
+  cwnd_pkts_ = cache.end_cwnd;
+  ssthresh_pkts_ = cache.end_ssthresh;
+  rng_ = cache.end_rng;
+  last_activity_ = cache.end_activity;
 }
 
 }  // namespace fbedge

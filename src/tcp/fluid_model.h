@@ -55,6 +55,42 @@ struct FluidTransfer {
   Bytes adjusted_bytes() const { return bytes - last_packet_bytes; }
 };
 
+/// Resumable trial state for coalescing candidate transfers that share the
+/// connection state, start time, and path but grow in size (the generator's
+/// join loop). Slow-start rounds where the window neither reaches the
+/// transfer tail nor drains play out identically for every candidate size,
+/// so they are folded into this checkpoint once and each re-trial replays
+/// only the size-dependent suffix. All fields are copied verbatim — no
+/// re-derivation — which keeps a resumed candidate bitwise-identical to a
+/// from-scratch simulation.
+struct FluidTrialCache {
+  bool fresh{true};
+  // Loop state after the last round proven independent of candidate size.
+  Duration t{0};
+  std::int64_t acked{0};
+  double cwnd{0};
+  double ssthresh{0};
+  int rounds{0};
+  std::uint64_t loss_events{0};
+  Duration observed_rtt{0};
+  Bytes wnic{0};
+  Rng rng;
+  // Path-derived invariants, identical for every candidate (they depend on
+  // the path and config only); computed once on the first candidate.
+  double loss{0};
+  double q_keep{1};
+  double log_keep{0};
+  bool log_keep_ready{false};
+  BitsPerSecond sustainable{0};
+  double bdp_pkts{0};
+  Duration pkt_time{0};
+  // Connection end-state of the most recent candidate, applied by commit().
+  double end_cwnd{0};
+  double end_ssthresh{0};
+  SimTime end_activity{0};
+  Rng end_rng;
+};
+
 /// Connection-scoped fluid TCP state: the cwnd persists across transactions
 /// exactly as a real connection's would, which is what makes later
 /// transactions testable for higher goodputs (§3.2.2).
@@ -75,6 +111,18 @@ class FluidTcpConnection {
   /// Models the transfer of a `size`-byte response starting at `start`
   /// under `path` conditions. Mutates connection state (cwnd, clock).
   FluidTransfer transfer(Bytes size, SimTime start, const PathConditions& path);
+
+  /// As transfer(), but const: simulates one candidate size against `cache`,
+  /// advancing the shared size-independent prefix. The cache may only be
+  /// reused across candidates with identical start/path and non-decreasing
+  /// size; call commit() to apply the final candidate to the connection.
+  FluidTransfer transfer_candidate(Bytes size, SimTime start,
+                                   const PathConditions& path,
+                                   FluidTrialCache& cache) const;
+
+  /// Applies the end-state of `cache`'s most recent candidate (cwnd,
+  /// ssthresh, RNG position, activity clock) to this connection.
+  void commit(const FluidTrialCache& cache);
 
   double cwnd_packets() const { return cwnd_pkts_; }
   SimTime last_activity() const { return last_activity_; }

@@ -20,19 +20,31 @@ PiecewiseCdfSampler::PiecewiseCdfSampler(std::vector<Point> points)
   }
   FBEDGE_EXPECT(std::abs(points_.back().cumulative - 1.0) < 1e-9,
                 "last control point must have cumulative 1");
+  ratio_.resize(points_.size(), 1.0);
+  log_ratio_.resize(points_.size(), 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    ratio_[i] = points_[i].value / points_[i - 1].value;
+    log_ratio_[i] = std::log(ratio_[i]);
+  }
 }
 
 double PiecewiseCdfSampler::quantile(double q) const {
   q = std::clamp(q, points_.front().cumulative, 1.0);
-  auto it = std::lower_bound(points_.begin(), points_.end(), q,
-                             [](const Point& p, double v) { return p.cumulative < v; });
-  if (it == points_.begin()) return it->value;
-  const Point& hi = *it;
-  const Point& lo = *(it - 1);
+  // Control-point lists are short (<= 9 entries), so a forward scan finds
+  // the same segment as a binary search for less; the loop terminates
+  // because the last cumulative is 1 and q <= 1.
+  std::size_t i = 1;
+  while (points_[i].cumulative < q) ++i;
+  const Point& hi = points_[i];
+  const Point& lo = points_[i - 1];
   const double frac = (q - lo.cumulative) / (hi.cumulative - lo.cumulative);
   // Geometric interpolation: heavy-tailed sizes/durations are log-linear
-  // between control points.
-  return lo.value * std::pow(hi.value / lo.value, frac);
+  // between control points. The frac <= 0 / >= 1 branches return the exact
+  // pow(r, 0) and pow(r, 1) values (control points stay bit-exact);
+  // interior points use exp(frac * log r), within an ulp or two of pow.
+  if (frac <= 0.0) return lo.value;
+  if (frac >= 1.0) return lo.value * ratio_[i];
+  return lo.value * std::exp(frac * log_ratio_[i]);
 }
 
 double PiecewiseCdfSampler::sample(Rng& rng) const { return quantile(rng.uniform()); }
@@ -114,6 +126,11 @@ Bytes TrafficModel::sample_response_size(EndpointClass e, Rng& rng) const {
 
 SessionSpec TrafficModel::make_session(SessionId id, Rng& rng) const {
   SessionSpec spec;
+  make_session_into(id, rng, spec);
+  return spec;
+}
+
+void TrafficModel::make_session_into(SessionId id, Rng& rng, SessionSpec& spec) const {
   spec.id = id;
   spec.version = sample_version(rng);
   spec.endpoint = sample_endpoint(rng);
@@ -127,6 +144,7 @@ SessionSpec TrafficModel::make_session(SessionId id, Rng& rng) const {
   // (Fig. 1(b)).
   Duration t = rng.uniform(0.02, 0.3);
   const Duration mean_gap = spec.duration / static_cast<double>(txns + 1);
+  spec.transactions.clear();
   spec.transactions.reserve(static_cast<std::size_t>(txns));
   for (int i = 0; i < txns; ++i) {
     TransactionSpec txn;
@@ -141,7 +159,6 @@ SessionSpec TrafficModel::make_session(SessionId id, Rng& rng) const {
   // Sessions end at/after the last response; keep the drawn duration if
   // longer (idle tail).
   spec.duration = std::max(spec.duration, t + 0.1);
-  return spec;
 }
 
 }  // namespace fbedge

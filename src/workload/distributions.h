@@ -35,6 +35,11 @@ class PiecewiseCdfSampler {
 
  private:
   std::vector<Point> points_;
+  // Per-segment geometry precomputed at construction: ratio_[i] is
+  // value_i / value_{i-1} and log_ratio_[i] its log, so quantile()
+  // interpolates with one exp() instead of a pow() per draw.
+  std::vector<double> ratio_;
+  std::vector<double> log_ratio_;
 };
 
 /// Session/transaction property samplers for one HTTP version (§2.3).
@@ -45,6 +50,11 @@ class TrafficModel {
   /// Draws a full session plan: version, endpoint class, duration,
   /// transaction arrival times / sizes / priorities.
   SessionSpec make_session(SessionId id, Rng& rng) const;
+
+  /// As make_session, but refills `spec` in place (the transaction buffer
+  /// keeps its capacity) so the steady-state hot path allocates nothing.
+  /// Same RNG draw sequence and output as make_session.
+  void make_session_into(SessionId id, Rng& rng, SessionSpec& spec) const;
 
   // Individual samplers, exposed for tests and for Fig. 1-3 shape checks.
   Duration sample_duration(HttpVersion v, Rng& rng) const;

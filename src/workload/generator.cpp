@@ -43,6 +43,19 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
                                             const SessionSpec& spec, int route_index,
                                             SimTime start, Rng& rng) const {
   SessionSample sample;
+  run_session_into(group, spec, route_index, start, rng, sample);
+  return sample;
+}
+
+void DatasetGenerator::run_session_into(const UserGroupProfile& group,
+                                        const SessionSpec& spec, int route_index,
+                                        SimTime start, Rng& rng,
+                                        SessionSample& sample) const {
+  // Every other field is assigned below; only the accumulating ones need a
+  // reset. One ResponseWrite is emitted per transaction.
+  sample.writes.clear();
+  sample.writes.reserve(spec.transactions.size());
+  sample.total_bytes = 0;
   sample.id = spec.id;
   sample.pop = group.key.pop;
   sample.client.bgp_prefix = group.key.prefix;
@@ -82,11 +95,13 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
     path.min_rtt += bloat;
 
     // Tentatively extend the group. Joins are decided against the finish
-    // time of the group transferred so far; each candidate size is
-    // evaluated on a *copy* of the connection so cwnd/RNG state advances
-    // exactly once per committed group.
-    FluidTcpConnection trial = conn;
-    FluidTransfer transfer = trial.transfer(g.bytes, start + group_start, path);
+    // time of the group transferred so far; candidates run against a trial
+    // cache (connection state untouched until commit) that replays only the
+    // size-dependent tail of the simulation, so growing a k-member group
+    // costs the shared slow-start prefix once instead of k times.
+    FluidTrialCache trial;
+    FluidTransfer transfer =
+        conn.transfer_candidate(g.bytes, start + group_start, path, trial);
     while (g.last + 1 < spec.transactions.size()) {
       const auto& next = spec.transactions[g.last + 1];
       const SimTime finish = group_start + transfer.full_duration;
@@ -96,10 +111,9 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
       g.last += 1;
       g.bytes += next.response_bytes;
       g.overlapped = g.overlapped || overlaps;
-      trial = conn;
-      transfer = trial.transfer(g.bytes, start + group_start, path);
+      transfer = conn.transfer_candidate(g.bytes, start + group_start, path, trial);
     }
-    conn = trial;
+    conn.commit(trial);
 
     min_rtt = std::min(min_rtt, transfer.observed_rtt);
     busy += transfer.full_duration;
@@ -108,6 +122,26 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
     // coalescer will re-merge them exactly as §3.2.5 prescribes.
     const std::size_t members = g.last - g.first + 1;
     const Duration nic_span = transfer.adjusted_duration * 0.5;  // writes early
+    if (members == 1) {
+      // Single-member group (the common case): frac_lo = 0/1 and
+      // frac_hi = 1/1, so the interpolation below collapses exactly to the
+      // group boundaries — same values, two divisions fewer.
+      const auto& txn = spec.transactions[g.first];
+      ResponseWrite w;
+      w.bytes = txn.response_bytes;
+      w.wnic = transfer.wnic;
+      w.first_byte_nic = group_start;
+      w.last_byte_nic = group_start + nic_span;
+      w.second_last_ack = group_start + transfer.adjusted_duration;
+      w.last_ack = group_start + transfer.full_duration;
+      w.last_packet_bytes = transfer.last_packet_bytes;
+      sample.writes.push_back(w);
+      sample.total_bytes += w.bytes;
+
+      clock = group_start + transfer.full_duration;
+      i = g.last + 1;
+      continue;
+    }
     for (std::size_t m = 0; m < members; ++m) {
       const auto& txn = spec.transactions[g.first + m];
       ResponseWrite w;
@@ -139,7 +173,6 @@ SessionSample DatasetGenerator::run_session(const UserGroupProfile& group,
   sample.duration = std::max(spec.duration, clock);
   sample.busy_time = busy;
   sample.min_rtt = std::isfinite(min_rtt) ? min_rtt : 0;
-  return sample;
 }
 
 void DatasetGenerator::generate_group(const UserGroupProfile& group,
@@ -155,6 +188,11 @@ void DatasetGenerator::generate_group(const UserGroupProfile& group,
 
   const int total_windows = config_.days * 96;
   const int num_routes = static_cast<int>(group.routes.size());
+  // Session scratch reused across the whole group: spec.transactions and
+  // sample.writes keep their capacity, so session generation is
+  // allocation-free at steady state.
+  SessionSpec spec;
+  SessionSample sample;
   for (int w = 0; w < total_windows; ++w) {
     // Diurnal traffic volume: more sessions at local evening peak.
     const SimTime window_start = w * kWindowLength;
@@ -166,9 +204,10 @@ void DatasetGenerator::generate_group(const UserGroupProfile& group,
     for (int s = 0; s < sessions; ++s) {
       const SessionId id{session_seq++};
       const SimTime start = window_start + rng.uniform(0.0, kWindowLength);
-      const SessionSpec spec = traffic_.make_session(id, rng);
+      traffic_.make_session_into(id, rng, spec);
       const int route = sampler_.choose_route(id, num_routes);
-      sink(run_session(group, spec, route, start, rng));
+      run_session_into(group, spec, route, start, rng, sample);
+      sink(sample);
     }
   }
 }

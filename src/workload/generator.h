@@ -54,6 +54,13 @@ class DatasetGenerator {
   SessionSample run_session(const UserGroupProfile& group, const SessionSpec& spec,
                             int route_index, SimTime start, Rng& rng) const;
 
+  /// As run_session, but refills `sample` in place (the writes vector keeps
+  /// its capacity across sessions) so the steady-state hot path allocates
+  /// nothing. Same RNG draw sequence and output as run_session.
+  void run_session_into(const UserGroupProfile& group, const SessionSpec& spec,
+                        int route_index, SimTime start, Rng& rng,
+                        SessionSample& sample) const;
+
   const World& world() const { return world_; }
   const DatasetConfig& config() const { return config_; }
 

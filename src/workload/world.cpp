@@ -256,7 +256,14 @@ World build_world(const WorldConfig& config) {
 
 bool in_peak_hours(const UserGroupProfile& group, SimTime t) {
   const double local_hours = t / 3600.0 + group.tz_offset_hours;
-  const double hour_of_day = std::fmod(std::fmod(local_hours, 24.0) + 24.0, 24.0);
+  // One fmod instead of two: f is in (-24, 24), so g = f + 24 lands in
+  // (0, 48] and fmod(g, 24) is g, g - 24 (exact by Sterbenz), or 0 at
+  // g == 48 — reproduced bit-for-bit by the comparisons below, including
+  // the rounding of f + 24 near the boundaries.
+  const double f = std::fmod(local_hours, 24.0);
+  const double g = f + 24.0;
+  double hour_of_day = g >= 24.0 ? g - 24.0 : g;
+  if (hour_of_day >= 24.0) hour_of_day -= 24.0;
   return hour_of_day >= 19.0 && hour_of_day < 23.0;
 }
 

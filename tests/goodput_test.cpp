@@ -3,9 +3,13 @@
 // session HDratio — anchored on the paper's Figure 4 worked example.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "goodput/hdratio.h"
 #include "goodput/ideal_model.h"
 #include "goodput/tmodel.h"
+#include "util/rng.h"
 
 namespace fbedge {
 namespace {
@@ -198,6 +202,76 @@ TEST(TModel, EstimateCapsForImpossiblyFastTransfer) {
   // cap instead of diverging.
   TxnTiming txn{150000, 0.01, 15000, kRtt};
   EXPECT_EQ(estimate_delivery_rate(txn, 1e9), 1e9);
+}
+
+TEST(TModel, ClosedFormMatchesBisectionSweep) {
+  // Property sweep over (btotal, wnic, min_rtt, ttotal): the closed-form
+  // segment solver must land where the 100-iteration log-space bisection
+  // lands. The bisection converges to within ~1 ULP of the predicate
+  // boundary, so the allowed slack is a few ULP of relative difference.
+  Rng rng(2026);
+  int interior = 0;
+  for (int i = 0; i < 3000; ++i) {
+    TxnTiming txn;
+    txn.btotal =
+        static_cast<Bytes>(std::exp(rng.uniform(std::log(1e3), std::log(1e7))));
+    txn.wnic = static_cast<Bytes>(1460 * rng.uniform_int(1, 50));
+    txn.min_rtt = rng.uniform(0.002, 0.4);
+    const double rate = std::exp(rng.uniform(std::log(1e4), std::log(1e9)));
+    txn.ttotal = t_model(txn, rate) * rng.uniform(0.6, 1.8);
+
+    const double closed = estimate_delivery_rate(txn);
+    const double bisect = estimate_delivery_rate_bisect(txn);
+    ASSERT_LE(std::abs(closed - bisect), 1e-12 * std::max(1.0, std::max(closed, bisect)))
+        << "btotal=" << txn.btotal << " wnic=" << txn.wnic
+        << " min_rtt=" << txn.min_rtt << " ttotal=" << txn.ttotal;
+    if (closed > 0 && closed < 100 * kGbps) ++interior;
+  }
+  // The sweep must actually exercise the segment solver, not just the
+  // early-outs at 0 and the cap.
+  EXPECT_GT(interior, 1000);
+}
+
+TEST(TModel, ClosedFormIsExactPredicateBoundary) {
+  // The returned rate is the largest double satisfying achieved_rate:
+  // achieved at R, not achieved one ULP above.
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    TxnTiming txn;
+    txn.btotal =
+        static_cast<Bytes>(std::exp(rng.uniform(std::log(5e3), std::log(5e6))));
+    txn.wnic = static_cast<Bytes>(1460 * rng.uniform_int(2, 30));
+    txn.min_rtt = rng.uniform(0.005, 0.2);
+    const double rate = std::exp(rng.uniform(std::log(1e5), std::log(1e8)));
+    txn.ttotal = t_model(txn, rate) * rng.uniform(0.8, 1.4);
+
+    const double r = estimate_delivery_rate(txn);
+    if (r <= 0 || r >= 100 * kGbps) continue;  // early-out cases
+    EXPECT_TRUE(achieved_rate(txn, r));
+    EXPECT_FALSE(achieved_rate(
+        txn, std::nextafter(r, std::numeric_limits<double>::infinity())));
+  }
+}
+
+TEST(TModel, NonIncreasingInRateRandomized) {
+  // t_model monotonicity in R across random transactions (the structured
+  // case above checks one; the solver's correctness rests on this holding
+  // everywhere).
+  Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    TxnTiming txn;
+    txn.btotal =
+        static_cast<Bytes>(std::exp(rng.uniform(std::log(1e3), std::log(1e7))));
+    txn.wnic = static_cast<Bytes>(1460 * rng.uniform_int(1, 50));
+    txn.min_rtt = rng.uniform(0.002, 0.4);
+    txn.ttotal = 1.0;  // t_model ignores ttotal
+    double prev = t_model(txn, 1e4);
+    for (double r = 1.3e4; r < 1e10; r *= 1.31) {
+      const double t = t_model(txn, r);
+      EXPECT_LE(t, prev * (1 + 1e-12) + 1e-12) << "r=" << r << " i=" << i;
+      prev = t;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

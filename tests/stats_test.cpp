@@ -248,6 +248,140 @@ TEST(TDigest, BoundedSize) {
   EXPECT_LE(d.centroids().size(), 220u);  // ~2x compression bound
 }
 
+TEST(TDigest, TieBreakIsInsertionOrderIndependent) {
+  // Equal-mean points with distinct weights must produce the same centroid
+  // set no matter the insertion order: compress() sorts by (mean, weight),
+  // so std::sort's handling of equal keys cannot leak into the result.
+  // Total inserts stay below the auto-compress threshold (compression * 4)
+  // so each digest sees exactly one compress over the full multiset.
+  std::vector<TDigest::Centroid> points;
+  for (int w = 1; w <= 10; ++w) points.push_back({5.0, static_cast<double>(w)});
+  for (int w = 1; w <= 10; ++w) points.push_back({-2.0, static_cast<double>(w)});
+  for (int i = 0; i < 50; ++i) points.push_back({0.1 * i, 1.0});
+
+  TDigest forward(100), reverse(100), shuffled(100);
+  for (const auto& p : points) forward.add(p.mean, p.weight);
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    reverse.add(it->mean, it->weight);
+  }
+  Rng rng(17);
+  std::vector<TDigest::Centroid> perm = points;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1],
+              perm[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1))]);
+  }
+  for (const auto& p : perm) shuffled.add(p.mean, p.weight);
+
+  const auto& f = forward.centroids();
+  const auto& r = reverse.centroids();
+  const auto& s = shuffled.centroids();
+  ASSERT_EQ(f.size(), r.size());
+  ASSERT_EQ(f.size(), s.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f[i].mean, r[i].mean) << "i=" << i;
+    EXPECT_EQ(f[i].weight, r[i].weight) << "i=" << i;
+    EXPECT_EQ(f[i].mean, s[i].mean) << "i=" << i;
+    EXPECT_EQ(f[i].weight, s[i].weight) << "i=" << i;
+  }
+}
+
+namespace reference {
+
+// The pre-optimization TDigest::compress(): concatenate retained centroids
+// with the buffer, full std::sort, and an asin-per-candidate k1 merge
+// criterion. Kept here as an executable specification so the sorted-run /
+// sin-inversion production path can be checked for bitwise equivalence.
+// (The only intentional difference from the historical code is the
+// (mean, weight) sort tie-break; the test feeds continuous values, so no
+// ties occur and the comparator change is unobservable.)
+class Digest {
+ public:
+  explicit Digest(double compression) : compression_(compression) {}
+
+  void add(double value, double weight = 1.0) {
+    buffer_.push_back({value, weight});
+    if (buffer_.size() >= static_cast<std::size_t>(compression_ * 4)) compress();
+  }
+
+  void compress() {
+    if (buffer_.empty()) return;
+    std::vector<TDigest::Centroid> all;
+    all.reserve(centroids_.size() + buffer_.size());
+    all.insert(all.end(), centroids_.begin(), centroids_.end());
+    all.insert(all.end(), buffer_.begin(), buffer_.end());
+    buffer_.clear();
+    std::sort(all.begin(), all.end(),
+              [](const TDigest::Centroid& a, const TDigest::Centroid& b) {
+                return a.mean < b.mean ||
+                       (a.mean == b.mean && a.weight < b.weight);
+              });
+
+    double total = 0;
+    for (const auto& c : all) total += c.weight;
+
+    std::vector<TDigest::Centroid> merged;
+    double so_far = 0;
+    TDigest::Centroid cur = all.front();
+    double k_lo = k_scale(0.0);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      const TDigest::Centroid& next = all[i];
+      const double proposed_q = (so_far + cur.weight + next.weight) / total;
+      if (k_scale(proposed_q) - k_lo <= 1.0) {
+        const double w = cur.weight + next.weight;
+        cur.mean += (next.mean - cur.mean) * next.weight / w;
+        cur.weight = w;
+      } else {
+        so_far += cur.weight;
+        merged.push_back(cur);
+        k_lo = k_scale(so_far / total);
+        cur = next;
+      }
+    }
+    merged.push_back(cur);
+    centroids_ = std::move(merged);
+  }
+
+  const std::vector<TDigest::Centroid>& centroids() {
+    compress();
+    return centroids_;
+  }
+
+ private:
+  double k_scale(double q) const {
+    q = std::clamp(q, 0.0, 1.0);
+    return compression_ / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
+  }
+
+  double compression_;
+  std::vector<TDigest::Centroid> centroids_;
+  std::vector<TDigest::Centroid> buffer_;
+};
+
+}  // namespace reference
+
+TEST(TDigest, SortedRunCompressMatchesReferenceBitwise) {
+  // The production compress (incremental sorted-run merge + sin-inverted
+  // k limit) must produce exactly the centroids the historical
+  // sort-everything / asin-per-candidate implementation produced for the
+  // same insertion sequence. Continuous draws, weight-1 adds: both the
+  // FP-exactness preconditions (no ties; integer weight sums) hold.
+  Rng rng(20260805);
+  TDigest fast(100);
+  reference::Digest ref(100);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(-2.0, 1.3);
+    fast.add(v);
+    ref.add(v);
+  }
+  const auto& got = fast.centroids();
+  const auto& want = ref.centroids();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].mean, want[i].mean) << "centroid " << i;
+    EXPECT_EQ(got[i].weight, want[i].weight) << "centroid " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // normal_quantile.
 // ---------------------------------------------------------------------------
