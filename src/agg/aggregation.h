@@ -147,6 +147,18 @@ class WindowMap {
   const_iterator begin() const { return entries_.begin(); }
   const_iterator end() const { return entries_.end(); }
 
+  /// Removes every window for which `pred(window, agg)` is true; returns
+  /// how many were removed. Remaining windows keep their ascending order.
+  template <typename Pred>
+  std::size_t remove_if(Pred&& pred) {
+    const auto it = std::remove_if(
+        entries_.begin(), entries_.end(),
+        [&](const value_type& e) { return pred(e.first, e.second); });
+    const auto removed = static_cast<std::size_t>(entries_.end() - it);
+    entries_.erase(it, entries_.end());
+    return removed;
+  }
+
  private:
   iterator lower_bound(int w) {
     return std::lower_bound(

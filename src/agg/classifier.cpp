@@ -11,6 +11,14 @@ Classification classify_temporal(const std::vector<WindowObservation>& windows,
                                  const ClassifierConfig& config) {
   Classification out;
 
+  // A group with no observations at all (every window dropped or silenced)
+  // or a degenerate study span has zero coverage by definition; exclude it
+  // up front rather than divide by total_windows below.
+  if (config.total_windows <= 0 || windows.empty()) {
+    out.cls = TemporalClass::kExcluded;
+    return out;
+  }
+
   int traffic_windows = 0;
   // slot-of-day -> set of days with an event in that slot.
   std::map<int, std::set<int>> slot_event_days;

@@ -40,6 +40,13 @@ std::optional<double> DegradationMonitor::baseline_hdratio() const {
 }
 
 void DegradationMonitor::on_window_closed(int window, const RouteWindowAgg& agg) {
+  // A window with no sessions (PoP outage, dropped window) carries no
+  // signal: comparing its NaN medians would never fire, but letting it
+  // into the history would dilute the baseline pool. Skip and count it.
+  if (agg.sessions() == 0) {
+    ++skipped_empty_;
+    return;
+  }
   DegradationEvent event;
   event.window = window;
   bool fire = false;

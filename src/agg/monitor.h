@@ -8,6 +8,7 @@
 // analytics framework). This monitor implements that loop.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -55,6 +56,9 @@ class DegradationMonitor {
   /// Windows currently in the baseline history.
   int history_size() const { return static_cast<int>(history_.size()); }
 
+  /// Session-less windows rejected by on_window_closed.
+  std::uint64_t skipped_empty() const { return skipped_empty_; }
+
   /// The current rolling baselines (nullopt during warm-up).
   std::optional<Duration> baseline_minrtt() const;
   std::optional<double> baseline_hdratio() const;
@@ -70,6 +74,7 @@ class DegradationMonitor {
   MonitorConfig config_;
   AlertFn alert_;
   std::deque<HistoryEntry> history_;
+  std::uint64_t skipped_empty_{0};
 };
 
 }  // namespace fbedge

@@ -18,6 +18,10 @@ void WindowRollup::add_series(const GroupSeries& series) {
     for (int r = 0; r < static_cast<int>(agg.routes.size()); ++r) {
       const RouteWindowAgg& cell = agg.routes[static_cast<std::size_t>(r)];
       if (cell.sessions() == 0) continue;
+      if (cell.sessions() < min_sessions_) {
+        ++skipped_thin_cells_;
+        continue;
+      }
       add(window, r, cell);
     }
   }

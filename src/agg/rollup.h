@@ -7,6 +7,8 @@
 // validity: four merged windows quadruple the sample count.
 #pragma once
 
+#include <cstdint>
+
 #include "agg/aggregation.h"
 
 namespace fbedge {
@@ -16,21 +18,32 @@ namespace fbedge {
 /// sketch-to-sketch; counts and traffic add.
 class WindowRollup {
  public:
-  explicit WindowRollup(int factor) : factor_(factor) {}
+  /// `min_sessions` is a §3.4.1-style validity floor: source cells with
+  /// fewer sessions are considered too thin to carry signal and are skipped
+  /// (and counted) rather than merged. The default of 0 rolls everything,
+  /// preserving the historical behavior.
+  explicit WindowRollup(int factor, int min_sessions = 0)
+      : factor_(factor), min_sessions_(min_sessions) {}
 
-  /// Rolls one route cell into the coarse store.
+  /// Rolls one route cell into the coarse store (no validity gate; the
+  /// caller has already decided this cell counts).
   void add(int window, int route_index, const RouteWindowAgg& agg);
 
-  /// Rolls a whole series.
+  /// Rolls a whole series, skipping empty and under-`min_sessions` cells.
   void add_series(const GroupSeries& series);
 
   /// The rolled-up windows (coarse index -> WindowAgg).
   const WindowMap& windows() const { return coarse_; }
 
   int factor() const { return factor_; }
+  int min_sessions() const { return min_sessions_; }
+  /// Non-empty cells skipped by add_series for being under min_sessions.
+  std::uint64_t skipped_thin_cells() const { return skipped_thin_cells_; }
 
  private:
   int factor_;
+  int min_sessions_;
+  std::uint64_t skipped_thin_cells_{0};
   WindowMap coarse_;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
+#include "faultsim/fault_injector.h"
 #include "routing/policy.h"
 
 namespace fbedge {
@@ -182,6 +184,7 @@ struct EdgePartial {
     }
     res.total_traffic += other.res.total_traffic;
     res.groups_analyzed += other.res.groups_analyzed;
+    res.faults.accumulate(other.res.faults);
     table1.merge(other.table1);
 
     degr_valid_rtt_traffic += other.degr_valid_rtt_traffic;
@@ -201,7 +204,8 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
                           const AnalysisThresholds& thresholds,
                           const ComparisonConfig& comparison,
                           const GoodputConfig& goodput,
-                          const ClassifierConfig& classifier_config) {
+                          const ClassifierConfig& classifier_config,
+                          const FaultPlan& faults) {
   EdgePartial part;
   EdgeAnalysisResult& out = part.res;
 
@@ -209,13 +213,27 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   GroupSeries series;
   series.continent = group.continent;
   CoalescedSession coalesce_scratch;
-  generator.generate_group(group, [&](const SessionSample& s) {
+  const auto ingest = [&](const SessionSample& s) {
     if (!SessionSampler::keep_for_analysis(s.client)) return;
     const SessionMetrics m = compute_session_metrics(s, coalesce_scratch, goodput);
     series.windows[window_index(s.established_at)]
         .route(s.route_index)
         .add_session(m.min_rtt, m.hdratio, m.traffic);
-  });
+  };
+  if (!faults.sampler_faults()) {
+    generator.generate_group(group, ingest);
+  } else {
+    // The fault stage sits where the load balancer hands records to the
+    // analytics tier; records that fail semantic validation after a fault
+    // never reach metric extraction.
+    SamplerFaultStage stage(faults, group.key);
+    generator.generate_group(
+        group, [&](const SessionSample& s) { stage.apply(s, ingest); });
+    out.faults.accumulate(stage.counters());
+  }
+  if (faults.agg_faults()) {
+    AggFaultStage(faults).apply(series, group_fault_key(group.key), out.faults);
+  }
   if (series.windows.empty()) return part;
   out.total_traffic += static_cast<double>(series.total_traffic());
   for (const auto& [w, agg] : series.windows) {
@@ -426,7 +444,7 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
                                      const ComparisonConfig& comparison,
                                      GoodputConfig goodput,
                                      const RuntimeOptions& runtime,
-                                     RunStats* stats) {
+                                     RunStats* stats, const FaultPlan& faults) {
   ClassifierConfig classifier_config;
   classifier_config.total_windows = config.days * 96;
   // Diurnal detection needs the pattern to repeat on multiple days; scale
@@ -437,14 +455,41 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
 
   // Map every group to its contribution on the pool, fold in group-id
   // order: the result does not depend on the thread count.
-  EdgePartial total = shard_map_reduce(
-      world, runtime, EdgePartial{},
-      [&](const UserGroupProfile& group, std::size_t) {
-        return analyze_group(generator, group, thresholds, comparison, goodput,
-                             classifier_config);
-      },
-      [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
-      stats);
+  EdgePartial total;
+  if (!faults.runtime_faults()) {
+    total = shard_map_reduce(
+        world, runtime, EdgePartial{},
+        [&](const UserGroupProfile& group, std::size_t) {
+          return analyze_group(generator, group, thresholds, comparison, goodput,
+                               classifier_config, faults);
+        },
+        [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
+        stats);
+  } else {
+    // Shard tasks can abort; each group gets the plan's attempt budget and
+    // is skipped (reported as lost) when every attempt fails. The abort
+    // decision is a pure function of (plan, group, attempt), so which
+    // groups are lost — and hence the merged result — is identical for any
+    // thread count.
+    RunStats local;
+    total = shard_map_reduce_failable(
+        world, runtime,
+        RetryPolicy{faults.task_max_attempts, faults.task_backoff_seconds},
+        EdgePartial{},
+        [&](const UserGroupProfile& group, std::size_t,
+            int attempt) -> std::optional<EdgePartial> {
+          if (task_abort_decision(faults, group_fault_key(group.key), attempt)) {
+            return std::nullopt;
+          }
+          return analyze_group(generator, group, thresholds, comparison, goodput,
+                               classifier_config, faults);
+        },
+        [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
+        [](EdgePartial&, std::size_t) { /* lost group: contributes nothing */ },
+        &local);
+    total.res.faults.accumulate(local.faults);
+    if (stats) stats->accumulate(local);
+  }
 
   EdgeAnalysisResult out = std::move(total.res);
 

@@ -14,6 +14,7 @@
 #include "agg/degradation.h"
 #include "agg/opportunity.h"
 #include "analysis/session_metrics.h"
+#include "faultsim/fault_plan.h"
 #include "runtime/pipeline.h"
 #include "stats/cdf.h"
 #include "util/geo.h"
@@ -107,16 +108,30 @@ struct EdgeAnalysisResult {
 
   double total_traffic{0};
   int groups_analyzed{0};
+
+  /// Injected-fault tally for this run (all zeros on a fault-free run):
+  /// sampler/aggregation counters summed over groups in group-id order,
+  /// plus the runtime layer's abort/retry/loss counts.
+  FaultCounters faults;
 };
 
 /// Runs the full §5/§6 sweep, sharded by user group across
 /// `runtime.threads` workers. Per-group contributions are folded in
 /// group-id order, so the result is byte-identical for any thread count.
+///
+/// `faults` injects a deterministic chaos schedule (faultsim/): invalid
+/// records are rejected at ingest, dropped windows and silenced groups are
+/// excluded from rollups and classification (they become kExcluded /
+/// invalid-window cases under the §3.4 validity rules, never crashes), and
+/// shard aborts are retried up to the plan's attempt budget with lost
+/// groups skipped and reported. The default (zeroed) plan takes exactly
+/// the fault-free code path: outputs are byte-identical to a build without
+/// faultsim in the loop, at any thread count.
 EdgeAnalysisResult run_edge_analysis(
     const World& world, const DatasetConfig& config,
     const AnalysisThresholds& thresholds = {},
     const ComparisonConfig& comparison = {}, GoodputConfig goodput = {},
     const RuntimeOptions& runtime = RuntimeOptions::sequential(),
-    RunStats* stats = nullptr);
+    RunStats* stats = nullptr, const FaultPlan& faults = {});
 
 }  // namespace fbedge

@@ -1,0 +1,112 @@
+// Fault-injection stages for the measurement pipeline.
+//
+// SamplerFaultStage sits between the dataset generator and per-session
+// metric extraction (where the load balancer hands records to the
+// analytics tier, §2.2.2): it truncates, corrupts, duplicates, skews,
+// thins, and silences records per the FaultPlan, and guarantees that no
+// record failing semantic validation (sampler/io.h) is ever emitted
+// downstream. AggFaultStage drops whole aggregated windows from a group's
+// series (post-aggregation data loss). Both count every injection into a
+// FaultCounters, and both make decisions via the pure functions in
+// fault_plan.h, so tests can recompute the injected counts exactly.
+#pragma once
+
+#include "faultsim/fault_plan.h"
+#include "runtime/run_stats.h"
+#include "sampler/io.h"
+#include "sampler/record.h"
+
+namespace fbedge {
+
+struct GroupSeries;
+
+/// Per-group sampler-layer injector. Construct one per user group (the
+/// group-level decisions — PoP outage, thinning — are fixed at
+/// construction), then apply() each generated sample; surviving records
+/// (possibly mutated, possibly repeated) are passed to `emit`.
+class SamplerFaultStage {
+ public:
+  SamplerFaultStage(const FaultPlan& plan, const UserGroupKey& group);
+
+  /// Runs the sampler fault schedule for one record. `emit` is called 0, 1,
+  /// or 2 times with a record that passed validation.
+  template <typename Emit>
+  void apply(const SessionSample& s, Emit&& emit) {
+    if (pop_out_) return;
+    const std::uint64_t key = s.id.value;
+    if (thinned_ &&
+        !fault_stream(plan_, faultsite::kThinKeep, key)
+             .bernoulli(plan_.thin_keep_fraction)) {
+      ++counters_.thinned_sessions;
+      return;
+    }
+    // At most one mutating fault per record, decided in priority order;
+    // each site draws from its own stream so the priorities don't couple.
+    const SessionSample* out = &s;
+    if (fault_decision(plan_, faultsite::kTruncate, key, plan_.truncate_rate)) {
+      ++counters_.truncated_records;
+      if (!truncate_record(s)) {
+        ++counters_.rejected_records;
+        return;
+      }
+      out = &scratch_;
+    } else if (fault_decision(plan_, faultsite::kCorrupt, key, plan_.corrupt_rate)) {
+      ++counters_.corrupt_records;
+      corrupt_record(s);
+      if (validate_sample(scratch_) != SampleDefect::kNone) {
+        ++counters_.rejected_records;
+        return;
+      }
+      out = &scratch_;
+    } else if (fault_decision(plan_, faultsite::kSkew, key, plan_.skew_rate)) {
+      ++counters_.skewed_samples;
+      skew_record(s);
+      out = &scratch_;
+    }
+    emit(*out);
+    if (fault_decision(plan_, faultsite::kDuplicate, key, plan_.duplicate_rate)) {
+      ++counters_.duplicated_samples;
+      emit(*out);
+    }
+  }
+
+  /// Group was silenced by a PoP outage (nothing will be emitted).
+  bool pop_out() const { return pop_out_; }
+  /// Group is thinned (most sessions dropped).
+  bool thinned() const { return thinned_; }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// Serializes, cuts at a derived position, and re-parses + validates into
+  /// scratch_. Returns false when the mangled record is unusable (the
+  /// overwhelmingly common outcome).
+  bool truncate_record(const SessionSample& s);
+  /// Copies `s` into scratch_ and mutates one field per a derived draw.
+  void corrupt_record(const SessionSample& s);
+  /// Copies `s` into scratch_ and shifts the ACK timestamps of every write
+  /// by a derived delta (the NIC timestamps and min_rtt stay put).
+  void skew_record(const SessionSample& s);
+
+  FaultPlan plan_;
+  bool pop_out_{false};
+  bool thinned_{false};
+  FaultCounters counters_;
+  SessionSample scratch_;
+};
+
+/// Aggregation-layer injector: window drops on an aggregated group series.
+class AggFaultStage {
+ public:
+  explicit AggFaultStage(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Removes each of the series' windows per the plan's window_drop_rate
+  /// (decision keyed by (group, window index)); counts into `counters`.
+  void apply(GroupSeries& series, std::uint64_t group_key,
+             FaultCounters& counters) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace fbedge

@@ -1,10 +1,20 @@
 #include "goodput/hdratio.h"
 
+#include <cmath>
+
 namespace fbedge {
 
 TxnVerdict HdEvaluator::evaluate(const TxnTiming& txn) {
   TxnVerdict v;
-  if (txn.btotal <= 0 || txn.wnic <= 0 || txn.min_rtt <= 0) return v;
+  // Degenerate timings are data, not programmer error: a corrupted record
+  // can carry NaN MinRTT (which passes a plain `<= 0` check and would then
+  // abort inside t_model's preconditions), and ACK-clock skew can pull
+  // Ttotal to or below zero. Such transactions carry no goodput signal;
+  // skip them instead of letting them reach the fail-fast model code.
+  if (txn.btotal <= 0 || txn.wnic <= 0 || !std::isfinite(txn.min_rtt) ||
+      txn.min_rtt <= 0 || !std::isfinite(txn.ttotal) || txn.ttotal <= 0) {
+    return v;
+  }
 
   // Gtestable uses Wstart from ideal growth: a session that has had the
   // opportunity to grow its window is held to that standard even if real

@@ -14,6 +14,8 @@
 // work is sharded.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -61,6 +63,46 @@ Result shard_map_reduce(const World& world, const RuntimeOptions& options,
       world.groups.size(), options,
       [&](std::size_t g) { return per_group(world.groups[g], g); }, stats);
   for (std::size_t g = 0; g < partials.size(); ++g) {
+    fold(init, std::move(partials[g]), g);
+  }
+  return init;
+}
+
+/// Fault-tolerant variant of shard_map_reduce for runs under fault
+/// injection. `per_group(group, index, attempt)` returns nullopt to signal
+/// a transient failure; the pool retries per `retry`, and groups that
+/// exhaust every attempt are skipped deterministically — the fold still
+/// runs in group-id order over the survivors, so the result is identical
+/// for any thread count as long as per_group is deterministic in
+/// (index, attempt). `on_lost(acc, index)` is called (in group-id order)
+/// for each lost group so the reducer can report the gap.
+template <typename Result, typename PerGroup, typename Fold, typename OnLost>
+Result shard_map_reduce_failable(const World& world, const RuntimeOptions& options,
+                                 const RetryPolicy& retry, Result init,
+                                 PerGroup&& per_group, Fold&& fold, OnLost&& on_lost,
+                                 RunStats* stats = nullptr) {
+  using Partial = typename std::decay_t<
+      std::invoke_result_t<PerGroup&, const UserGroupProfile&, std::size_t,
+                           int>>::value_type;
+  const std::size_t n = world.groups.size();
+  std::vector<Partial> partials(n);
+  std::vector<std::uint8_t> failed;
+  ThreadPool pool(resolve_threads(options.threads));
+  RunStats rs = pool.parallel_for_failable(
+      ShardPlan::make(n, pool.threads()),
+      [&](std::size_t g, int attempt) {
+        auto part = per_group(world.groups[g], g, attempt);
+        if (!part) return false;
+        partials[g] = std::move(*part);
+        return true;
+      },
+      retry, &failed);
+  if (stats) stats->accumulate(rs);
+  for (std::size_t g = 0; g < n; ++g) {
+    if (g < failed.size() && failed[g]) {
+      on_lost(init, g);
+      continue;
+    }
     fold(init, std::move(partials[g]), g);
   }
   return init;

@@ -20,6 +20,50 @@ struct ShardStats {
   double busy_seconds{0};
 };
 
+/// Per-fault-type counters for a run under fault injection (src/faultsim/).
+/// Lives here — not in faultsim — because the runtime and analysis layers
+/// carry these counters through RunStats without depending on the fault
+/// plan itself. All counters stay zero when no faults are injected.
+struct FaultCounters {
+  // Sampler-layer injections.
+  std::uint64_t truncated_records{0};  // records cut mid-line at the sampler
+  std::uint64_t corrupt_records{0};    // records with mutated fields
+  std::uint64_t rejected_records{0};   // faulted records dropped by validation
+  std::uint64_t duplicated_samples{0};
+  std::uint64_t skewed_samples{0};     // ACK-clock skew vs the NIC clock
+  std::uint64_t thinned_groups{0};     // groups with most sessions dropped
+  std::uint64_t thinned_sessions{0};
+  std::uint64_t pop_outage_groups{0};  // groups silenced by a PoP outage
+  // Aggregation-layer injections.
+  std::uint64_t dropped_windows{0};    // 15-minute windows lost post-agg
+  // Runtime-layer injections.
+  std::uint64_t task_aborts{0};   // failed shard-task attempts
+  std::uint64_t task_retries{0};  // re-executions after an abort
+  std::uint64_t lost_groups{0};   // groups that exhausted every attempt
+
+  bool any() const {
+    return truncated_records || corrupt_records || rejected_records ||
+           duplicated_samples || skewed_samples || thinned_groups ||
+           thinned_sessions || pop_outage_groups || dropped_windows ||
+           task_aborts || task_retries || lost_groups;
+  }
+
+  void accumulate(const FaultCounters& other) {
+    truncated_records += other.truncated_records;
+    corrupt_records += other.corrupt_records;
+    rejected_records += other.rejected_records;
+    duplicated_samples += other.duplicated_samples;
+    skewed_samples += other.skewed_samples;
+    thinned_groups += other.thinned_groups;
+    thinned_sessions += other.thinned_sessions;
+    pop_outage_groups += other.pop_outage_groups;
+    dropped_windows += other.dropped_windows;
+    task_aborts += other.task_aborts;
+    task_retries += other.task_retries;
+    lost_groups += other.lost_groups;
+  }
+};
+
 /// Aggregate counters for one parallel_for (or a whole bench run when
 /// accumulated across phases).
 struct RunStats {
@@ -29,6 +73,7 @@ struct RunStats {
   double wall_seconds{0};
   double cpu_seconds{0};  // sum of per-worker busy time
   std::vector<ShardStats> shards;
+  FaultCounters faults;
 
   /// Fraction of the available thread-seconds spent executing tasks.
   double utilization() const {
@@ -45,6 +90,7 @@ struct RunStats {
     steals += other.steals;
     wall_seconds += other.wall_seconds;
     cpu_seconds += other.cpu_seconds;
+    faults.accumulate(other.faults);
     if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
     for (std::size_t s = 0; s < other.shards.size(); ++s) {
       shards[s].tasks += other.shards[s].tasks;
@@ -67,6 +113,25 @@ struct RunStats {
                    s, static_cast<unsigned long long>(shards[s].tasks),
                    static_cast<unsigned long long>(shards[s].steals),
                    shards[s].busy_seconds);
+    }
+    if (faults.any()) {
+      std::fprintf(
+          out,
+          "[runtime]   faults: trunc=%llu corrupt=%llu rejected=%llu dup=%llu "
+          "skew=%llu thin_groups=%llu thin_sessions=%llu pop_out=%llu "
+          "dropped_windows=%llu aborts=%llu retries=%llu lost_groups=%llu\n",
+          static_cast<unsigned long long>(faults.truncated_records),
+          static_cast<unsigned long long>(faults.corrupt_records),
+          static_cast<unsigned long long>(faults.rejected_records),
+          static_cast<unsigned long long>(faults.duplicated_samples),
+          static_cast<unsigned long long>(faults.skewed_samples),
+          static_cast<unsigned long long>(faults.thinned_groups),
+          static_cast<unsigned long long>(faults.thinned_sessions),
+          static_cast<unsigned long long>(faults.pop_outage_groups),
+          static_cast<unsigned long long>(faults.dropped_windows),
+          static_cast<unsigned long long>(faults.task_aborts),
+          static_cast<unsigned long long>(faults.task_retries),
+          static_cast<unsigned long long>(faults.lost_groups));
     }
   }
 };

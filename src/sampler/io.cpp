@@ -1,6 +1,7 @@
 #include "sampler/io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -119,6 +120,35 @@ std::optional<SessionSample> parse_sample(const std::string& line) {
   return s;
 }
 
+SampleDefect validate_sample(const SessionSample& s) {
+  auto finite = [](double v) { return std::isfinite(v); };
+  if (s.total_bytes < 0) return SampleDefect::kNegativeBytes;
+  if (s.client.bgp_prefix.length < 0 || s.client.bgp_prefix.length > 32) {
+    return SampleDefect::kBadPrefix;
+  }
+  if (s.route_index < 0) return SampleDefect::kBadRoute;
+  if (s.num_transactions < 0) return SampleDefect::kBadTransactions;
+  if (!finite(s.established_at) || s.established_at < 0 || !finite(s.duration) ||
+      s.duration < 0 || !finite(s.busy_time) || s.busy_time < 0) {
+    return SampleDefect::kBadTime;
+  }
+  if (!finite(s.min_rtt) || s.min_rtt < 0) return SampleDefect::kBadRtt;
+  for (const auto& w : s.writes) {
+    if (w.bytes < 0 || w.last_packet_bytes < 0 || w.wnic < 0) {
+      return SampleDefect::kNegativeBytes;
+    }
+    // Only each clock's own sanity is checked, never ACK-vs-NIC ordering:
+    // the two streams run on different clocks (§3.1) and may legitimately
+    // disagree under skew. Cross-stream inconsistencies are the goodput
+    // evaluator's job to tolerate, not the ingest gate's to reject.
+    if (!finite(w.first_byte_nic) || !finite(w.last_byte_nic) ||
+        !finite(w.second_last_ack) || !finite(w.last_ack)) {
+      return SampleDefect::kBadWriteTime;
+    }
+  }
+  return SampleDefect::kNone;
+}
+
 void write_samples(std::ostream& out, const std::vector<SessionSample>& samples) {
   for (const auto& s : samples) out << serialize_sample(s) << '\n';
 }
@@ -129,7 +159,11 @@ ReadResult read_samples(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (auto sample = parse_sample(line)) {
-      result.samples.push_back(std::move(*sample));
+      if (validate_sample(*sample) == SampleDefect::kNone) {
+        result.samples.push_back(std::move(*sample));
+      } else {
+        ++result.invalid;
+      }
     } else {
       ++result.malformed;
     }

@@ -7,6 +7,7 @@
 // consume.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -26,10 +27,48 @@ std::optional<SessionSample> parse_sample(const std::string& line);
 /// Streams every sample of `samples` to `out`, one line each.
 void write_samples(std::ostream& out, const std::vector<SessionSample>& samples);
 
-/// Reads samples until EOF; malformed lines are skipped and counted.
+/// Semantic defect classes for a structurally parseable sample. Records
+/// from a real capture path can carry values no generator would produce
+/// (negative sizes, non-finite timestamps); the pipeline must reject them
+/// as data — recoverable, counted — rather than trip the fail-fast
+/// FBEDGE_EXPECT checks reserved for programmer errors.
+enum class SampleDefect : std::uint8_t {
+  kNone = 0,
+  kNegativeBytes,     // total_bytes or a write's byte field < 0
+  kBadPrefix,         // BGP prefix length outside [0, 32]
+  kBadRoute,          // negative route index
+  kBadTransactions,   // negative transaction count
+  kBadTime,           // non-finite or negative session timing
+  kBadRtt,            // non-finite or negative MinRTT
+  kBadWriteTime,      // non-finite write timestamp
+};
+
+constexpr const char* to_string(SampleDefect d) {
+  switch (d) {
+    case SampleDefect::kNone: return "none";
+    case SampleDefect::kNegativeBytes: return "negative bytes";
+    case SampleDefect::kBadPrefix: return "bad prefix";
+    case SampleDefect::kBadRoute: return "bad route";
+    case SampleDefect::kBadTransactions: return "bad transaction count";
+    case SampleDefect::kBadTime: return "bad session time";
+    case SampleDefect::kBadRtt: return "bad min rtt";
+    case SampleDefect::kBadWriteTime: return "bad write time";
+  }
+  return "?";
+}
+
+/// Validates a parsed sample semantically. Every sample the generator
+/// produces passes; faultsim-corrupted and wild-capture records that would
+/// poison sketches (NaN MinRTT) or abort in the goodput models are
+/// classified by their first defect.
+SampleDefect validate_sample(const SessionSample& sample);
+
+/// Reads samples until EOF; malformed lines (parse failures) and invalid
+/// samples (parseable but failing validate_sample) are skipped and counted.
 struct ReadResult {
   std::vector<SessionSample> samples;
   int malformed{0};
+  int invalid{0};
 };
 ReadResult read_samples(std::istream& in);
 

@@ -33,12 +33,13 @@ TEST(PropagationDelay, PlausibleValues) {
 }
 
 TEST(Cartographer, LocalClientsGetLocalPops) {
-  Cartographer carto(default_pop_sites(), {.seed = 1});
+  const auto sites = default_pop_sites();
+  Cartographer carto(sites, {.seed = 1});
   // A client in Berlin must map to an EU PoP, never cross-continent.
   for (int i = 0; i < 100; ++i) {
     const auto a = carto.assign({52.5, 13.4}, Continent::kEurope);
     EXPECT_FALSE(a.cross_continent);
-    const auto& pop = default_pop_sites()[static_cast<std::size_t>(a.pop_index)];
+    const auto& pop = sites[static_cast<std::size_t>(a.pop_index)];
     EXPECT_EQ(pop.continent, Continent::kEurope);
     EXPECT_LT(a.distance_km, 1200);
   }
@@ -55,10 +56,11 @@ TEST(Cartographer, PicksNearestInContinentPop) {
 TEST(Cartographer, OverflowGoesToEurope) {
   CartographerConfig cfg;
   cfg.asia_remote_fraction = 1.0;  // force overflow
-  Cartographer carto(default_pop_sites(), cfg);
+  const auto sites = default_pop_sites();
+  Cartographer carto(sites, cfg);
   const auto a = carto.assign({28.6, 77.2}, Continent::kAsia);  // Delhi
   EXPECT_TRUE(a.cross_continent);
-  const auto& pop = default_pop_sites()[static_cast<std::size_t>(a.pop_index)];
+  const auto& pop = sites[static_cast<std::size_t>(a.pop_index)];
   EXPECT_EQ(pop.continent, Continent::kEurope);
   EXPECT_GT(a.distance_km, 4000);
 }

@@ -4,8 +4,11 @@
 // coalesced verdict must reflect the underlying path.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "goodput/hdratio.h"
 #include "sampler/coalescer.h"
+#include "tcp/fluid_model.h"
 
 namespace fbedge {
 namespace {
@@ -94,6 +97,64 @@ TEST(CoalescingGoodput, SessionOfBurstsAveragesAcrossPathChanges) {
   for (const auto& txn : out.txns) eval.evaluate(txn);
   ASSERT_EQ(eval.result().tested, 2);
   EXPECT_DOUBLE_EQ(*eval.result().hdratio(), 0.5);
+}
+
+TEST(CoalescingGoodput, ResumedTrialCacheBitwiseIdenticalToScratch) {
+  // The generator's coalescing join loop re-trials the same transfer with a
+  // growing candidate size through a shared FluidTrialCache. The cache's
+  // contract is *bitwise* identity: resuming from the checkpointed
+  // size-independent prefix must produce exactly the transfer a fresh
+  // simulation of that candidate would, for every field, on a lossy and
+  // jittery path (where the RNG stream position matters most).
+  PathConditions path;
+  path.min_rtt = kRtt;
+  path.bottleneck = 8 * kMbps;
+  path.loss_rate = 0.004;
+  path.jitter = 0.002;
+
+  const FluidTcpConnection::Config cfg;
+  const std::uint64_t seed = 20190412;
+
+  // Warm the connection first so candidates start from non-initial
+  // cwnd/ssthresh/clock state, as they do mid-session.
+  FluidTcpConnection conn(cfg, seed);
+  conn.transfer(40'000, 0.5, path);
+  const SimTime start = conn.last_activity() + 0.01;
+
+  std::vector<Bytes> sizes;  // strictly growing, as the join loop produces
+  for (Bytes s = 2'000; s < 3'000'000; s = s * 3 + 1'000) sizes.push_back(s);
+
+  FluidTrialCache shared;
+  FluidTransfer resumed;
+  for (const Bytes size : sizes) {
+    resumed = conn.transfer_candidate(size, start, path, shared);
+    FluidTrialCache fresh;
+    const FluidTransfer scratch = conn.transfer_candidate(size, start, path, fresh);
+    EXPECT_EQ(resumed.bytes, scratch.bytes) << "size=" << size;
+    EXPECT_EQ(resumed.last_packet_bytes, scratch.last_packet_bytes);
+    EXPECT_EQ(resumed.wnic, scratch.wnic);
+    EXPECT_EQ(resumed.adjusted_duration, scratch.adjusted_duration) << "size=" << size;
+    EXPECT_EQ(resumed.full_duration, scratch.full_duration) << "size=" << size;
+    EXPECT_EQ(resumed.observed_rtt, scratch.observed_rtt);
+    EXPECT_EQ(resumed.loss_events, scratch.loss_events) << "size=" << size;
+    // The connection end-state the caches would commit must agree too.
+    EXPECT_EQ(shared.end_cwnd, fresh.end_cwnd) << "size=" << size;
+    EXPECT_EQ(shared.end_ssthresh, fresh.end_ssthresh);
+    EXPECT_EQ(shared.end_activity, fresh.end_activity);
+  }
+
+  // Committing the final candidate leaves the connection exactly where a
+  // plain transfer() of that size would have.
+  FluidTcpConnection direct(cfg, seed);
+  direct.transfer(40'000, 0.5, path);
+  const FluidTransfer direct_xfer = direct.transfer(sizes.back(), start, path);
+  conn.commit(shared);
+  EXPECT_EQ(resumed.adjusted_duration, direct_xfer.adjusted_duration);
+  EXPECT_EQ(resumed.full_duration, direct_xfer.full_duration);
+  EXPECT_EQ(resumed.wnic, direct_xfer.wnic);
+  EXPECT_EQ(resumed.loss_events, direct_xfer.loss_events);
+  EXPECT_EQ(conn.cwnd_packets(), direct.cwnd_packets());
+  EXPECT_EQ(conn.last_activity(), direct.last_activity());
 }
 
 }  // namespace

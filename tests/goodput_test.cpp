@@ -374,6 +374,36 @@ TEST_P(SolverSweep, NeverOverestimatesModelBottleneck) {
   EXPECT_LE(estimate, bottleneck * 1.001);
 }
 
+TEST_P(SolverSweep, ClosedFormMatchesLegacyBisectionOnGrid) {
+  // Differential test of the closed-form segment solver against the legacy
+  // log-space bisection, anchored on the same §3.2.3 grid. Each grid case
+  // is swept with Ttotal perturbed around the model time, hitting the
+  // fast-transfer cap, the exact boundary, and the slower-than-modeled
+  // interior where the segment walk does real work.
+  const auto& p = GetParam();
+  TxnTiming txn;
+  txn.btotal = static_cast<Bytes>(p.size_pkts) * kPkt;
+  txn.wnic = static_cast<Bytes>(p.wnic_pkts) * kPkt;
+  txn.min_rtt = p.rtt_ms * 1e-3;
+  const double bottleneck = p.bottleneck_mbps * 1e6;
+  const Duration base = t_model(txn, bottleneck);
+  for (const double factor : {0.5, 0.9, 1.0, 1.1, 1.5, 3.0, 10.0}) {
+    txn.ttotal = base * factor;
+    const double closed = estimate_delivery_rate(txn);
+    const double bisect = estimate_delivery_rate_bisect(txn);
+    ASSERT_LE(std::abs(closed - bisect),
+              1e-12 * std::max(1.0, std::max(closed, bisect)))
+        << "factor=" << factor << " closed=" << closed << " bisect=" << bisect;
+    if (closed > 0 && closed < 100 * kGbps) {
+      // Interior solutions must sit exactly on the predicate boundary.
+      EXPECT_TRUE(achieved_rate(txn, closed)) << "factor=" << factor;
+      EXPECT_FALSE(achieved_rate(
+          txn, std::nextafter(closed, std::numeric_limits<double>::infinity())))
+          << "factor=" << factor;
+    }
+  }
+}
+
 std::vector<SolverCase> solver_grid() {
   std::vector<SolverCase> cases;
   for (double bw : {0.5, 1.0, 2.5, 5.0})

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "stats/cdf.h"
 #include "stats/median_ci.h"
@@ -379,6 +383,151 @@ TEST(TDigest, SortedRunCompressMatchesReferenceBitwise) {
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].mean, want[i].mean) << "centroid " << i;
     EXPECT_EQ(got[i].weight, want[i].weight) << "centroid " << i;
+  }
+}
+
+TEST(TDigest, AdversarialTiesPreserveQuantileErrorBounds) {
+  // Worst case for the (mean, weight) comparator: a tiny discrete support
+  // (16 values) with small integer weights, so nearly every point collides
+  // with thousands of others on mean and many on the full (mean, weight)
+  // key. 60k adds drive ~150 compress() cycles, exercising the sorted-run
+  // tie path ("centroids_ wins ties") over and over. The sketch must still
+  // honour its rank-error bound — for a tied distribution the exact rank of
+  // a value is an *interval*, so assert q lands within 0.02 of it.
+  Rng rng(4242);
+  TDigest d(100);
+  std::array<double, 16> weight_at{};
+  double total = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const int v = rng.uniform_int(0, 15);
+    const double w = static_cast<double>(rng.uniform_int(1, 4));
+    d.add(static_cast<double>(v), w);
+    weight_at[static_cast<std::size_t>(v)] += w;
+    total += w;
+  }
+  // Integer weights: the sketch's running sum must be exact, not approximate.
+  EXPECT_DOUBLE_EQ(d.total_weight(), total);
+
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = d.quantile(q);
+    EXPECT_GE(x, prev) << "quantile must stay monotone under ties, q=" << q;
+    prev = x;
+    // The estimate interpolates between atoms; snap to the nearest atom and
+    // require q inside that atom's exact rank interval (plus the bound).
+    const int atom = std::clamp(static_cast<int>(std::lround(x)), 0, 15);
+    double below = 0;
+    double at_or_below = 0;
+    for (int v = 0; v < 16; ++v) {
+      if (v < atom) below += weight_at[static_cast<std::size_t>(v)];
+      if (v <= atom) at_or_below += weight_at[static_cast<std::size_t>(v)];
+    }
+    EXPECT_GE(q, below / total - 0.02) << "q=" << q << " x=" << x;
+    EXPECT_LE(q, at_or_below / total + 0.02) << "q=" << q << " x=" << x;
+  }
+  // Output centroids stay sorted by mean even when inputs were all ties.
+  const auto& cs = d.centroids();
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    EXPECT_LE(cs[i - 1].mean, cs[i].mean) << "i=" << i;
+  }
+}
+
+TEST(TDigest, MergeIsDeterministicUnderAdversarialTies) {
+  // Tie-heavy merges must be exactly reproducible: the (mean, weight)
+  // comparator leaves std::sort no freedom on equal keys, so replaying the
+  // same merge sequence on fresh digests yields bitwise-identical centroids
+  // — this is what makes shard reduction byte-stable for any --threads.
+  // (Merge *order*, by contrast, is only guaranteed at the rank-error
+  // level, see ManyPartMergeOrderKeepsRankErrorUnderTies: each merge
+  // recompresses against a new total, so intermediate groupings differ.)
+  const auto build = [](std::uint64_t seed) {
+    TDigest p(100);
+    Rng rng(seed);
+    for (int i = 0; i < 5000; ++i) {
+      p.add(static_cast<double>(rng.uniform_int(0, 7)),
+            static_cast<double>(rng.uniform_int(1, 3)));
+    }
+    return p;
+  };
+  const auto expect_same = [](const TDigest& a, const TDigest& b) {
+    const auto& ca = a.centroids();
+    const auto& cb = b.centroids();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].mean, cb[i].mean) << "i=" << i;
+      EXPECT_EQ(ca[i].weight, cb[i].weight) << "i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(a.total_weight(), b.total_weight());
+  };
+
+  const TDigest a = build(900);
+  const TDigest b = build(901);
+  TDigest once(100), again(100);
+  once.merge(a);
+  once.merge(b);
+  again.merge(a);
+  again.merge(b);
+  expect_same(once, again);
+
+  // Self-merge with a bitwise copy of a — the maximal full-key tie
+  // adversary: every centroid of the incoming run equals one already held.
+  // Weight must double exactly, and the doubled sketch answers quantiles
+  // identically to plain a at every probe (same shape, twice the mass).
+  const TDigest a2 = build(900);
+  TDigest doubled(100);
+  doubled.merge(a);
+  doubled.merge(a2);
+  EXPECT_DOUBLE_EQ(doubled.total_weight(), 2.0 * a.total_weight());
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(doubled.quantile(q), a.quantile(q), 0.25) << "q=" << q;
+  }
+}
+
+TEST(TDigest, ManyPartMergeOrderKeepsRankErrorUnderTies) {
+  // With three or more parts, intermediate recompressions create new means,
+  // so bitwise order-independence is not the contract — rank accuracy is.
+  // Six tie-heavy shards (seed pairs make whole shards collide as duplicate
+  // (mean, weight) runs) merged in three different orders must each stay
+  // within the sketch's rank error of the exact tied distribution, and must
+  // agree with each other to the same tolerance.
+  std::vector<TDigest> parts;
+  std::array<double, 8> weight_at{};
+  double total = 0;
+  for (int s = 0; s < 6; ++s) {
+    TDigest p(100);
+    Rng rng(static_cast<std::uint64_t>(700 + s / 2));  // pairs share a seed
+    for (int i = 0; i < 5000; ++i) {
+      const int v = rng.uniform_int(0, 7);
+      const double w = static_cast<double>(rng.uniform_int(1, 3));
+      p.add(static_cast<double>(v), w);
+      weight_at[static_cast<std::size_t>(v)] += w;
+      total += w;
+    }
+    parts.push_back(std::move(p));
+  }
+
+  TDigest fwd(100), rev(100), interleaved(100);
+  for (const auto& p : parts) fwd.merge(p);
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) rev.merge(*it);
+  for (std::size_t i : {1u, 4u, 0u, 5u, 2u, 3u}) interleaved.merge(parts[i]);
+
+  for (const TDigest* d : {&fwd, &rev, &interleaved}) {
+    EXPECT_DOUBLE_EQ(d->total_weight(), total);
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double x = d->quantile(q);
+      double below = 0;
+      double at_or_below = 0;
+      for (int v = 0; v < 8; ++v) {
+        if (static_cast<double>(v) < x) below += weight_at[static_cast<std::size_t>(v)];
+        if (static_cast<double>(v) <= x) at_or_below += weight_at[static_cast<std::size_t>(v)];
+      }
+      EXPECT_GE(q, below / total - 0.02) << "q=" << q;
+      EXPECT_LE(q, at_or_below / total + 0.02) << "q=" << q;
+    }
+  }
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(fwd.quantile(q), rev.quantile(q), 0.25) << "q=" << q;
+    EXPECT_NEAR(fwd.quantile(q), interleaved.quantile(q), 0.25) << "q=" << q;
   }
 }
 
