@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
   json.add("runtime_threads", stats.threads);
   json.add("runtime_wall_seconds", stats.wall_seconds);
   json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
+  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
   json.add("runtime_steals", static_cast<double>(stats.steals));
   return json.write() ? 0 : 1;
 }

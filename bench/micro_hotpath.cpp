@@ -10,8 +10,10 @@
 
 #include "agg/aggregation.h"
 #include "bench_common.h"
+#include "goodput/hdratio.h"
 #include "goodput/tmodel.h"
 #include "sampler/coalescer.h"
+#include "sampler/session_batch.h"
 #include "stats/quantiles.h"
 #include "stats/tdigest.h"
 #include "util/rng.h"
@@ -133,6 +135,44 @@ int main(int argc, char** argv) {
         0.02 + 1e-7 * i, (i % 5) ? std::optional<double>(0.9) : std::nullopt, 20000);
   });
 
+  // ---- batched HD evaluation ---------------------------------------------
+  // Sessions-worth of pre-coalesced transactions in the flat (txns, offset,
+  // count) layout the columnar pipeline produces; cost is reported per
+  // session so it is directly comparable to the scalar evaluator loop.
+  const std::size_t hd_rows = 4096;
+  std::vector<std::uint32_t> hd_offsets(hd_rows);
+  std::vector<std::uint32_t> hd_counts(hd_rows);
+  for (std::size_t i = 0; i < hd_rows; ++i) {
+    hd_counts[i] = static_cast<std::uint32_t>(1 + i % 5);
+    hd_offsets[i] =
+        static_cast<std::uint32_t>((i * 7) % (txns.size() - hd_counts[i]));
+  }
+  std::vector<SessionHd> hd_out(hd_rows);
+  const double hd_batch_call_ns = time_per_op(100, [&](int) {
+    evaluate_hd_batch(txns.data(), hd_offsets.data(), hd_counts.data(), hd_rows,
+                      hd_out.data());
+  });
+  const double hd_batch_per_session_ns =
+      hd_batch_call_ns / static_cast<double>(hd_rows);
+  g_sink = static_cast<double>(hd_out[0].tested);
+
+  // ---- SessionBatch row append -------------------------------------------
+  // The generator-side cost of the columnar layout: one begin_row + four
+  // add_write + finish_row per session, reusing the arena across windows.
+  SessionBatch batch;
+  const auto batch_writes = make_writes(4);
+  const double batch_append_ns = time_per_op(400000, [&](int i) {
+    if (batch.size() >= 4096) batch.clear();  // window boundary
+    batch.begin_row(SessionId{static_cast<std::uint64_t>(i)},
+                    /*at=*/0.001 * i, /*route=*/i % 3,
+                    /*ip=*/0x0a000000u + static_cast<std::uint32_t>(i),
+                    /*hosting_provider=*/false, HttpVersion::kHttp2,
+                    EndpointClass::kDynamic, /*num_txns=*/4);
+    for (const auto& w : batch_writes) batch.add_write(w);
+    batch.finish_row(/*dur=*/1.0, /*busy=*/0.3, /*rtt=*/0.03);
+  });
+  g_sink = g_sink + static_cast<double>(batch.arena_bytes());
+
   // ---- response coalescing -----------------------------------------------
   const auto writes = make_writes(64);
   CoalescedSession scratch;
@@ -150,6 +190,9 @@ int main(int argc, char** argv) {
   std::printf("  quantile_exact        %10.1f  (100k doubles)\n", quantile_ns);
   std::printf("  agg_add_session       %10.1f\n", agg_ns);
   std::printf("  coalesce_session      %10.1f  (64 writes)\n", coalesce_ns);
+  std::printf("  hd_batch_per_session  %10.1f  (4096-row batch)\n",
+              hd_batch_per_session_ns);
+  std::printf("  batch_append          %10.1f  (row + 4 writes)\n", batch_append_ns);
 
   bench::JsonOutput json(rc.json_path);
   json.add("tmodel_solve_closed_ns", closed_ns);
@@ -159,5 +202,7 @@ int main(int argc, char** argv) {
   json.add("quantile_exact_ns", quantile_ns);
   json.add("agg_add_session_ns", agg_ns);
   json.add("coalesce_session_ns", coalesce_ns);
+  json.add("hd_batch_per_session_ns", hd_batch_per_session_ns);
+  json.add("batch_append_ns", batch_append_ns);
   return json.write() ? 0 : 1;
 }

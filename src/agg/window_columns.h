@@ -1,0 +1,47 @@
+// Columnar per-window view of one group's series for the classifier passes.
+//
+// The Table 1 temporal classification evaluates 11 different predicates
+// over the same GroupSeries (4 degradation-RTT, 4 degradation-HD, 2
+// opportunity-RTT, 1 opportunity-HD thresholds). Each pass needs only the
+// window id, whether the window carried traffic, and the window's total
+// traffic — but the AoS walk recomputed total_traffic() (a sum over route
+// cells) and re-touched every WindowAgg's digests for each pass. Building
+// these three columns once per group lets all 11 passes stream flat arrays.
+//
+// All three columns are exact copies/integer sums of series state, so the
+// switch cannot perturb any downstream float: byte-identity is structural.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregation.h"
+
+namespace fbedge {
+
+struct WindowColumns {
+  std::vector<int> window;
+  std::vector<std::uint8_t> has_traffic;
+  std::vector<Bytes> total_traffic;
+
+  std::size_t size() const { return window.size(); }
+
+  /// Rebuilds the columns from `series` (clears first; capacity reused
+  /// across groups when the instance lives in per-worker scratch).
+  void build(const GroupSeries& series) {
+    window.clear();
+    has_traffic.clear();
+    total_traffic.clear();
+    window.reserve(series.windows.size());
+    has_traffic.reserve(series.windows.size());
+    total_traffic.reserve(series.windows.size());
+    for (const auto& [w, agg] : series.windows) {
+      const Bytes traffic = agg.total_traffic();
+      window.push_back(w);
+      has_traffic.push_back(traffic > 0 ? 1 : 0);
+      total_traffic.push_back(traffic);
+    }
+  }
+};
+
+}  // namespace fbedge

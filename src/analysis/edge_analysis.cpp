@@ -4,8 +4,10 @@
 #include <array>
 #include <optional>
 
+#include "agg/window_columns.h"
 #include "faultsim/fault_injector.h"
 #include "routing/policy.h"
+#include "sampler/session_batch.h"
 
 namespace fbedge {
 
@@ -107,23 +109,43 @@ struct Table1Accumulator {
 };
 
 /// Refills `obs` with classifier inputs for one group + one predicate over
-/// windows. The buffer is reused across the 11 per-group classifications.
+/// windows. The buffer is reused across the 11 per-group classifications,
+/// which all stream the same precomputed WindowColumns (window id,
+/// has-traffic flag, total traffic) instead of re-walking the WindowAgg
+/// cells per pass. `traffic(w, total)` receives the window's total traffic
+/// for the opportunity passes' fallback.
 template <typename EventFn, typename ValidFn, typename TrafficFn>
-void make_observations_into(const GroupSeries& series,
+void make_observations_into(const WindowColumns& cols,
                             std::vector<WindowObservation>& obs, EventFn event,
                             ValidFn valid, TrafficFn traffic) {
   obs.clear();
-  obs.reserve(series.windows.size());
-  for (const auto& [w, agg] : series.windows) {
+  obs.reserve(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const int w = cols.window[i];
     WindowObservation o;
     o.window = w;
-    o.has_traffic = agg.total_traffic() > 0;
+    o.has_traffic = cols.has_traffic[i] != 0;
     o.valid = valid(w);
     o.event = o.valid && event(w);
-    o.traffic = traffic(w, agg);
+    o.traffic = traffic(w, cols.total_traffic[i]);
     obs.push_back(o);
   }
 }
+
+/// Per-worker scratch for analyze_group: every buffer here is cleared (not
+/// shrunk) per group/window, so after each arena reaches its high-water
+/// mark the whole generate -> coalesce -> HD -> aggregate loop runs without
+/// per-session allocations. One instance per pool worker
+/// (shard_map_reduce_scratch); results are independent of which worker's
+/// scratch served a group because every field is rebuilt before use.
+struct EdgeScratch {
+  SessionBatch batch;
+  CoalescedBatch coalesced;
+  std::vector<SessionHd> hd;
+  CoalescedSession coalesce_scratch;  // legacy scalar path (fault runs)
+  std::vector<WindowObservation> obs;
+  WindowColumns cols;
+};
 
 /// Most-preferred alternate (lowest index > 0) with the given relationship;
 /// -1 if none. Routes are policy-ranked, so the first hit is the most
@@ -199,7 +221,7 @@ struct EdgePartial {
   }
 };
 
-EdgePartial analyze_group(const DatasetGenerator& generator,
+EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generator,
                           const UserGroupProfile& group,
                           const AnalysisThresholds& thresholds,
                           const ComparisonConfig& comparison,
@@ -212,20 +234,47 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   // ---- aggregate this group's sessions -----------------------------------
   GroupSeries series;
   series.continent = group.continent;
-  CoalescedSession coalesce_scratch;
-  const auto ingest = [&](const SessionSample& s) {
-    if (!SessionSampler::keep_for_analysis(s.client)) return;
-    const SessionMetrics m = compute_session_metrics(s, coalesce_scratch, goodput);
-    series.windows[window_index(s.established_at)]
-        .route(s.route_index)
-        .add_session(m.min_rtt, m.hdratio, m.traffic);
-  };
   if (!faults.sampler_faults()) {
-    generator.generate_group(group, ingest);
+    // Batched columnar path: one window of sessions at a time through
+    // coalesce -> HD -> aggregate, all in per-worker arenas. Rows arrive in
+    // the same order generate_group emits sessions and carry bit-identical
+    // values (same simulation template, same RNG stream), and the window
+    // index is still computed per row from established_at — a session's
+    // start is drawn in [window_start, window_start + kWindowLength], so
+    // trusting the nominal window id would mis-bin a draw that lands
+    // exactly on the upper boundary.
+    generator.generate_group_batched(
+        group, scratch.batch, [&](int, const SessionBatch& b) {
+          // Hosting-provider rows (the §2.2.4 keep_for_analysis filter) are
+          // skipped before coalescing ever sees them.
+          coalesce_batch(b, b.hosting.data(), scratch.coalesced);
+          const std::size_t rows = b.size();
+          scratch.hd.resize(rows);
+          evaluate_hd_batch(scratch.coalesced.txns.data(),
+                            scratch.coalesced.offset.data(),
+                            scratch.coalesced.count.data(), rows, scratch.hd.data(),
+                            goodput);
+          for (std::size_t i = 0; i < rows; ++i) {
+            if (b.hosting[i] != 0) continue;
+            series.windows[window_index(b.established_at[i])]
+                .route(b.route_index[i])
+                .add_session(b.min_rtt[i], scratch.hd[i].hdratio(), b.total_bytes[i]);
+          }
+        });
   } else {
     // The fault stage sits where the load balancer hands records to the
     // analytics tier; records that fail semantic validation after a fault
-    // never reach metric extraction.
+    // never reach metric extraction. Fault injection mutates individual
+    // records (truncation, duplication, skew), so this path keeps the
+    // scalar per-session representation.
+    const auto ingest = [&](const SessionSample& s) {
+      if (!SessionSampler::keep_for_analysis(s.client)) return;
+      const SessionMetrics m =
+          compute_session_metrics(s, scratch.coalesce_scratch, goodput);
+      series.windows[window_index(s.established_at)]
+          .route(s.route_index)
+          .add_session(m.min_rtt, m.hdratio, m.traffic);
+    };
     SamplerFaultStage stage(faults, group.key);
     generator.generate_group(
         group, [&](const SessionSample& s) { stage.apply(s, ingest); });
@@ -315,70 +364,70 @@ EdgePartial analyze_group(const DatasetGenerator& generator,
   }
 
   // ---- Table 1: temporal classification at every threshold ---------------
-  std::vector<WindowObservation> obs;  // reused across all 11 classifications
+  scratch.cols.build(series);  // streamed by all 11 classifications
   for (std::size_t t = 0; t < thresholds.degradation_rtt.size(); ++t) {
     const Duration th = thresholds.degradation_rtt[t];
     make_observations_into(
-        series, obs,
+        scratch.cols, scratch.obs,
         [&](int w) { return window_at(degr_by_window, w)->rtt.exceeds(th); },
         [&](int w) {
           const DegradationWindow* dw = window_at(degr_by_window, w);
           return dw != nullptr && dw->rtt.valid();
         },
-        [&](int w, const WindowAgg&) {
+        [&](int w, Bytes) {
           const DegradationWindow* dw = window_at(degr_by_window, w);
           return dw != nullptr ? dw->traffic : Bytes{0};
         });
     part.table1.add(AnalysisKind::kDegradationRtt, static_cast<int>(t),
-                    classify_temporal(obs, classifier_config), continent);
+                    classify_temporal(scratch.obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.degradation_hd.size(); ++t) {
     const double th = thresholds.degradation_hd[t];
     make_observations_into(
-        series, obs,
+        scratch.cols, scratch.obs,
         [&](int w) { return window_at(degr_by_window, w)->hd.exceeds(th); },
         [&](int w) {
           const DegradationWindow* dw = window_at(degr_by_window, w);
           return dw != nullptr && dw->hd.valid();
         },
-        [&](int w, const WindowAgg&) {
+        [&](int w, Bytes) {
           const DegradationWindow* dw = window_at(degr_by_window, w);
           return dw != nullptr ? dw->traffic : Bytes{0};
         });
     part.table1.add(AnalysisKind::kDegradationHd, static_cast<int>(t),
-                    classify_temporal(obs, classifier_config), continent);
+                    classify_temporal(scratch.obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.opportunity_rtt.size(); ++t) {
     const Duration th = thresholds.opportunity_rtt[t];
     make_observations_into(
-        series, obs,
+        scratch.cols, scratch.obs,
         [&](int w) { return window_at(opp_by_window, w)->rtt_opportunity(th); },
         [&](int w) {
           const OpportunityWindow* ow = window_at(opp_by_window, w);
           return ow != nullptr && ow->rtt.valid();
         },
-        [&](int w, const WindowAgg& agg) {
+        [&](int w, Bytes total) {
           const OpportunityWindow* ow = window_at(opp_by_window, w);
-          return ow != nullptr ? ow->traffic : agg.total_traffic();
+          return ow != nullptr ? ow->traffic : total;
         });
     part.table1.add(AnalysisKind::kOpportunityRtt, static_cast<int>(t),
-                    classify_temporal(obs, classifier_config), continent);
+                    classify_temporal(scratch.obs, classifier_config), continent);
   }
   for (std::size_t t = 0; t < thresholds.opportunity_hd.size(); ++t) {
     const double th = thresholds.opportunity_hd[t];
     make_observations_into(
-        series, obs,
+        scratch.cols, scratch.obs,
         [&](int w) { return window_at(opp_by_window, w)->hd_opportunity(th); },
         [&](int w) {
           const OpportunityWindow* ow = window_at(opp_by_window, w);
           return ow != nullptr && ow->hd.valid();
         },
-        [&](int w, const WindowAgg& agg) {
+        [&](int w, Bytes total) {
           const OpportunityWindow* ow = window_at(opp_by_window, w);
-          return ow != nullptr ? ow->traffic : agg.total_traffic();
+          return ow != nullptr ? ow->traffic : total;
         });
     part.table1.add(AnalysisKind::kOpportunityHd, static_cast<int>(t),
-                    classify_temporal(obs, classifier_config), continent);
+                    classify_temporal(scratch.obs, classifier_config), continent);
   }
 
   // ---- Table 2: opportunity by relationship pair -------------------------
@@ -457,11 +506,14 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
   // order: the result does not depend on the thread count.
   EdgePartial total;
   if (!faults.runtime_faults()) {
-    total = shard_map_reduce(
+    // Per-worker EdgeScratch: each worker's batching arenas persist across
+    // every group it processes, so the steady-state loop allocates only
+    // while an arena is still growing toward its high-water mark.
+    total = shard_map_reduce_scratch<EdgeScratch>(
         world, runtime, EdgePartial{},
-        [&](const UserGroupProfile& group, std::size_t) {
-          return analyze_group(generator, group, thresholds, comparison, goodput,
-                               classifier_config, faults);
+        [&](EdgeScratch& scratch, const UserGroupProfile& group, std::size_t) {
+          return analyze_group(scratch, generator, group, thresholds, comparison,
+                               goodput, classifier_config, faults);
         },
         [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
         stats);
@@ -481,8 +533,11 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
           if (task_abort_decision(faults, group_fault_key(group.key), attempt)) {
             return std::nullopt;
           }
-          return analyze_group(generator, group, thresholds, comparison, goodput,
-                               classifier_config, faults);
+          // Fault runs are not perf-critical; a per-attempt scratch keeps
+          // the failable path simple.
+          EdgeScratch scratch;
+          return analyze_group(scratch, generator, group, thresholds, comparison,
+                               goodput, classifier_config, faults);
         },
         [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
         [](EdgePartial&, std::size_t) { /* lost group: contributes nothing */ },

@@ -51,6 +51,19 @@ void GlobalPerformance::merge(const GlobalPerformance& other) {
   filtered_hosting += other.filtered_hosting;
 }
 
+namespace {
+
+/// Per-worker arenas for the batched fig6 sweep (see EdgeScratch in
+/// edge_analysis.cpp for the reuse/determinism contract).
+struct PerfScratch {
+  SessionBatch batch;
+  CoalescedBatch coalesced;
+  std::vector<SessionHd> hd;
+  std::vector<std::uint8_t> skip;
+};
+
+}  // namespace
+
 GlobalPerformance measure_global_performance(const World& world,
                                              const DatasetConfig& config,
                                              GoodputConfig goodput,
@@ -59,36 +72,56 @@ GlobalPerformance measure_global_performance(const World& world,
   // The generator is immutable after construction; every shard shares it
   // and draws from per-group Rng streams (util/rng.h entity_stream).
   DatasetGenerator generator(world, config);
-  return shard_map_reduce(
+  return shard_map_reduce_scratch<PerfScratch>(
       world, runtime, GlobalPerformance{},
-      [&](const UserGroupProfile& group, std::size_t) {
+      [&](PerfScratch& scratch, const UserGroupProfile& group, std::size_t) {
         GlobalPerformance part;
-        CoalescedSession coalesce_scratch;
-        generator.generate_group(group, [&](const SessionSample& s) {
-          if (!SessionSampler::keep_for_analysis(s.client)) {
-            ++part.filtered_hosting;
-            return;
-          }
-          // §4 uses measurements from the policy-preferred route only.
-          if (s.route_index != 0) return;
-          const SessionMetrics m = compute_session_metrics(s, coalesce_scratch, goodput);
-          ++part.sessions_total;
+        const int continent = static_cast<int>(group.continent);
+        generator.generate_group_batched(
+            group, scratch.batch, [&](int, const SessionBatch& b) {
+              const std::size_t rows = b.size();
+              // §4 uses measurements from the policy-preferred route only;
+              // hosting rows fall to the §2.2.4 filter. Neither needs the
+              // goodput work, so both are masked out before coalescing.
+              scratch.skip.resize(rows);
+              for (std::size_t i = 0; i < rows; ++i) {
+                scratch.skip[i] =
+                    (b.hosting[i] != 0 || b.route_index[i] != 0) ? 1 : 0;
+              }
+              coalesce_batch(b, scratch.skip.data(), scratch.coalesced);
+              scratch.hd.resize(rows);
+              evaluate_hd_batch(scratch.coalesced.txns.data(),
+                                scratch.coalesced.offset.data(),
+                                scratch.coalesced.count.data(), rows,
+                                scratch.hd.data(), goodput);
+              for (std::size_t i = 0; i < rows; ++i) {
+                if (b.hosting[i] != 0) {
+                  ++part.filtered_hosting;
+                  continue;
+                }
+                if (b.route_index[i] != 0) continue;
+                ++part.sessions_total;
 
-          const int continent = static_cast<int>(s.client.continent);
-          part.minrtt_all.add(m.min_rtt);
-          part.minrtt_continent[static_cast<std::size_t>(continent)].add(m.min_rtt);
+                const Duration min_rtt = b.min_rtt[i];
+                part.minrtt_all.add(min_rtt);
+                part.minrtt_continent[static_cast<std::size_t>(continent)].add(
+                    min_rtt);
 
-          if (m.hdratio) {
-            ++part.sessions_hd_testable;
-            part.hdratio_all.add(*m.hdratio);
-            part.hdratio_continent[static_cast<std::size_t>(continent)].add(
-                *m.hdratio);
-            part.hdratio_by_rtt[static_cast<std::size_t>(
-                                    GlobalPerformance::rtt_bucket(m.min_rtt))]
-                .add(*m.hdratio);
-            if (m.hdratio_naive) part.hdratio_naive_all.add(*m.hdratio_naive);
-          }
-        });
+                const SessionHd& hd = scratch.hd[i];
+                if (const auto hdratio = hd.hdratio()) {
+                  ++part.sessions_hd_testable;
+                  part.hdratio_all.add(*hdratio);
+                  part.hdratio_continent[static_cast<std::size_t>(continent)].add(
+                      *hdratio);
+                  part.hdratio_by_rtt[static_cast<std::size_t>(
+                                          GlobalPerformance::rtt_bucket(min_rtt))]
+                      .add(*hdratio);
+                  if (const auto naive = hd.hdratio_naive()) {
+                    part.hdratio_naive_all.add(*naive);
+                  }
+                }
+              }
+            });
         return part;
       },
       [](GlobalPerformance& acc, GlobalPerformance&& part, std::size_t) {

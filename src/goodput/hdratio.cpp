@@ -1,44 +1,30 @@
 #include "goodput/hdratio.h"
 
-#include <cmath>
+#include <cstdint>
 
 namespace fbedge {
-
-TxnVerdict HdEvaluator::evaluate(const TxnTiming& txn) {
-  TxnVerdict v;
-  // Degenerate timings are data, not programmer error: a corrupted record
-  // can carry NaN MinRTT (which passes a plain `<= 0` check and would then
-  // abort inside t_model's preconditions), and ACK-clock skew can pull
-  // Ttotal to or below zero. Such transactions carry no goodput signal;
-  // skip them instead of letting them reach the fail-fast model code.
-  if (txn.btotal <= 0 || txn.wnic <= 0 || !std::isfinite(txn.min_rtt) ||
-      txn.min_rtt <= 0 || !std::isfinite(txn.ttotal) || txn.ttotal <= 0) {
-    return v;
-  }
-
-  // Gtestable uses Wstart from ideal growth: a session that has had the
-  // opportunity to grow its window is held to that standard even if real
-  // conditions shrank the actual cwnd (§3.2.2).
-  v.wstart = wstart_.next(txn.wnic, txn.btotal);
-  v.gtestable = ideal::testable_goodput(txn.btotal, v.wstart, txn.min_rtt);
-  v.can_test = v.gtestable >= config_.target_goodput;
-  if (!v.can_test) return v;
-
-  ++session_.tested;
-  v.achieved = achieved_rate(txn, config_.target_goodput);
-  if (v.achieved) ++session_.achieved;
-
-  if (txn.ttotal > 0) {
-    v.achieved_naive = to_bits(txn.btotal) / txn.ttotal >= config_.target_goodput;
-    if (v.achieved_naive) ++session_.achieved_naive;
-  }
-  return v;
-}
 
 SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig config) {
   HdEvaluator eval(config);
   for (const auto& t : txns) eval.evaluate(t);
   return eval.result();
+}
+
+void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
+                       const std::uint32_t* counts, std::size_t rows,
+                       SessionHd* out, GoodputConfig config) {
+  // One evaluator reused across rows: reset() is two trivial assignments,
+  // and keeping it in a register-friendly local lets the compiler fold the
+  // inline evaluate() into a single loop with `config` (the rate ladder's
+  // only per-batch constant) hoisted.
+  HdEvaluator eval(config);
+  for (std::size_t i = 0; i < rows; ++i) {
+    eval.reset();
+    const TxnTiming* t = txns + offsets[i];
+    const std::uint32_t n = counts[i];
+    for (std::uint32_t j = 0; j < n; ++j) eval.evaluate(t[j]);
+    out[i] = eval.result();
+  }
 }
 
 }  // namespace fbedge

@@ -73,8 +73,40 @@ class HdEvaluator {
   /// Evaluates one coalesced, eligible transaction. `txn` carries the
   /// §3.2.5-adjusted bytes/duration, the measured Wnic, and the session
   /// MinRTT. Transactions with non-positive adjusted size are skipped
-  /// (single-packet responses cannot test for anything).
-  TxnVerdict evaluate(const TxnTiming& txn);
+  /// (single-packet responses cannot test for anything). Inline (with the
+  /// ideal-growth and Tmodel helpers it calls) so the per-transaction hot
+  /// path — and the batched kernel built on it — compiles into one loop
+  /// with no cross-translation-unit calls.
+  TxnVerdict evaluate(const TxnTiming& txn) {
+    TxnVerdict v;
+    // Degenerate timings are data, not programmer error: a corrupted record
+    // can carry NaN MinRTT (which passes a plain `<= 0` check and would then
+    // abort inside t_model's preconditions), and ACK-clock skew can pull
+    // Ttotal to or below zero. Such transactions carry no goodput signal;
+    // skip them instead of letting them reach the fail-fast model code.
+    if (txn.btotal <= 0 || txn.wnic <= 0 || !std::isfinite(txn.min_rtt) ||
+        txn.min_rtt <= 0 || !std::isfinite(txn.ttotal) || txn.ttotal <= 0) {
+      return v;
+    }
+
+    // Gtestable uses Wstart from ideal growth: a session that has had the
+    // opportunity to grow its window is held to that standard even if real
+    // conditions shrank the actual cwnd (§3.2.2).
+    v.wstart = wstart_.next(txn.wnic, txn.btotal);
+    v.gtestable = ideal::testable_goodput(txn.btotal, v.wstart, txn.min_rtt);
+    v.can_test = v.gtestable >= config_.target_goodput;
+    if (!v.can_test) return v;
+
+    ++session_.tested;
+    v.achieved = achieved_rate(txn, config_.target_goodput);
+    if (v.achieved) ++session_.achieved;
+
+    if (txn.ttotal > 0) {
+      v.achieved_naive = to_bits(txn.btotal) / txn.ttotal >= config_.target_goodput;
+      if (v.achieved_naive) ++session_.achieved_naive;
+    }
+    return v;
+  }
 
   const SessionHd& result() const { return session_; }
 
@@ -91,5 +123,19 @@ class HdEvaluator {
 
 /// Convenience: evaluates a whole session's transactions at once.
 SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig config = {});
+
+/// Batched HD evaluation over a whole SessionBatch worth of coalesced
+/// transactions: row i's transactions are txns[offsets[i] ..
+/// offsets[i]+counts[i]); rows are independent sessions (ideal-growth Wstart
+/// tracking restarts per row). Writes one SessionHd per row into
+/// out[0..rows). Per-transaction arithmetic is the inline
+/// HdEvaluator::evaluate above, so results are bit-identical to the scalar
+/// path; the win is structural — the rate ladder's constants (the target
+/// rate) are hoisted once per batch and the whole chain (Wstart -> Eq. 3
+/// Gtestable -> Tmodel testability) runs as a single loop over contiguous
+/// TxnTimings instead of a per-session call tree.
+void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
+                       const std::uint32_t* counts, std::size_t rows,
+                       SessionHd* out, GoodputConfig config = {});
 
 }  // namespace fbedge

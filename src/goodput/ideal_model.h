@@ -14,26 +14,59 @@
 // (For m == 1 the whole response fits in the first window and Eq. 3
 // degenerates to Btotal / MinRTT; see the Figure 4 worked example where
 // transaction 1 tests for 2 packets / 60 ms = 0.4 Mbps.)
+//
+// Everything here is defined inline: these functions run once per coalesced
+// transaction (tens of millions of calls per bench run), and the batched HD
+// evaluator relies on them folding into its per-row loop without a
+// cross-translation-unit call per transaction.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
 #include "util/units.h"
 
 namespace fbedge::ideal {
 
 /// Number of round-trips m required to transfer `btotal` bytes starting
 /// from a window of `wstart` bytes (Eq. 1). Both must be > 0.
-int rounds(Bytes btotal, Bytes wstart);
+inline int rounds(Bytes btotal, Bytes wstart) {
+  FBEDGE_EXPECT(btotal > 0 && wstart > 0, "rounds() requires positive sizes");
+  const double ratio = static_cast<double>(btotal) / static_cast<double>(wstart) + 1.0;
+  return std::max(1, static_cast<int>(std::ceil(std::log2(ratio) - 1e-12)));
+}
 
 /// WSS(n): window size in bytes at the start of the nth round-trip,
 /// 1-based (Eq. 2).
-double window_at_round(int n, Bytes wstart);
+inline double window_at_round(int n, Bytes wstart) {
+  FBEDGE_EXPECT(n >= 1, "rounds are 1-based");
+  return std::ldexp(static_cast<double>(wstart), n - 1);  // 2^(n-1) * wstart
+}
 
 /// Ideal cwnd at the *end* of the transfer: WSS(m). Used as the lower bound
 /// for the next transaction's Wstart (§3.2.2, footnote 4).
-Bytes end_window(Bytes btotal, Bytes wstart);
+inline Bytes end_window(Bytes btotal, Bytes wstart) {
+  const int m = rounds(btotal, wstart);
+  return static_cast<Bytes>(window_at_round(m, wstart));
+}
 
 /// Gtestable (Eq. 3): the maximum goodput this transaction can test for.
-BitsPerSecond testable_goodput(Bytes btotal, Bytes wstart, Duration min_rtt);
+inline BitsPerSecond testable_goodput(Bytes btotal, Bytes wstart, Duration min_rtt) {
+  FBEDGE_EXPECT(min_rtt > 0, "testable_goodput requires positive MinRTT");
+  const int m = rounds(btotal, wstart);
+  if (m == 1) {
+    // Whole response fits in the initial window: it can only demonstrate
+    // its own size per round-trip.
+    return to_bits(btotal) / min_rtt;
+  }
+  // sum_{i=1}^{m-1} WSS(i) = wstart * (2^(m-1) - 1)
+  const double sent_before_last =
+      static_cast<double>(wstart) * (std::ldexp(1.0, m - 1) - 1.0);
+  const double penultimate = window_at_round(m - 1, wstart);
+  const double last_round = static_cast<double>(btotal) - sent_before_last;
+  return std::max(penultimate, last_round) * 8.0 / min_rtt;
+}
 
 /// Tracks Wstart across a session's transactions (§3.2.2): the first
 /// transaction uses Wnic; later ones use max(Wnic, ideal end window of the
@@ -43,7 +76,12 @@ class WstartTracker {
  public:
   /// Returns Wstart for a transaction with the given measured Wnic and
   /// size, and advances the ideal-growth state.
-  Bytes next(Bytes wnic, Bytes btotal);
+  Bytes next(Bytes wnic, Bytes btotal) {
+    FBEDGE_EXPECT(wnic > 0 && btotal > 0, "WstartTracker requires positive sizes");
+    const Bytes wstart = std::max(wnic, prev_end_);
+    prev_end_ = end_window(btotal, wstart);
+    return wstart;
+  }
 
   /// Ideal window at the end of the last observed transaction (0 before any).
   Bytes ideal_end() const { return prev_end_; }

@@ -18,6 +18,10 @@
 // R = Btotal / (Ttotal - MinRTT).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
 #include "util/units.h"
 
 namespace fbedge {
@@ -34,12 +38,35 @@ struct TxnTiming {
 
 /// Transfer time of the best-case model transaction through a bottleneck of
 /// rate `r` (bits/s). Monotonically non-increasing in r (up to the
-/// round-quantization of n).
-Duration t_model(const TxnTiming& txn, BitsPerSecond r);
+/// round-quantization of n). Inline: evaluated once per (transaction, rate)
+/// on the HD hot path, where the call itself was measurable.
+inline Duration t_model(const TxnTiming& txn, BitsPerSecond r) {
+  FBEDGE_EXPECT(txn.btotal > 0 && txn.wnic > 0 && txn.min_rtt > 0, "invalid TxnTiming");
+  FBEDGE_EXPECT(r > 0, "t_model requires positive rate");
+
+  // Slow-start phase: double from Wnic until the window sustains r.
+  // n counts *completed* doubling round-trips; bytes sent during them are
+  // subtracted from the rate-limited remainder.
+  int n = 0;
+  double cwnd = static_cast<double>(txn.wnic);
+  double sent = 0;
+  const double btotal = static_cast<double>(txn.btotal);
+  while (cwnd * 8.0 / txn.min_rtt < r) {
+    if (sent + cwnd >= btotal) break;  // transfer finishes inside slow start
+    sent += cwnd;
+    cwnd *= 2.0;
+    ++n;
+    if (n > 64) break;  // r beyond any reachable window; remainder dominates
+  }
+  const double remaining = std::max(0.0, btotal - sent);
+  return static_cast<double>(n) * txn.min_rtt + remaining * 8.0 / r + txn.min_rtt;
+}
 
 /// True iff the transaction demonstrably delivered at >= `r`:
 /// Ttotal <= Tmodel(r).
-bool achieved_rate(const TxnTiming& txn, BitsPerSecond r);
+inline bool achieved_rate(const TxnTiming& txn, BitsPerSecond r) {
+  return txn.ttotal <= t_model(txn, r);
+}
 
 /// Largest rate R such that Ttotal <= Tmodel(R); the transaction's
 /// estimated delivery rate. Returns 0 if even a negligible rate was not

@@ -14,7 +14,7 @@ std::uint64_t Simulator::schedule(Duration delay, Action action) {
   return id;
 }
 
-void Simulator::cancel(std::uint64_t id) { cancelled_.push_back(id); }
+void Simulator::cancel(std::uint64_t id) { cancelled_.insert(id); }
 
 bool Simulator::pop_next(Event& out) {
   while (!queue_.empty()) {
@@ -24,11 +24,9 @@ bool Simulator::pop_next(Event& out) {
     Event ev{top.time, top.seq, std::move(top.action)};
     queue_.pop();
     --live_events_;
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    // erase() doubles as the membership test; ids are unique (next_seq_ is
+    // monotonic), so set semantics match the old erase-one-occurrence scan.
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     out = std::move(ev);
     return true;
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/units.h"
@@ -60,7 +61,11 @@ class Simulator {
   bool pop_next(Event& out);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  /// Cancelled-but-not-yet-popped event ids. Timeout-heavy workloads (every
+  /// transfer arms a retransmission timer it usually cancels) can hold
+  /// thousands of pending cancellations, so membership must be O(1); a
+  /// linear scan here made pop_next O(cancelled) per event.
+  std::unordered_set<std::uint64_t> cancelled_;
   SimTime now_{0};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};

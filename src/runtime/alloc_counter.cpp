@@ -1,0 +1,161 @@
+#include "runtime/alloc_counter.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace fbedge {
+
+namespace {
+
+// Totals from threads that have already flushed (exited), plus the live
+// remainder gathered on demand. Relaxed ordering is fine: readers only want
+// an eventually-consistent phase delta, never synchronization.
+std::atomic<std::uint64_t> g_flushed_count{0};
+std::atomic<std::uint64_t> g_flushed_bytes{0};
+
+// One registry node per thread ever created. Nodes are malloc'd and NEVER
+// freed: the registry is a lock-free singly linked list traversed without
+// synchronization, so node addresses must stay valid — and unique — for the
+// life of the process. (An earlier revision kept the node inside the
+// thread_local object itself; glibc reuses an exited thread's static TLS
+// block for the next thread it creates, so a recycled address got pushed
+// onto the list a second time and closed it into a cycle, hanging every
+// traversal. Heap nodes that are never freed cannot be recycled.) The leak
+// is bounded: one 32-byte node per thread over the whole process lifetime.
+struct AllocNode {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bytes{0};
+  AllocNode* next{nullptr};
+};
+
+std::atomic<AllocNode*> g_nodes{nullptr};
+
+/// Flushes the thread's tally into the global totals at thread exit. The
+/// node stays linked (unlinking would race with traversal) but contributes
+/// zero from then on.
+struct TlsHandle {
+  AllocNode* node{nullptr};
+  ~TlsHandle() {
+    if (node == nullptr) return;
+    g_flushed_count.fetch_add(node->count.exchange(0, std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    g_flushed_bytes.fetch_add(node->bytes.exchange(0, std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    // A post-destruction allocation on this thread (late TLS destructors
+    // calling new) registers a fresh node rather than resurrecting this one.
+    node = nullptr;
+  }
+};
+
+AllocNode* tls_node() {
+  thread_local TlsHandle handle;
+  if (handle.node == nullptr) {
+    // Plain malloc, not operator new: the counted operators call back into
+    // this function, and the node itself must not be counted (or recursed
+    // on). Zero-initialization covers count/bytes/next before the node
+    // becomes reachable via the CAS publish below.
+    void* raw = std::malloc(sizeof(AllocNode));
+    if (raw == nullptr) std::abort();
+    AllocNode* node = new (raw) AllocNode();
+    AllocNode* head = g_nodes.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!g_nodes.compare_exchange_weak(head, node, std::memory_order_release,
+                                            std::memory_order_relaxed));
+    handle.node = node;
+  }
+  return handle.node;
+}
+
+void* counted_alloc(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) std::abort();  // exception-free library: fail fast on OOM
+  AllocNode* node = tls_node();
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->bytes.fetch_add(size, std::memory_order_relaxed);
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  // aligned_alloc requires size % align == 0; round up.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  if (p == nullptr) std::abort();
+  AllocNode* node = tls_node();
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->bytes.fetch_add(size, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace
+
+AllocCounters alloc_counters_now() {
+  AllocCounters total;
+  total.count = g_flushed_count.load(std::memory_order_relaxed);
+  total.bytes = g_flushed_bytes.load(std::memory_order_relaxed);
+  for (AllocNode* node = g_nodes.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    // Relaxed reads of other threads' live tallies: the caller only needs
+    // phase-delta accuracy around a pool run, not a synchronized snapshot.
+    total.count += node->count.load(std::memory_order_relaxed);
+    total.bytes += node->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+}  // namespace fbedge
+
+// Replacement global allocation functions. Defined in the same TU as
+// alloc_counters_now() so any binary that reports the counters is
+// guaranteed to pull in the counted operators from the static library.
+void* operator new(std::size_t size) { return fbedge::counted_alloc(size); }
+void* operator new[](std::size_t size) { return fbedge::counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return fbedge::counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return fbedge::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return fbedge::counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return fbedge::counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return fbedge::counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return fbedge::counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

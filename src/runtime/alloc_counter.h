@@ -1,0 +1,36 @@
+// Process-wide heap-allocation accounting for the benches.
+//
+// The tentpole claim of the batching work is "zero per-session allocations
+// at steady state" — a claim that regresses silently unless it is measured
+// on every bench run. This header exposes cumulative allocation counters
+// fed by replacement global operator new/delete (alloc_counter.cpp); the
+// benches snapshot them around the measured phase and report the delta as
+// `runtime_alloc_count` in --json output, next to wall time.
+//
+// Counting is thread-local (one relaxed-atomic flush per thread exit plus
+// on-demand aggregation), so the instrumented hot path pays two
+// thread-local increments per allocation — noise next to the allocation
+// itself. Numbers are for observability, not for the byte-identity
+// contract: nothing on the measurement output path reads them.
+#pragma once
+
+#include <cstdint>
+
+namespace fbedge {
+
+/// Cumulative process totals since start.
+struct AllocCounters {
+  std::uint64_t count{0};  // operator-new calls
+  std::uint64_t bytes{0};  // bytes requested
+};
+
+/// Snapshot of the process-wide allocation totals (all threads, including
+/// ones that have exited). Two snapshots bracket a phase; subtract.
+AllocCounters alloc_counters_now();
+
+/// Peak resident set size of the process in bytes (getrusage ru_maxrss).
+/// Monotone over the process lifetime — a high-water mark, not a phase
+/// delta.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace fbedge

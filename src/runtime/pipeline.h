@@ -51,6 +51,31 @@ auto parallel_map(std::size_t n, const RuntimeOptions& options, Fn&& fn,
   return partials;
 }
 
+/// As parallel_map, but each task also receives a reference to a per-worker
+/// Scratch object (one per pool thread, default-constructed). A worker owns
+/// its scratch slot exclusively while inside a task, so the scratch can hold
+/// reusable arenas (SessionBatch, coalesced-txn buffers, ...) that persist
+/// across all the groups that worker processes — per-group allocations
+/// happen only while an arena is still growing toward its high-water mark.
+/// Determinism: fn must fully overwrite/clear whatever scratch state it
+/// reads, so a task's result is independent of which worker (and which
+/// scratch history) ran it; results are still merged by index.
+template <typename Scratch, typename Fn>
+auto parallel_map_scratch(std::size_t n, const RuntimeOptions& options, Fn&& fn,
+                          RunStats* stats = nullptr) {
+  using Partial = std::decay_t<std::invoke_result_t<Fn&, Scratch&, std::size_t>>;
+  std::vector<Partial> partials(n);
+  ThreadPool pool(resolve_threads(options.threads));
+  std::vector<Scratch> scratch(static_cast<std::size_t>(pool.threads()));
+  RunStats rs = pool.parallel_for_workers(
+      ShardPlan::make(n, pool.threads()),
+      [&](int worker, std::size_t i) {
+        partials[i] = fn(scratch[static_cast<std::size_t>(worker)], i);
+      });
+  if (stats) stats->accumulate(rs);
+  return partials;
+}
+
 /// The canonical sharded pipeline shape: one partial per user group,
 /// folded into `init` in group-id order. `per_group(group, index)` must
 /// not touch shared mutable state; `fold(acc, partial, index)` runs on the
@@ -62,6 +87,26 @@ Result shard_map_reduce(const World& world, const RuntimeOptions& options,
   auto partials = parallel_map(
       world.groups.size(), options,
       [&](std::size_t g) { return per_group(world.groups[g], g); }, stats);
+  for (std::size_t g = 0; g < partials.size(); ++g) {
+    fold(init, std::move(partials[g]), g);
+  }
+  return init;
+}
+
+/// shard_map_reduce with per-worker scratch arenas: `per_group(scratch,
+/// group, index)` runs on the pool with a Scratch owned by the executing
+/// worker (see parallel_map_scratch for the reuse/determinism contract);
+/// the fold still runs on the calling thread in group-id order.
+template <typename Scratch, typename Result, typename PerGroup, typename Fold>
+Result shard_map_reduce_scratch(const World& world, const RuntimeOptions& options,
+                                Result init, PerGroup&& per_group, Fold&& fold,
+                                RunStats* stats = nullptr) {
+  auto partials = parallel_map_scratch<Scratch>(
+      world.groups.size(), options,
+      [&](Scratch& scratch, std::size_t g) {
+        return per_group(scratch, world.groups[g], g);
+      },
+      stats);
   for (std::size_t g = 0; g < partials.size(); ++g) {
     fold(init, std::move(partials[g]), g);
   }

@@ -72,6 +72,14 @@ struct RunStats {
   std::uint64_t steals{0};
   double wall_seconds{0};
   double cpu_seconds{0};  // sum of per-worker busy time
+  /// Heap allocations during the run (all threads; runtime/alloc_counter.h).
+  /// The batching work's "zero per-session allocations" claim is checked
+  /// against these: at steady state they scale with windows, not sessions.
+  std::uint64_t alloc_count{0};
+  std::uint64_t alloc_bytes{0};
+  /// Process peak RSS observed at the end of the run (monotone high-water
+  /// mark, not a per-phase delta).
+  std::uint64_t peak_rss_bytes{0};
   std::vector<ShardStats> shards;
   FaultCounters faults;
 
@@ -90,6 +98,9 @@ struct RunStats {
     steals += other.steals;
     wall_seconds += other.wall_seconds;
     cpu_seconds += other.cpu_seconds;
+    alloc_count += other.alloc_count;
+    alloc_bytes += other.alloc_bytes;
+    if (other.peak_rss_bytes > peak_rss_bytes) peak_rss_bytes = other.peak_rss_bytes;
     faults.accumulate(other.faults);
     if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
     for (std::size_t s = 0; s < other.shards.size(); ++s) {
@@ -104,10 +115,14 @@ struct RunStats {
   void print(const char* label, std::FILE* out = stderr) const {
     std::fprintf(out,
                  "[runtime] %s: threads=%d tasks=%llu steals=%llu "
-                 "wall=%.3fs cpu=%.3fs util=%.1f%%\n",
+                 "wall=%.3fs cpu=%.3fs util=%.1f%% allocs=%llu "
+                 "alloc_mb=%.1f peak_rss_mb=%.1f\n",
                  label, threads, static_cast<unsigned long long>(tasks),
                  static_cast<unsigned long long>(steals), wall_seconds,
-                 cpu_seconds, 100.0 * utilization());
+                 cpu_seconds, 100.0 * utilization(),
+                 static_cast<unsigned long long>(alloc_count),
+                 static_cast<double>(alloc_bytes) / (1024.0 * 1024.0),
+                 static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
     for (std::size_t s = 0; s < shards.size(); ++s) {
       std::fprintf(out, "[runtime]   shard %zu: tasks=%llu steals=%llu busy=%.3fs\n",
                    s, static_cast<unsigned long long>(shards[s].tasks),

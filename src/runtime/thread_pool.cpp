@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "runtime/alloc_counter.h"
 #include "util/expect.h"
 
 namespace fbedge {
@@ -84,7 +85,7 @@ bool ThreadPool::steal(int thief, std::size_t* index) {
   return false;
 }
 
-void ThreadPool::run_job(int worker, const Task& fn) {
+void ThreadPool::run_job(int worker, const WorkerTask& fn) {
   ShardStats& st = job_stats_[static_cast<std::size_t>(worker)];
   for (;;) {
     std::size_t index = 0;
@@ -95,7 +96,7 @@ void ThreadPool::run_job(int worker, const Task& fn) {
     }
     const auto start = Clock::now();
     try {
-      fn(index);
+      fn(worker, index);
     } catch (...) {
       FBEDGE_EXPECT(false, "pipeline task threw; tasks must fail fast instead");
     }
@@ -112,7 +113,7 @@ void ThreadPool::worker_loop(int worker) {
     job_cv_.wait(lk, [&] { return stopping_ || job_generation_ != seen; });
     if (stopping_) return;
     seen = job_generation_;
-    const Task* fn = job_fn_;
+    const WorkerTask* fn = job_fn_;
     lk.unlock();
     run_job(worker, *fn);
     lk.lock();
@@ -121,11 +122,17 @@ void ThreadPool::worker_loop(int worker) {
 }
 
 RunStats ThreadPool::parallel_for(const ShardPlan& plan, const Task& fn) {
+  return parallel_for_workers(plan,
+                              [&fn](int, std::size_t i) { fn(i); });
+}
+
+RunStats ThreadPool::parallel_for_workers(const ShardPlan& plan, const WorkerTask& fn) {
   RunStats rs;
   rs.threads = threads_;
   rs.shards.resize(static_cast<std::size_t>(threads_));
   if (plan.size() == 0) return rs;
 
+  const AllocCounters alloc_start = alloc_counters_now();
   const auto wall_start = Clock::now();
   {
     std::lock_guard<std::mutex> lk(job_mutex_);
@@ -153,6 +160,10 @@ RunStats ThreadPool::parallel_for(const ShardPlan& plan, const Task& fn) {
   }
 
   rs.wall_seconds = seconds_since(wall_start);
+  const AllocCounters alloc_end = alloc_counters_now();
+  rs.alloc_count = alloc_end.count - alloc_start.count;
+  rs.alloc_bytes = alloc_end.bytes - alloc_start.bytes;
+  rs.peak_rss_bytes = peak_rss_bytes();
   rs.shards = job_stats_;
   for (const auto& st : rs.shards) {
     rs.tasks += st.tasks;

@@ -53,11 +53,22 @@ class ThreadPool {
 
   using Task = std::function<void(std::size_t)>;
 
+  /// A task that also learns which worker runs it. `worker` is in
+  /// [0, threads()) and is stable for the duration of one fn invocation —
+  /// the handle for per-worker scratch arenas (each worker owns slot
+  /// `worker` exclusively while inside the task).
+  using WorkerTask = std::function<void(int worker, std::size_t index)>;
+
   /// Runs fn(i) for every i covered by `plan`, distributing plan shards
   /// round-robin over the pool's workers, and blocks until all tasks have
   /// finished. Execution order is unspecified; determinism is the
   /// reducer's job (merge per-index results in index order).
   RunStats parallel_for(const ShardPlan& plan, const Task& fn);
+
+  /// As parallel_for, but the task receives the executing worker's id, so
+  /// callers can route each index to a per-worker scratch slot without
+  /// thread_local state.
+  RunStats parallel_for_workers(const ShardPlan& plan, const WorkerTask& fn);
 
   /// Convenience: balanced plan with one shard per thread.
   RunStats parallel_for(std::size_t n, const Task& fn) {
@@ -86,7 +97,7 @@ class ThreadPool {
   };
 
   void worker_loop(int worker);
-  void run_job(int worker, const Task& fn);
+  void run_job(int worker, const WorkerTask& fn);
   bool pop_local(int worker, std::size_t* index);
   bool steal(int thief, std::size_t* index);
 
@@ -98,7 +109,7 @@ class ThreadPool {
   std::mutex job_mutex_;
   std::condition_variable job_cv_;   // workers wait here for a new job
   std::condition_variable done_cv_;  // parallel_for waits here for drain
-  const Task* job_fn_{nullptr};
+  const WorkerTask* job_fn_{nullptr};
   std::uint64_t job_generation_{0};
   int workers_remaining_{0};  // participants still inside the current job
   bool stopping_{false};

@@ -11,8 +11,7 @@ struct Group {
   Bytes bytes{0};
 };
 
-TxnTiming finalize(const std::vector<ResponseWrite>& writes, const Group& g,
-                   Duration min_rtt) {
+TxnTiming finalize(const ResponseWrite* writes, const Group& g, Duration min_rtt) {
   const ResponseWrite& head = writes[g.first];
   const ResponseWrite& tail = writes[g.last];
   TxnTiming txn;
@@ -39,7 +38,14 @@ void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration mi
   out.txns.clear();
   out.ineligible_groups = 0;
   out.coalesced_writes = 0;
-  if (writes.empty()) return;
+  coalesce_writes_append(writes.data(), writes.size(), min_rtt, out.txns,
+                         out.ineligible_groups, out.coalesced_writes, config);
+}
+
+void coalesce_writes_append(const ResponseWrite* writes, std::size_t n, Duration min_rtt,
+                            std::vector<TxnTiming>& txns, int& ineligible_groups,
+                            int& coalesced_writes, CoalescerConfig config) {
+  if (n == 0) return;
 
   Group group{0, 0, writes[0].bytes};
   // last_ack of the most recently *closed* group; used for the
@@ -48,15 +54,15 @@ void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration mi
 
   auto close_group = [&](bool eligible) {
     if (eligible) {
-      out.txns.push_back(finalize(writes, group, min_rtt));
+      txns.push_back(finalize(writes, group, min_rtt));
     } else {
-      ++out.ineligible_groups;
+      ++ineligible_groups;
     }
     prev_group_last_ack = writes[group.last].last_ack;
   };
 
   bool current_eligible = true;
-  for (std::size_t i = 1; i < writes.size(); ++i) {
+  for (std::size_t i = 1; i < n; ++i) {
     const ResponseWrite& prev = writes[group.last];
     const ResponseWrite& cur = writes[i];
     const bool joins = cur.multiplexed || cur.preempted || prev.multiplexed ||
@@ -65,7 +71,7 @@ void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration mi
     if (joins) {
       group.last = i;
       group.bytes += cur.bytes;
-      ++out.coalesced_writes;
+      ++coalesced_writes;
       continue;
     }
     close_group(current_eligible);

@@ -46,4 +46,13 @@ CoalescedSession coalesce_session(const std::vector<ResponseWrite>& writes,
 void coalesce_session_into(const std::vector<ResponseWrite>& writes, Duration min_rtt,
                            CoalescedSession& out, CoalescerConfig config = {});
 
+/// Span-based core shared by coalesce_session_into and the batched path
+/// (sampler/session_batch.h): coalesces `writes[0..n)` and *appends* the
+/// resulting transactions to `txns` (no clear), bumping the two counters.
+/// Appending is what lets a whole SessionBatch coalesce into one flat
+/// TxnTiming buffer without per-session vectors.
+void coalesce_writes_append(const ResponseWrite* writes, std::size_t n, Duration min_rtt,
+                            std::vector<TxnTiming>& txns, int& ineligible_groups,
+                            int& coalesced_writes, CoalescerConfig config = {});
+
 }  // namespace fbedge

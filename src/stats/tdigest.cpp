@@ -57,17 +57,6 @@ TDigest::TDigest(double compression)
   // it across compress() cycles.
 }
 
-void TDigest::add(double value, double weight) {
-  FBEDGE_EXPECT(weight > 0, "t-digest weight must be positive");
-  FBEDGE_EXPECT(std::isfinite(value), "t-digest value must be finite");
-  buffer_.push_back({value, weight});
-  unmerged_weight_ += weight;
-  ++count_;
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
-  if (buffer_.size() >= buffer_limit_) compress();
-}
-
 void TDigest::merge(const TDigest& other) {
   other.compress();
   buffer_.insert(buffer_.end(), other.centroids_.begin(), other.centroids_.end());

@@ -15,8 +15,12 @@
 // across toolchains regardless of std::sort's handling of equal keys.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
+
+#include "util/expect.h"
 
 namespace fbedge {
 
@@ -41,8 +45,21 @@ class TDigest {
   /// and controls accuracy; 100 gives ~0.1-1% relative rank error.
   explicit TDigest(double compression = 100.0);
 
-  /// Adds a point with the given weight (weight > 0).
-  void add(double value, double weight = 1.0);
+  /// Adds a point with the given weight (weight > 0). Inline: every session
+  /// feeds several digests (per-route MinRTT/HDratio cells), so on the
+  /// aggregation hot path the common buffered case should compile down to a
+  /// push + bookkeeping with no call; the rare buffer-full case takes the
+  /// out-of-line compress().
+  void add(double value, double weight = 1.0) {
+    FBEDGE_EXPECT(weight > 0, "t-digest weight must be positive");
+    FBEDGE_EXPECT(std::isfinite(value), "t-digest value must be finite");
+    buffer_.push_back({value, weight});
+    unmerged_weight_ += weight;
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    if (buffer_.size() >= buffer_limit_) compress();
+  }
 
   /// Merges another digest into this one.
   void merge(const TDigest& other);

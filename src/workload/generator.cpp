@@ -34,6 +34,61 @@ struct TransferGroup {
   bool overlapped{false};  // any member arrived while previous was in flight
 };
 
+/// Emitter writing into a classic AoS SessionSample (the legacy layout).
+struct SampleEmitter {
+  SessionSample& sample;
+
+  void begin_session(const UserGroupProfile& group, const SessionSpec& spec,
+                     int route_index, SimTime start, std::uint32_t ip, bool hosting) {
+    // Every other field is assigned here or at finish; only the
+    // accumulating ones need a reset.
+    sample.writes.clear();
+    sample.writes.reserve(spec.transactions.size());
+    sample.total_bytes = 0;
+    sample.id = spec.id;
+    sample.pop = group.key.pop;
+    sample.client.bgp_prefix = group.key.prefix;
+    sample.client.asn = group.asn;
+    sample.client.country = group.key.country;
+    sample.client.continent = group.continent;
+    sample.client.ip = ip;
+    sample.client.hosting_provider = hosting;
+    sample.version = spec.version;
+    sample.endpoint = spec.endpoint;
+    sample.established_at = start;
+    sample.route_index = route_index;
+    sample.num_transactions = static_cast<int>(spec.transactions.size());
+  }
+
+  void add_write(const ResponseWrite& w) {
+    sample.writes.push_back(w);
+    sample.total_bytes += w.bytes;
+  }
+
+  void finish_session(Duration duration, Duration busy, Duration min_rtt) {
+    sample.duration = duration;
+    sample.busy_time = busy;
+    sample.min_rtt = min_rtt;
+  }
+};
+
+/// Emitter appending one row to a columnar SessionBatch.
+struct BatchEmitter {
+  SessionBatch& batch;
+
+  void begin_session(const UserGroupProfile&, const SessionSpec& spec, int route_index,
+                     SimTime start, std::uint32_t ip, bool hosting) {
+    batch.begin_row(spec.id, start, route_index, ip, hosting, spec.version,
+                    spec.endpoint, static_cast<int>(spec.transactions.size()));
+  }
+
+  void add_write(const ResponseWrite& w) { batch.add_write(w); }
+
+  void finish_session(Duration duration, Duration busy, Duration min_rtt) {
+    batch.finish_row(duration, busy, min_rtt);
+  }
+};
+
 }  // namespace
 
 DatasetGenerator::DatasetGenerator(const World& world, DatasetConfig config)
@@ -51,24 +106,21 @@ void DatasetGenerator::run_session_into(const UserGroupProfile& group,
                                         const SessionSpec& spec, int route_index,
                                         SimTime start, Rng& rng,
                                         SessionSample& sample) const {
-  // Every other field is assigned below; only the accumulating ones need a
-  // reset. One ResponseWrite is emitted per transaction.
-  sample.writes.clear();
-  sample.writes.reserve(spec.transactions.size());
-  sample.total_bytes = 0;
-  sample.id = spec.id;
-  sample.pop = group.key.pop;
-  sample.client.bgp_prefix = group.key.prefix;
-  sample.client.asn = group.asn;
-  sample.client.country = group.key.country;
-  sample.client.continent = group.continent;
-  sample.client.ip = group.key.prefix.addr + static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
-  sample.client.hosting_provider = rng.bernoulli(config_.hosting_fraction);
-  sample.version = spec.version;
-  sample.endpoint = spec.endpoint;
-  sample.established_at = start;
-  sample.route_index = route_index;
-  sample.num_transactions = static_cast<int>(spec.transactions.size());
+  SampleEmitter emit{sample};
+  run_session_emit(group, spec, route_index, start, rng, emit);
+}
+
+template <typename Emitter>
+void DatasetGenerator::run_session_emit(const UserGroupProfile& group,
+                                        const SessionSpec& spec, int route_index,
+                                        SimTime start, Rng& rng, Emitter& emit) const {
+  // Draw order below is calibrated state (see CLAUDE.md): ip, hosting flag,
+  // client rate, bufferbloat, connection seed, then the per-group path and
+  // fluid-model draws. One ResponseWrite is emitted per transaction.
+  const std::uint32_t ip =
+      group.key.prefix.addr + static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
+  const bool hosting = rng.bernoulli(config_.hosting_fraction);
+  emit.begin_session(group, spec, route_index, start, ip, hosting);
 
   const BitsPerSecond client_rate = draw_client_rate(group, rng);
   // Bufferbloated access links inflate every RTT the session sees (§3.3).
@@ -135,8 +187,7 @@ void DatasetGenerator::run_session_into(const UserGroupProfile& group,
       w.second_last_ack = group_start + transfer.adjusted_duration;
       w.last_ack = group_start + transfer.full_duration;
       w.last_packet_bytes = transfer.last_packet_bytes;
-      sample.writes.push_back(w);
-      sample.total_bytes += w.bytes;
+      emit.add_write(w);
 
       clock = group_start + transfer.full_duration;
       i = g.last + 1;
@@ -162,17 +213,15 @@ void DatasetGenerator::run_session_into(const UserGroupProfile& group,
         w.preempted = spec.version == HttpVersion::kHttp2 && high_priority;
         w.multiplexed = !w.preempted && spec.version == HttpVersion::kHttp2;
       }
-      sample.writes.push_back(w);
-      sample.total_bytes += w.bytes;
+      emit.add_write(w);
     }
 
     clock = group_start + transfer.full_duration;
     i = g.last + 1;
   }
 
-  sample.duration = std::max(spec.duration, clock);
-  sample.busy_time = busy;
-  sample.min_rtt = std::isfinite(min_rtt) ? min_rtt : 0;
+  emit.finish_session(std::max(spec.duration, clock), busy,
+                      std::isfinite(min_rtt) ? min_rtt : 0);
 }
 
 void DatasetGenerator::generate_group(const UserGroupProfile& group,
@@ -209,6 +258,42 @@ void DatasetGenerator::generate_group(const UserGroupProfile& group,
       run_session_into(group, spec, route, start, rng, sample);
       sink(sample);
     }
+  }
+}
+
+void DatasetGenerator::generate_group_batched(const UserGroupProfile& group,
+                                              SessionBatch& batch,
+                                              const WindowBatchSink& sink) const {
+  // Mirrors generate_group draw-for-draw: same per-group stream seed, same
+  // poisson/start/make_session draws per window, so either path can consume
+  // the group and produce bit-identical values.
+  Rng rng = entity_stream(config_.seed,
+                          hash_mix(group.key.prefix.addr) ^
+                              (static_cast<std::uint64_t>(group.key.pop.value) << 32));
+  std::uint64_t session_seq =
+      static_cast<std::uint64_t>(group.key.prefix.addr) << 20;
+
+  const int total_windows = config_.days * 96;
+  const int num_routes = static_cast<int>(group.routes.size());
+  SessionSpec spec;
+  BatchEmitter emit{batch};
+  for (int w = 0; w < total_windows; ++w) {
+    batch.clear();
+    // Diurnal traffic volume: more sessions at local evening peak.
+    const SimTime window_start = w * kWindowLength;
+    const double peak_boost = in_peak_hours(group, window_start + kWindowLength / 2)
+                                  ? 1.5
+                                  : 1.0;
+    const int sessions =
+        poisson(rng, group.sessions_per_window * config_.session_scale * peak_boost);
+    for (int s = 0; s < sessions; ++s) {
+      const SessionId id{session_seq++};
+      const SimTime start = window_start + rng.uniform(0.0, kWindowLength);
+      traffic_.make_session_into(id, rng, spec);
+      const int route = sampler_.choose_route(id, num_routes);
+      run_session_emit(group, spec, route, start, rng, emit);
+    }
+    if (!batch.empty()) sink(w, batch);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "sampler/record.h"
 #include "sampler/sampler.h"
+#include "sampler/session_batch.h"
 #include "workload/distributions.h"
 #include "workload/world.h"
 
@@ -36,6 +37,10 @@ struct DatasetConfig {
 
 using SessionSink = std::function<void(const SessionSample&)>;
 
+/// Receives one filled SessionBatch per 15-minute window (only windows with
+/// at least one session). The batch reference is only valid for the call.
+using WindowBatchSink = std::function<void(int window, const SessionBatch&)>;
+
 class DatasetGenerator {
  public:
   DatasetGenerator(const World& world, DatasetConfig config);
@@ -43,6 +48,16 @@ class DatasetGenerator {
   /// Emits every sampled session of one group across the whole study span,
   /// in time order.
   void generate_group(const UserGroupProfile& group, const SessionSink& sink) const;
+
+  /// Columnar variant of generate_group: fills `batch` with one window's
+  /// sessions at a time and hands it to `sink` (empty windows are skipped).
+  /// The caller owns `batch` so its arena survives across windows *and*
+  /// groups — at steady state no per-session allocation happens. Consumes
+  /// the identical RNG draw sequence as generate_group (both run the same
+  /// session-simulation template), so emitted values are bit-identical to
+  /// the scalar path's, column-for-field.
+  void generate_group_batched(const UserGroupProfile& group, SessionBatch& batch,
+                              const WindowBatchSink& sink) const;
 
   /// Emits all groups, one at a time.
   void generate(const SessionSink& sink) const;
@@ -65,6 +80,17 @@ class DatasetGenerator {
   const DatasetConfig& config() const { return config_; }
 
  private:
+  /// The one session-simulation body. Both output layouts (SessionSample
+  /// via run_session_into, SessionBatch rows via generate_group_batched)
+  /// instantiate this with their own emitter, which guarantees the two
+  /// paths consume identical RNG draws and compute identical values — the
+  /// emitter only decides where each value is stored. Defined in
+  /// generator.cpp; both instantiations live there.
+  template <typename Emitter>
+  void run_session_emit(const UserGroupProfile& group, const SessionSpec& spec,
+                        int route_index, SimTime start, Rng& rng,
+                        Emitter& emit) const;
+
   const World& world_;
   DatasetConfig config_;
   TrafficModel traffic_;

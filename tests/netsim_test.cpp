@@ -46,6 +46,56 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_EQ(sim.events_executed(), 0u);
 }
 
+// Regression test for the pop_next cancellation path (once a linear scan of
+// a cancelled-id vector, now a hash set). The timer idiom that motivated the
+// fix: every "transfer" arms a timeout it then cancels, then re-arms a new
+// one — so the cancelled set grows large and every surviving event must be
+// checked against it. Pins both the surviving-event order and the exact
+// executed count under thousands of pending cancellations.
+TEST(Simulator, CancelHeavyWorkloadKeepsOrderAndCount) {
+  Simulator sim;
+  std::vector<int> fired;
+  constexpr int kTimers = 4000;
+  std::vector<std::uint64_t> timeout_ids;
+  timeout_ids.reserve(kTimers);
+  // Phase 1: arm kTimers timeouts far in the future, plus interleaved "data"
+  // events that fire first.
+  for (int i = 0; i < kTimers; ++i) {
+    timeout_ids.push_back(sim.schedule(100.0 + i, [&fired, i] { fired.push_back(-i); }));
+    sim.schedule(0.001 * i, [&fired, i] { fired.push_back(i); });
+  }
+  // Phase 2: cancel every timeout, then re-arm a replacement at the SAME
+  // time as one of the data events — the replacement's higher seq must still
+  // order it after the data event (cancel must not disturb FIFO ties).
+  std::vector<std::uint64_t> rearmed;
+  rearmed.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    sim.cancel(timeout_ids[static_cast<std::size_t>(i)]);
+    rearmed.push_back(
+        sim.schedule(0.001 * i, [&fired, i] { fired.push_back(kTimers + i); }));
+  }
+  // Cancel half of the re-armed events too (even i), so pop_next has to
+  // discard cancelled events interleaved with live ones at identical times.
+  for (int i = 0; i < kTimers; i += 2) sim.cancel(rearmed[static_cast<std::size_t>(i)]);
+
+  sim.run();
+
+  // Expected: for each time slot i, data event i fires, then (for odd i) the
+  // re-armed event kTimers+i. No original timeout (-i) may ever fire.
+  std::vector<int> expected;
+  for (int i = 0; i < kTimers; ++i) {
+    expected.push_back(i);
+    if (i % 2 == 1) expected.push_back(kTimers + i);
+  }
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sim.events_executed(), static_cast<std::uint64_t>(expected.size()));
+  EXPECT_TRUE(sim.empty());
+  // Cancelling an already-executed id stays a harmless no-op.
+  sim.cancel(rearmed[1]);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), static_cast<std::uint64_t>(expected.size()));
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int count = 0;

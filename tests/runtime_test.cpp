@@ -11,6 +11,7 @@
 
 #include "analysis/edge_analysis.h"
 #include "analysis/figures.h"
+#include "runtime/alloc_counter.h"
 #include "runtime/pipeline.h"
 #include "runtime/run_stats.h"
 #include "runtime/shard_plan.h"
@@ -101,6 +102,34 @@ TEST(ThreadPool, EmptyRunCompletes) {
   ThreadPool pool(3);
   const RunStats stats = pool.parallel_for(0, [](std::size_t) { FAIL(); });
   EXPECT_EQ(stats.tasks, 0u);
+}
+
+// Regression test for the allocation-counter registry under thread churn.
+// glibc reuses an exited thread's static TLS block for the next thread it
+// creates; when the registry nodes lived inside the thread_local object, a
+// recycled node address got re-pushed onto the lock-free list and closed it
+// into a cycle — alloc_counters_now() then spun forever. Churning many
+// short-lived pools is exactly the trigger, so this test hangs (and times
+// out) if node addresses are ever recycled again.
+TEST(ThreadPool, AllocCountersSurviveThreadChurn) {
+  const AllocCounters before = alloc_counters_now();
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 64; ++round) {
+    ThreadPool pool(4);  // created and destroyed: 3 worker threads per round
+    pool.parallel_for(ShardPlan::make(16, pool.threads()), [&](std::size_t i) {
+      // Allocate on every worker so each thread registers a counter node.
+      std::vector<std::size_t> v(8, i);
+      sum.fetch_add(std::accumulate(v.begin(), v.end(), std::size_t{0}),
+                    std::memory_order_relaxed);
+    });
+  }
+  // Traversal terminates (no cycle) and the tally moved forward: the loop
+  // above performed at least one counted allocation per round, and exited
+  // threads must have flushed into the global totals rather than vanished.
+  const AllocCounters after = alloc_counters_now();
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GT(after.bytes, before.bytes);
+  EXPECT_GT(sum.load(), 0u);
 }
 
 TEST(ThreadPool, StealsUnderSkewedShardSizes) {

@@ -1,0 +1,185 @@
+// Differential property test for the columnar session pipeline
+// (sampler/session_batch.h): randomized user groups run through the legacy
+// per-session path (generate_group -> coalesce_session_into -> HdEvaluator)
+// and the batched path (generate_group_batched -> coalesce_batch ->
+// evaluate_hd_batch) must produce *bitwise-identical* aggregations — same
+// windows, same route cells, same t-digest centroids, same rollups. This is
+// the invariant the analysis layer relies on when it swaps between the two
+// ingest paths (faulty runs stay scalar, clean runs go columnar).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "agg/aggregation.h"
+#include "agg/rollup.h"
+#include "goodput/hdratio.h"
+#include "sampler/coalescer.h"
+#include "sampler/sampler.h"
+#include "sampler/session_batch.h"
+#include "workload/generator.h"
+#include "workload/world.h"
+
+namespace fbedge {
+namespace {
+
+WorldConfig small_world() {
+  WorldConfig wc;
+  wc.seed = 2019;
+  wc.groups_per_continent = 2;
+  wc.days = 2;
+  return wc;
+}
+
+DatasetConfig small_dataset() {
+  DatasetConfig dc;
+  dc.seed = 2019;
+  dc.days = 2;
+  dc.session_scale = 0.2;
+  return dc;
+}
+
+/// Legacy scalar ingest: one session at a time, exactly as the pre-batching
+/// analysis loop did it (hosting filter, coalesce, HD-evaluate, aggregate).
+GroupSeries ingest_scalar(const DatasetGenerator& generator,
+                          const UserGroupProfile& group, GoodputConfig goodput) {
+  GroupSeries series;
+  series.continent = group.continent;
+  CoalescedSession coalesced;
+  HdEvaluator eval(goodput);
+  generator.generate_group(group, [&](const SessionSample& s) {
+    if (s.client.hosting_provider) return;
+    coalesce_session_into(s.writes, s.min_rtt, coalesced);
+    eval.reset();
+    for (const auto& txn : coalesced.txns) eval.evaluate(txn);
+    series.windows[window_index(s.established_at)]
+        .route(s.route_index)
+        .add_session(s.min_rtt, eval.result().hdratio(), s.total_bytes);
+  });
+  return series;
+}
+
+/// Columnar ingest: whole windows at a time through the batch kernels, with
+/// hosting rows masked out of coalescing (they coalesce to zero txns).
+GroupSeries ingest_batched(const DatasetGenerator& generator,
+                           const UserGroupProfile& group, GoodputConfig goodput) {
+  GroupSeries series;
+  series.continent = group.continent;
+  SessionBatch batch;
+  CoalescedBatch coalesced;
+  std::vector<SessionHd> hd;
+  generator.generate_group_batched(group, batch, [&](int, const SessionBatch& b) {
+    coalesce_batch(b, b.hosting.data(), coalesced);
+    const std::size_t rows = b.size();
+    hd.resize(rows);
+    evaluate_hd_batch(coalesced.txns.data(), coalesced.offset.data(),
+                      coalesced.count.data(), rows, hd.data(), goodput);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (b.hosting[i] != 0) continue;
+      series.windows[window_index(b.established_at[i])]
+          .route(b.route_index[i])
+          .add_session(b.min_rtt[i], hd[i].hdratio(), b.total_bytes[i]);
+    }
+  });
+  return series;
+}
+
+/// Bitwise comparison of two t-digests fed by the same add() sequence:
+/// identical adds imply identical compress boundaries, so every centroid
+/// must match exactly — EXPECT_EQ on doubles, not EXPECT_NEAR.
+void expect_digests_identical(const TDigest& a, const TDigest& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.total_weight(), b.total_weight());
+  if (a.count() > 0) {
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+  const auto& ca = a.centroids();
+  const auto& cb = b.centroids();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].mean, cb[i].mean) << "centroid " << i;
+    EXPECT_EQ(ca[i].weight, cb[i].weight) << "centroid " << i;
+  }
+}
+
+void expect_window_maps_identical(const WindowMap& a, const WindowMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->first, ib->first) << "window index mismatch";
+    const auto& ra = ia->second.routes;
+    const auto& rb = ib->second.routes;
+    ASSERT_EQ(ra.size(), rb.size()) << "window " << ia->first;
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].sessions(), rb[r].sessions());
+      EXPECT_EQ(ra[r].hd_sessions(), rb[r].hd_sessions());
+      EXPECT_EQ(ra[r].traffic(), rb[r].traffic());
+      expect_digests_identical(ra[r].minrtt_digest(), rb[r].minrtt_digest());
+      expect_digests_identical(ra[r].hdratio_digest(), rb[r].hdratio_digest());
+    }
+  }
+}
+
+TEST(SessionBatch, BatchedIngestMatchesScalarBitwise) {
+  const World world = build_world(small_world());
+  const DatasetGenerator generator(world, small_dataset());
+  const GoodputConfig goodput;
+  ASSERT_FALSE(world.groups.empty());
+
+  // One shared batch arena across every group, like the analysis loop —
+  // this also checks that clear() fully resets state between groups.
+  for (const auto& group : world.groups) {
+    const GroupSeries scalar = ingest_scalar(generator, group, goodput);
+    const GroupSeries batched = ingest_batched(generator, group, goodput);
+    expect_window_maps_identical(scalar.windows, batched.windows);
+    EXPECT_EQ(scalar.total_traffic(), batched.total_traffic());
+
+    // The equivalence must survive rollup: merged sketches are a pure
+    // function of the cells, so rolled windows must match bitwise too.
+    WindowRollup roll_scalar(/*factor=*/4);
+    WindowRollup roll_batched(/*factor=*/4);
+    roll_scalar.add_series(scalar);
+    roll_batched.add_series(batched);
+    expect_window_maps_identical(roll_scalar.windows(), roll_batched.windows());
+  }
+}
+
+TEST(SessionBatch, RowProtocolAccumulatesWritesAndClears) {
+  SessionBatch batch;
+  batch.begin_row(SessionId{1}, /*at=*/10.0, /*route=*/0, /*ip=*/0x0a000001,
+                  /*hosting_provider=*/false, HttpVersion::kHttp2,
+                  EndpointClass::kDynamic, /*num_txns=*/2);
+  ResponseWrite w;
+  w.bytes = 1000;
+  batch.add_write(w);
+  w.bytes = 500;
+  batch.add_write(w);
+  batch.finish_row(/*dur=*/1.5, /*busy=*/0.5, /*rtt=*/0.03);
+
+  batch.begin_row(SessionId{2}, /*at=*/11.0, /*route=*/1, /*ip=*/0x0a000002,
+                  /*hosting_provider=*/true, HttpVersion::kHttp1_1,
+                  EndpointClass::kMedia, /*num_txns=*/0);
+  batch.finish_row(/*dur=*/0.2, /*busy=*/0.0, /*rtt=*/0.08);
+
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.total_bytes[0], 1500);
+  EXPECT_EQ(batch.total_bytes[1], 0);
+  EXPECT_EQ(batch.write_offset[0], 0u);
+  EXPECT_EQ(batch.write_count[0], 2u);
+  EXPECT_EQ(batch.write_offset[1], 2u);
+  EXPECT_EQ(batch.write_count[1], 0u);
+  EXPECT_EQ(batch.hosting[0], 0);
+  EXPECT_NE(batch.hosting[1], 0);
+
+  const std::size_t arena_before = batch.arena_bytes();
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size(), 0u);
+  // clear() must keep the arena: capacity is the whole point of reuse.
+  EXPECT_EQ(batch.arena_bytes(), arena_before);
+}
+
+}  // namespace
+}  // namespace fbedge

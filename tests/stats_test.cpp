@@ -535,6 +535,40 @@ TEST(TDigest, ManyPartMergeOrderKeepsRankErrorUnderTies) {
 // normal_quantile.
 // ---------------------------------------------------------------------------
 
+// Differential check of the selection-based quantile() against the sorting
+// quantile_sorted() ground truth, on duplicate-heavy inputs. Duplicates are
+// the adversarial case for nth_element-based selection: the lower order
+// statistic sits inside a run of equal values and the "upper" statistic is
+// the min of an unordered tail full of the same value — any off-by-one in
+// the partition logic shows up as a non-bitwise result here.
+TEST(Quantiles, SelectionMatchesSortOnDuplicateHeavyInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Few distinct values, many repeats (HDratio-like atoms at 0 and 1).
+    const int distinct = 1 + static_cast<int>(rng.uniform_int(1, 5));
+    std::vector<double> atoms;
+    for (int i = 0; i < distinct; ++i) atoms.push_back(rng.uniform(0.0, 1.0));
+    atoms.push_back(0.0);
+    atoms.push_back(1.0);
+
+    const int n = 1 + static_cast<int>(rng.uniform_int(1, 400));
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      values.push_back(
+          atoms[static_cast<std::size_t>(rng.uniform_int(0, distinct + 1))]);
+    }
+
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const double exact = quantile_sorted(sorted, q);
+      const double selected = quantile(values, q);  // copies; values reusable
+      EXPECT_EQ(exact, selected) << "trial=" << trial << " n=" << n << " q=" << q;
+    }
+  }
+}
+
 TEST(NormalQuantile, KnownValues) {
   EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-8);
   EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
