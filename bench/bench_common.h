@@ -6,11 +6,15 @@
 // user groups per continent.
 //
 // Common flags (after the optional group-count positional):
-//   --threads N    worker threads for the sharded runtime (default:
-//                  hardware concurrency; results are byte-identical for
-//                  any N, including 1)
-//   --json PATH    also emit headline metrics as machine-readable JSON
-//                  (metric name -> value) for cross-PR tracking
+//   --threads N      worker threads for the sharded runtime (default:
+//                    hardware concurrency; results are byte-identical for
+//                    any N, including 1)
+//   --json PATH      also emit headline metrics as machine-readable JSON
+//                    (metric name -> value) for cross-PR tracking
+//   --cache-dir DIR  persist/reuse the ingest artifact (per-group series)
+//                    in DIR; warm runs skip session generation and are
+//                    byte-identical to cold runs. The FBEDGE_CACHE_DIR
+//                    environment variable sets a default; the flag wins.
 #pragma once
 
 #include <cstdio>
@@ -19,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/ingest_cache.h"
 #include "runtime/pipeline.h"
 #include "workload/generator.h"
 #include "workload/world.h"
@@ -66,6 +71,9 @@ struct RunConfig {
   /// threads=0 -> hardware concurrency (resolve_threads).
   RuntimeOptions runtime;
   std::string json_path;
+  /// Ingest-artifact cache directory (empty = caching off); see
+  /// analysis/ingest_cache.h.
+  IngestCacheOptions cache;
 };
 
 /// Parses the shared command line: an optional positional integer (user
@@ -73,6 +81,7 @@ struct RunConfig {
 inline void parse_common_args(int argc, char** argv, RunConfig& rc,
                               int default_groups) {
   rc.world.groups_per_continent = default_groups;
+  if (const char* env = std::getenv("FBEDGE_CACHE_DIR")) rc.cache.dir = env;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -80,10 +89,14 @@ inline void parse_common_args(int argc, char** argv, RunConfig& rc,
       if (const char* v = next()) rc.runtime.threads = std::atoi(v);
     } else if (arg == "--json") {
       if (const char* v = next()) rc.json_path = v;
+    } else if (arg == "--cache-dir") {
+      if (const char* v = next()) rc.cache.dir = v;
     } else if (!arg.empty() && arg[0] != '-') {
       rc.world.groups_per_continent = std::atoi(arg.c_str());
     } else {
-      std::fprintf(stderr, "usage: %s [groups] [--threads N] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [groups] [--threads N] [--json PATH] "
+                   "[--cache-dir DIR]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -130,6 +143,20 @@ inline RunConfig edge_run(int argc, char** argv) {
 
 inline void print_paper_note(const char* note) {
   std::printf("paper: %s\n", note);
+}
+
+/// Standard runtime block every bench appends to its `--json` output.
+/// Cache hits/misses stay 0 unless a cache dir was configured, so
+/// committed BENCH files (always cold, uncached runs) are unaffected.
+inline void add_runtime_json(JsonOutput& json, const RunStats& stats) {
+  json.add("runtime_threads", stats.threads);
+  json.add("runtime_wall_seconds", stats.wall_seconds);
+  json.add("runtime_cpu_seconds", stats.cpu_seconds);
+  json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
+  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
+  json.add("runtime_steals", static_cast<double>(stats.steals));
+  json.add("runtime_cache_hits", static_cast<double>(stats.cache_hits));
+  json.add("runtime_cache_misses", static_cast<double>(stats.cache_misses));
 }
 
 }  // namespace fbedge::bench

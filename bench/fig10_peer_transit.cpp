@@ -10,7 +10,9 @@ using namespace fbedge;
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto result = run_edge_analysis(world, rc.dataset);
+  RunStats stats;
+  const auto result = run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime,
+                                        &stats, {}, rc.cache);
 
   bench::print_paper_note(
       "distributions concentrate near 0 and skew left (preferred/peer "
@@ -42,5 +44,18 @@ int main(int argc, char** argv) {
     std::printf("private vs public: median=%.2f ms\n",
                 result.fig10_private_vs_public.quantile(0.5) * 1e3);
   }
-  return 0;
+  stats.print("fig10_peer_transit");
+
+  bench::JsonOutput json(rc.json_path);
+  json.add("peer_vs_transit_median_ms",
+           result.fig10_peer_vs_transit.empty()
+               ? 0.0
+               : result.fig10_peer_vs_transit.quantile(0.5) * 1e3);
+  json.add("transit_vs_transit_median_ms",
+           result.fig10_transit_vs_transit.empty()
+               ? 0.0
+               : result.fig10_transit_vs_transit.quantile(0.5) * 1e3);
+  json.add("groups_analyzed", result.groups_analyzed);
+  bench::add_runtime_json(json, stats);
+  return json.write() ? 0 : 1;
 }

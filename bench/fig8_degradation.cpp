@@ -10,7 +10,9 @@ using namespace fbedge;
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto result = run_edge_analysis(world, rc.dataset);
+  RunStats stats;
+  const auto result = run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime,
+                                        &stats, {}, rc.cache);
 
   print_header("Figure 8(a): MinRTT_P50 degradation CDF [ms, current - baseline]");
   print_cdf("point estimate", result.degr_rtt, 20, 1e3);
@@ -36,5 +38,15 @@ int main(int argc, char** argv) {
               1.0 - result.degr_hd.fraction_at_or_below(0.065),
               1.0 - result.degr_hd.fraction_at_or_below(0.4));
   std::printf("groups analyzed: %d\n", result.groups_analyzed);
-  return 0;
+  stats.print("fig8_degradation");
+
+  bench::JsonOutput json(rc.json_path);
+  json.add("degr_valid_traffic_rtt", result.degr_valid_traffic_rtt);
+  json.add("degr_valid_traffic_hd", result.degr_valid_traffic_hd);
+  json.add("degr_rtt_ge_4ms", 1.0 - result.degr_rtt.fraction_at_or_below(0.004));
+  json.add("degr_rtt_ge_20ms", 1.0 - result.degr_rtt.fraction_at_or_below(0.020));
+  json.add("degr_hd_ge_0065", 1.0 - result.degr_hd.fraction_at_or_below(0.065));
+  json.add("groups_analyzed", result.groups_analyzed);
+  bench::add_runtime_json(json, stats);
+  return json.write() ? 0 : 1;
 }

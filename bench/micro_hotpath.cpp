@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "agg/aggregation.h"
+#include "agg/series_io.h"
 #include "bench_common.h"
 #include "goodput/hdratio.h"
 #include "goodput/tmodel.h"
@@ -173,6 +174,23 @@ int main(int argc, char** argv) {
   });
   g_sink = g_sink + static_cast<double>(batch.arena_bytes());
 
+  // ---- GroupSeries serialization (ingest-artifact cache) ------------------
+  // save/load of the window-aggregation series built above (~960 windows x 3
+  // routes), i.e. one cache-artifact group blob round-trip.
+  ByteWriter series_writer;
+  const double series_save_ns = time_per_op(50, [&](int) {
+    series_writer.clear();
+    save_group_series(series, series_writer);
+    g_sink = static_cast<double>(series_writer.size());
+  });
+  GroupSeries loaded_series;
+  RouteAggPool load_pool;
+  const double series_load_ns = time_per_op(50, [&](int) {
+    ByteReader r(series_writer.data().data(), series_writer.size());
+    load_group_series(r, loaded_series, &load_pool);
+    g_sink = static_cast<double>(loaded_series.windows.size());
+  });
+
   // ---- response coalescing -----------------------------------------------
   const auto writes = make_writes(64);
   CoalescedSession scratch;
@@ -189,6 +207,8 @@ int main(int argc, char** argv) {
   std::printf("  tdigest_merge         %10.1f  (per 10k-point digest)\n", merge_ns);
   std::printf("  quantile_exact        %10.1f  (100k doubles)\n", quantile_ns);
   std::printf("  agg_add_session       %10.1f\n", agg_ns);
+  std::printf("  series_save           %10.1f  (960-window series)\n", series_save_ns);
+  std::printf("  series_load           %10.1f  (960-window series)\n", series_load_ns);
   std::printf("  coalesce_session      %10.1f  (64 writes)\n", coalesce_ns);
   std::printf("  hd_batch_per_session  %10.1f  (4096-row batch)\n",
               hd_batch_per_session_ns);
@@ -201,6 +221,8 @@ int main(int argc, char** argv) {
   json.add("tdigest_merge_ns", merge_ns);
   json.add("quantile_exact_ns", quantile_ns);
   json.add("agg_add_session_ns", agg_ns);
+  json.add("series_save_ns", series_save_ns);
+  json.add("series_load_ns", series_load_ns);
   json.add("coalesce_session_ns", coalesce_ns);
   json.add("hd_batch_per_session_ns", hd_batch_per_session_ns);
   json.add("batch_append_ns", batch_append_ns);

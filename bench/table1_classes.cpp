@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
   RunStats stats;
-  const auto result =
-      run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime, &stats);
+  const auto result = run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime,
+                                        &stats, {}, rc.cache);
 
   bench::print_paper_note(
       "most degradation is diurnal (destination congestion at peak hours) "
@@ -92,11 +92,6 @@ int main(int argc, char** argv) {
   json.add("opp_rtt_uneventful",
            overall(AnalysisKind::kOpportunityRtt, TemporalClass::kUneventful));
   json.add("groups_analyzed", result.groups_analyzed);
-  json.add("runtime_threads", stats.threads);
-  json.add("runtime_wall_seconds", stats.wall_seconds);
-  json.add("runtime_cpu_seconds", stats.cpu_seconds);
-  json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
-  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
-  json.add("runtime_steals", static_cast<double>(stats.steals));
+  bench::add_runtime_json(json, stats);
   return json.write() ? 0 : 1;
 }

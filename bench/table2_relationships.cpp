@@ -38,7 +38,9 @@ void print_rows(const std::map<std::pair<Relationship, Relationship>, Table2Row>
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
-  const auto result = run_edge_analysis(world, rc.dataset);
+  RunStats stats;
+  const auto result = run_edge_analysis(world, rc.dataset, {}, {}, {}, rc.runtime,
+                                        &stats, {}, rc.cache);
 
   bench::print_paper_note(
       "a significant fraction of opportunity is on same-relationship pairs "
@@ -52,5 +54,16 @@ int main(int argc, char** argv) {
   print_rows(result.table2_hd);
 
   std::printf("\ngroups analyzed: %d\n", result.groups_analyzed);
-  return 0;
+  stats.print("table2_relationships");
+
+  bench::JsonOutput json(rc.json_path);
+  double rtt_total = 0;
+  for (const auto& [pair, row] : result.table2_rtt) rtt_total += row.absolute;
+  double hd_total = 0;
+  for (const auto& [pair, row] : result.table2_hd) hd_total += row.absolute;
+  json.add("table2_rtt_total_opportunity", rtt_total);
+  json.add("table2_hd_total_opportunity", hd_total);
+  json.add("groups_analyzed", result.groups_analyzed);
+  bench::add_runtime_json(json, stats);
+  return json.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "stats/median_ci.h"
 #include "stats/tdigest.h"
 #include "stats/welford.h"
+#include "util/binio.h"
 #include "util/expect.h"
 #include "util/units.h"
 
@@ -70,6 +71,50 @@ class RouteWindowAgg {
     sessions_ += other.sessions_;
   }
 
+  /// Returns the cell to its empty state while keeping the sketches' heap
+  /// buffers — the pooled-reuse primitive (see RouteAggPool).
+  void reset() {
+    minrtt_.reset();
+    hdratio_.reset();
+    minrtt_mean_ = Welford{};
+    hdratio_mean_ = Welford{};
+    traffic_bytes_ = 0;
+    sessions_ = 0;
+  }
+
+  /// Bitwise serialization of the cell (counts, traffic, both Welford
+  /// accumulators, both sketches). load() into any cell — fresh, reset, or
+  /// pooled — reconstructs state whose every query matches save()'s source
+  /// bit-for-bit.
+  void save(ByteWriter& w) const {
+    w.i64(static_cast<std::int64_t>(sessions_));
+    w.i64(traffic_bytes_);
+    for (const Welford* m : {&minrtt_mean_, &hdratio_mean_}) {
+      w.u64(m->count());
+      w.f64(m->mean());
+      w.f64(m->m2());
+    }
+    minrtt_.save(w);
+    hdratio_.save(w);
+  }
+
+  bool load(ByteReader& r) {
+    const std::int64_t sessions = r.i64();
+    traffic_bytes_ = r.i64();
+    Welford means[2];
+    for (Welford& m : means) {
+      const std::uint64_t n = r.u64();
+      const double mean = r.f64();
+      const double m2 = r.f64();
+      m = Welford::from_raw(n, mean, m2);
+    }
+    minrtt_mean_ = means[0];
+    hdratio_mean_ = means[1];
+    if (!minrtt_.load(r) || !hdratio_.load(r) || !r.ok()) return false;
+    sessions_ = static_cast<int>(sessions);
+    return true;
+  }
+
  private:
   TDigest minrtt_;
   TDigest hdratio_;
@@ -81,6 +126,8 @@ class RouteWindowAgg {
 
 /// All routes measured for one (user group, window): index 0 is the
 /// policy-preferred route, 1..k the ranked alternates (§2.2.3).
+class RouteAggPool;
+
 struct WindowAgg {
   std::vector<RouteWindowAgg> routes;
 
@@ -88,6 +135,10 @@ struct WindowAgg {
     if (static_cast<int>(routes.size()) <= index) routes.resize(index + 1);
     return routes[static_cast<std::size_t>(index)];
   }
+
+  /// Like route(), but grows via the pool so reused digests keep their
+  /// heap buffers (defined after RouteAggPool below).
+  RouteWindowAgg& route_pooled(int index, RouteAggPool& pool);
 
   const RouteWindowAgg* route(int index) const {
     if (index < 0 || index >= static_cast<int>(routes.size())) return nullptr;
@@ -147,6 +198,10 @@ class WindowMap {
   const_iterator begin() const { return entries_.begin(); }
   const_iterator end() const { return entries_.end(); }
 
+  /// Drops all windows; the entry vector keeps its capacity so a reused
+  /// map re-fills without reallocating the spine.
+  void clear() { entries_.clear(); }
+
   /// Removes every window for which `pred(window, agg)` is true; returns
   /// how many were removed. Remaining windows keep their ascending order.
   template <typename Pred>
@@ -187,6 +242,54 @@ struct GroupSeries {
   }
 };
 
+/// Free-list of RouteWindowAgg cells. A cell's dominant cost is the heap
+/// buffers inside its two t-digests; recycling cells between groups keeps
+/// those buffers warm, so steady-state ingest of a new group allocates
+/// (almost) nothing. Pooled cells are reset() on the way in, and a reset
+/// cell is behaviorally bit-identical to a fresh one, so pooling cannot
+/// change any analysis output.
+class RouteAggPool {
+ public:
+  /// Takes a cell from the pool (empty state, warm buffers), or constructs
+  /// a fresh one when the pool is dry.
+  RouteWindowAgg get() {
+    if (free_.empty()) return RouteWindowAgg{};
+    RouteWindowAgg cell = std::move(free_.back());
+    free_.pop_back();
+    return cell;
+  }
+
+  /// Resets `cell` and stores it for reuse.
+  void put(RouteWindowAgg&& cell) {
+    cell.reset();
+    free_.push_back(std::move(cell));
+  }
+
+  /// Moves every route cell of `series` into the pool and empties the
+  /// series, leaving it ready to ingest the next group. Routes are
+  /// truncated (not just reset) so a reused series never reports stale
+  /// `routes.size()` to the analysis passes.
+  void recycle(GroupSeries& series);
+
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<RouteWindowAgg> free_;
+};
+
+inline RouteWindowAgg& WindowAgg::route_pooled(int index, RouteAggPool& pool) {
+  while (static_cast<int>(routes.size()) <= index) routes.push_back(pool.get());
+  return routes[static_cast<std::size_t>(index)];
+}
+
+inline void RouteAggPool::recycle(GroupSeries& series) {
+  for (auto& [w, agg] : series.windows) {
+    for (auto& cell : agg.routes) put(std::move(cell));
+    agg.routes.clear();
+  }
+  series.windows.clear();
+}
+
 /// The dataset-wide aggregation store fed by the measurement pipeline.
 class AggregationStore {
  public:
@@ -203,6 +306,10 @@ class AggregationStore {
   const std::unordered_map<UserGroupKey, GroupSeries, UserGroupKeyHash>& groups() const {
     return groups_;
   }
+
+  /// Mutable access for deserialization (ingest-artifact cache): returns
+  /// the series for `key`, creating an empty one if missing.
+  GroupSeries& series_for(const UserGroupKey& key) { return groups_[key]; }
 
   std::size_t group_count() const { return groups_.size(); }
 

@@ -11,8 +11,10 @@ namespace {
 
 /// Picks the window whose metric value is nearest the requested quantile of
 /// the per-window series (only windows meeting the sample minimum count).
-int baseline_window(const GroupSeries& series, bool use_hd, double q, int min_samples) {
-  std::vector<std::pair<double, int>> values;  // (metric, window)
+/// `values` is caller-provided scratch (cleared here, capacity kept).
+int baseline_window(const GroupSeries& series, bool use_hd, double q, int min_samples,
+                    std::vector<std::pair<double, int>>& values) {
+  values.clear();
   for (const auto& [w, agg] : series.windows) {
     const RouteWindowAgg* pref = agg.route(0);
     if (!pref) continue;
@@ -34,12 +36,22 @@ int baseline_window(const GroupSeries& series, bool use_hd, double q, int min_sa
 
 DegradationResult analyze_degradation(const GroupSeries& series,
                                       const ComparisonConfig& config) {
+  DegradationScratch scratch;
   DegradationResult out;
+  analyze_degradation_into(series, config, scratch, out);
+  return out;
+}
+
+void analyze_degradation_into(const GroupSeries& series, const ComparisonConfig& config,
+                              DegradationScratch& scratch, DegradationResult& out) {
+  out.windows.clear();
+  out.baseline_minrtt_p50 = 0;
+  out.baseline_hdratio_p50 = 0;
   // Baseline: best observed performance at stable quantiles (p10 RTT, p90 HD).
   out.baseline_rtt_window = baseline_window(series, /*use_hd=*/false, 0.10,
-                                            config.min_samples);
+                                            config.min_samples, scratch.values);
   out.baseline_hd_window = baseline_window(series, /*use_hd=*/true, 0.90,
-                                           config.min_samples);
+                                           config.min_samples, scratch.values);
 
   const RouteWindowAgg* base_rtt = nullptr;
   const RouteWindowAgg* base_hd = nullptr;
@@ -65,7 +77,6 @@ DegradationResult analyze_degradation(const GroupSeries& series,
     }
     out.windows.push_back(std::move(dw));
   }
-  return out;
 }
 
 }  // namespace fbedge

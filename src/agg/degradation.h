@@ -33,11 +33,25 @@ struct DegradationResult {
   double baseline_hdratio_p50{0};
 };
 
+/// Reusable buffers for analyze_degradation_into: cleared (never shrunk)
+/// per call, so a per-worker instance makes the degradation pass
+/// allocation-free once warm.
+struct DegradationScratch {
+  /// Baseline-candidate (metric, window) pairs.
+  std::vector<std::pair<double, int>> values;
+};
+
 /// Analyzes the preferred route (index 0) of one group's series.
 /// Windows without preferred-route data are skipped. Requires at least
 /// `config.min_samples` in the baseline window; otherwise every comparison
 /// is invalid.
 DegradationResult analyze_degradation(const GroupSeries& series,
                                       const ComparisonConfig& config);
+
+/// As analyze_degradation, but reusing `scratch` and overwriting `out`
+/// in place (out.windows is cleared, not reallocated). Produces bitwise
+/// identical results to the allocating overload.
+void analyze_degradation_into(const GroupSeries& series, const ComparisonConfig& config,
+                              DegradationScratch& scratch, DegradationResult& out);
 
 }  // namespace fbedge

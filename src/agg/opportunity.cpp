@@ -7,6 +7,13 @@ namespace fbedge {
 std::vector<OpportunityWindow> analyze_opportunity(const GroupSeries& series,
                                                    const ComparisonConfig& config) {
   std::vector<OpportunityWindow> out;
+  analyze_opportunity_into(series, config, out);
+  return out;
+}
+
+void analyze_opportunity_into(const GroupSeries& series, const ComparisonConfig& config,
+                              std::vector<OpportunityWindow>& out) {
+  out.clear();
   for (const auto& [w, agg] : series.windows) {
     const RouteWindowAgg* pref = agg.route(0);
     if (!pref || agg.routes.size() < 2) continue;
@@ -44,7 +51,6 @@ std::vector<OpportunityWindow> analyze_opportunity(const GroupSeries& series,
     }
     out.push_back(std::move(ow));
   }
-  return out;
 }
 
 }  // namespace fbedge

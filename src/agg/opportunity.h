@@ -53,4 +53,9 @@ struct OpportunityWindow {
 std::vector<OpportunityWindow> analyze_opportunity(const GroupSeries& series,
                                                    const ComparisonConfig& config);
 
+/// As analyze_opportunity, but refilling `out` in place (cleared, not
+/// reallocated) — bitwise identical results to the allocating overload.
+void analyze_opportunity_into(const GroupSeries& series, const ComparisonConfig& config,
+                              std::vector<OpportunityWindow>& out);
+
 }  // namespace fbedge

@@ -1,0 +1,75 @@
+#include "agg/series_io.h"
+
+namespace fbedge {
+namespace {
+
+// Smallest possible encoded size of one route cell: sessions + traffic
+// (8+8), two Welford triples (2*24), two empty t-digest headers (2*48).
+// Used to bound count fields against the bytes actually remaining, so a
+// corrupt length can never trigger an absurd allocation.
+constexpr std::size_t kMinCellBytes = 8 + 8 + 2 * 24 + 2 * 48;
+constexpr std::size_t kMinWindowBytes = 8 + 4 + kMinCellBytes;
+
+}  // namespace
+
+void save_group_series(const GroupSeries& series, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(series.continent));
+  w.u64(series.windows.size());
+  for (const auto& [window, agg] : series.windows) {
+    w.i64(window);
+    w.u32(static_cast<std::uint32_t>(agg.routes.size()));
+    for (const RouteWindowAgg& cell : agg.routes) cell.save(w);
+  }
+}
+
+bool load_group_series(ByteReader& r, GroupSeries& series, RouteAggPool* pool) {
+  if (pool != nullptr) {
+    pool->recycle(series);
+  } else {
+    series.windows.clear();
+  }
+  const std::uint8_t continent = r.u8();
+  const std::uint64_t window_count = r.u64();
+  if (!r.ok() || continent >= static_cast<std::uint8_t>(kNumContinents) ||
+      window_count > r.remaining() / kMinWindowBytes + 1) {
+    r.fail();
+    return false;
+  }
+  series.continent = static_cast<Continent>(continent);
+  int prev_window = 0;
+  for (std::uint64_t wi = 0; wi < window_count; ++wi) {
+    const std::int64_t window = r.i64();
+    const std::uint32_t route_count = r.u32();
+    if (!r.ok() || route_count > r.remaining() / kMinCellBytes + 1 ||
+        (wi > 0 && window <= prev_window)) {
+      // Windows must arrive strictly ascending — that is what keeps
+      // WindowMap's in-order append path O(1) and iteration sorted.
+      break;
+    }
+    prev_window = static_cast<int>(window);
+    WindowAgg& agg = series.windows[static_cast<int>(window)];
+    bool cells_ok = true;
+    for (std::uint32_t ri = 0; ri < route_count; ++ri) {
+      RouteWindowAgg& cell = pool != nullptr
+                                 ? agg.route_pooled(static_cast<int>(ri), *pool)
+                                 : agg.route(static_cast<int>(ri));
+      if (!cell.load(r)) {
+        cells_ok = false;
+        break;
+      }
+    }
+    if (!cells_ok) break;
+  }
+  if (!r.ok() || series.windows.size() != window_count) {
+    r.fail();
+    if (pool != nullptr) {
+      pool->recycle(series);
+    } else {
+      series.windows.clear();
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fbedge

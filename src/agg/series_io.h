@@ -1,0 +1,37 @@
+// Binary serialization of GroupSeries — the per-group ingest artifact.
+//
+// A saved series round-trips bitwise: every quantile, mean, count, and
+// traffic total read from the loaded series matches the original to the
+// last bit, so analysis on a deserialized artifact is byte-identical to
+// analysis on the freshly ingested one (analysis/ingest_cache.h relies on
+// this). Doubles travel as raw IEEE-754 bit patterns via util/binio.h.
+#pragma once
+
+#include <cstdint>
+
+#include "agg/aggregation.h"
+#include "util/binio.h"
+
+namespace fbedge {
+
+/// Format epoch for ingest artifacts. BUMP POLICY: any change that can
+/// alter the bytes an ingest run produces — the serialization layout
+/// below, RouteWindowAgg/TDigest/Welford state, the generator, sampler,
+/// goodput evaluation, coalescing, or windowing — REQUIRES incrementing
+/// this constant, so stale artifacts from older builds are rejected and
+/// silently re-ingested instead of yielding wrong results. The constant
+/// lives here, next to the serializer, so layout edits and epoch bumps
+/// land in the same diff.
+inline constexpr std::uint32_t kIngestArtifactEpoch = 1;
+
+/// Appends `series` (continent + every window's route cells) to `w`.
+void save_group_series(const GroupSeries& series, ByteWriter& w);
+
+/// Rebuilds `series` from `r`. The series is emptied first (recycling its
+/// cells into `pool` when one is given, and drawing replacement cells from
+/// it, so warm loads into a pooled series allocate almost nothing).
+/// Returns false on truncated or structurally invalid input, leaving
+/// `series` empty and `r` failed; never crashes on corrupt bytes.
+bool load_group_series(ByteReader& r, GroupSeries& series, RouteAggPool* pool = nullptr);
+
+}  // namespace fbedge

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <optional>
+#include <string>
 
+#include "agg/series_io.h"
 #include "agg/window_columns.h"
 #include "faultsim/fault_injector.h"
 #include "routing/policy.h"
@@ -145,6 +148,20 @@ struct EdgeScratch {
   CoalescedSession coalesce_scratch;  // legacy scalar path (fault runs)
   std::vector<WindowObservation> obs;
   WindowColumns cols;
+  /// The group's aggregation series, recycled (not reallocated) between
+  /// groups: route cells return to `pool` with their t-digest buffers
+  /// intact, so steady-state ingest of a new group allocates almost
+  /// nothing. A recycled series is behaviorally identical to a fresh one.
+  GroupSeries series;
+  RouteAggPool pool;
+  /// Serialization buffer for the ingest-artifact cache's cold path.
+  ByteWriter writer;
+  /// Analysis-pass buffers, cleared per group.
+  DegradationScratch degr_scratch;
+  DegradationResult degr;
+  std::vector<OpportunityWindow> opp;
+  std::vector<const DegradationWindow*> degr_by_window;
+  std::vector<const OpportunityWindow*> opp_by_window;
 };
 
 /// Most-preferred alternate (lowest index > 0) with the given relationship;
@@ -221,18 +238,16 @@ struct EdgePartial {
   }
 };
 
-EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generator,
-                          const UserGroupProfile& group,
-                          const AnalysisThresholds& thresholds,
-                          const ComparisonConfig& comparison,
-                          const GoodputConfig& goodput,
-                          const ClassifierConfig& classifier_config,
-                          const FaultPlan& faults) {
-  EdgePartial part;
-  EdgeAnalysisResult& out = part.res;
-
-  // ---- aggregate this group's sessions -----------------------------------
-  GroupSeries series;
+/// The ingest half of the pipeline: simulates this group's sampled
+/// sessions and folds them into `scratch.series` (recycled through
+/// `scratch.pool` first). This is the expensive, cacheable stage — its
+/// product is a pure function of (world, config, goodput, faults), and on
+/// fault-free runs it is exactly what the ingest-artifact cache persists.
+void ingest_group(EdgeScratch& scratch, const DatasetGenerator& generator,
+                  const UserGroupProfile& group, const GoodputConfig& goodput,
+                  const FaultPlan& faults, FaultCounters& fault_counters) {
+  GroupSeries& series = scratch.series;
+  scratch.pool.recycle(series);
   series.continent = group.continent;
   if (!faults.sampler_faults()) {
     // Batched columnar path: one window of sessions at a time through
@@ -257,7 +272,7 @@ EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generato
           for (std::size_t i = 0; i < rows; ++i) {
             if (b.hosting[i] != 0) continue;
             series.windows[window_index(b.established_at[i])]
-                .route(b.route_index[i])
+                .route_pooled(b.route_index[i], scratch.pool)
                 .add_session(b.min_rtt[i], scratch.hd[i].hdratio(), b.total_bytes[i]);
           }
         });
@@ -278,12 +293,25 @@ EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generato
     SamplerFaultStage stage(faults, group.key);
     generator.generate_group(
         group, [&](const SessionSample& s) { stage.apply(s, ingest); });
-    out.faults.accumulate(stage.counters());
+    fault_counters.accumulate(stage.counters());
   }
   if (faults.agg_faults()) {
-    AggFaultStage(faults).apply(series, group_fault_key(group.key), out.faults);
+    AggFaultStage(faults).apply(series, group_fault_key(group.key), fault_counters);
   }
-  if (series.windows.empty()) return part;
+}
+
+/// The analysis half: everything downstream of the per-group series —
+/// degradation, opportunity, temporal classification, Tables 1-2, Fig. 10.
+/// Consumes `series` read-only, so it runs identically on a freshly
+/// ingested series and on one deserialized from the artifact cache.
+void analyze_series_into(EdgeScratch& scratch, const GroupSeries& series,
+                         const UserGroupProfile& group,
+                         const AnalysisThresholds& thresholds,
+                         const ComparisonConfig& comparison,
+                         const ClassifierConfig& classifier_config,
+                         EdgePartial& part) {
+  EdgeAnalysisResult& out = part.res;
+  if (series.windows.empty()) return;
   out.total_traffic += static_cast<double>(series.total_traffic());
   for (const auto& [w, agg] : series.windows) {
     if (const RouteWindowAgg* pref = agg.route(0)) {
@@ -310,8 +338,10 @@ EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generato
   };
 
   // ---- degradation (§5, Fig. 8) ------------------------------------------
-  const DegradationResult degr = analyze_degradation(series, comparison);
-  std::vector<const DegradationWindow*> degr_by_window;
+  analyze_degradation_into(series, comparison, scratch.degr_scratch, scratch.degr);
+  const DegradationResult& degr = scratch.degr;
+  std::vector<const DegradationWindow*>& degr_by_window = scratch.degr_by_window;
+  degr_by_window.clear();
   for (const auto& dw : degr.windows) {
     window_slot(degr_by_window, dw.window) = &dw;
     const double weight = std::max<double>(1, static_cast<double>(dw.traffic));
@@ -330,8 +360,10 @@ EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generato
   }
 
   // ---- opportunity (§6, Fig. 9) ------------------------------------------
-  const auto opp = analyze_opportunity(series, comparison);
-  std::vector<const OpportunityWindow*> opp_by_window;
+  analyze_opportunity_into(series, comparison, scratch.opp);
+  const std::vector<OpportunityWindow>& opp = scratch.opp;
+  std::vector<const OpportunityWindow*>& opp_by_window = scratch.opp_by_window;
+  opp_by_window.clear();
   for (const auto& ow : opp) {
     window_slot(opp_by_window, ow.window) = &ow;
     const double weight = std::max<double>(1, static_cast<double>(ow.traffic));
@@ -482,8 +514,25 @@ EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generato
                   std::max<double>(1, static_cast<double>(agg.total_traffic())));
     }
   }
+}
 
+EdgePartial analyze_group(EdgeScratch& scratch, const DatasetGenerator& generator,
+                          const UserGroupProfile& group,
+                          const AnalysisThresholds& thresholds,
+                          const ComparisonConfig& comparison,
+                          const GoodputConfig& goodput,
+                          const ClassifierConfig& classifier_config,
+                          const FaultPlan& faults) {
+  EdgePartial part;
+  ingest_group(scratch, generator, group, goodput, faults, part.res.faults);
+  analyze_series_into(scratch, scratch.series, group, thresholds, comparison,
+                      classifier_config, part);
   return part;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -493,7 +542,8 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
                                      const ComparisonConfig& comparison,
                                      GoodputConfig goodput,
                                      const RuntimeOptions& runtime,
-                                     RunStats* stats, const FaultPlan& faults) {
+                                     RunStats* stats, const FaultPlan& faults,
+                                     const IngestCacheOptions& cache) {
   ClassifierConfig classifier_config;
   classifier_config.total_windows = config.days * 96;
   // Diurnal detection needs the pattern to repeat on multiple days; scale
@@ -502,6 +552,24 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
 
   DatasetGenerator generator(world, config);
 
+  // Faulted runs bypass the cache entirely — no read, no write. A faulted
+  // series must never be persisted (it would poison fault-free runs), and
+  // serving a clean artifact to a faulted run would silently disable the
+  // injection under test.
+  const bool use_cache = cache.enabled() && !faults.enabled();
+  const std::size_t group_count = world.groups.size();
+  std::uint64_t cache_key = 0;
+  std::string artifact_path;
+  IngestArtifact artifact;
+  bool warm = false;
+  if (use_cache) {
+    cache_key = ingest_cache_key(world, config, goodput);
+    artifact_path = ingest_artifact_path(cache.dir, cache_key);
+    const auto t0 = std::chrono::steady_clock::now();
+    warm = read_ingest_artifact(artifact_path, cache_key, group_count, artifact);
+    if (stats) stats->cache_load_seconds += seconds_since(t0);
+  }
+
   // Map every group to its contribution on the pool, fold in group-id
   // order: the result does not depend on the thread count.
   EdgePartial total;
@@ -509,14 +577,62 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
     // Per-worker EdgeScratch: each worker's batching arenas persist across
     // every group it processes, so the steady-state loop allocates only
     // while an arena is still growing toward its high-water mark.
+    //
+    // Cache plumbing rides the same schedule: on a warm run each group
+    // deserializes its blob instead of ingesting (falling back to cold
+    // ingest if its blob is structurally invalid); on a cold cache-enabled
+    // run each group additionally serializes its series into `blobs[g]`
+    // (each slot written by exactly one task). Both side vectors are
+    // indexed by group id, so neither introduces any cross-thread order
+    // dependence — warm, cold, and uncached runs stay byte-identical.
+    std::vector<std::string> blobs;
+    std::vector<std::uint8_t> blob_loaded;
+    if (use_cache && !warm) blobs.resize(group_count);
+    if (warm) blob_loaded.assign(group_count, 0);
     total = shard_map_reduce_scratch<EdgeScratch>(
         world, runtime, EdgePartial{},
-        [&](EdgeScratch& scratch, const UserGroupProfile& group, std::size_t) {
-          return analyze_group(scratch, generator, group, thresholds, comparison,
-                               goodput, classifier_config, faults);
+        [&](EdgeScratch& scratch, const UserGroupProfile& group, std::size_t g) {
+          if (warm) {
+            const auto [offset, length] = artifact.blobs[g];
+            ByteReader r(artifact.bytes.data() + offset, length);
+            if (load_group_series(r, scratch.series, &scratch.pool) &&
+                r.remaining() == 0) {
+              blob_loaded[g] = 1;
+              EdgePartial part;
+              analyze_series_into(scratch, scratch.series, group, thresholds,
+                                  comparison, classifier_config, part);
+              return part;
+            }
+            // Unusable blob: fall through to cold ingest for this group.
+          }
+          EdgePartial part;
+          ingest_group(scratch, generator, group, goodput, faults, part.res.faults);
+          if (use_cache && !warm) {
+            scratch.writer.clear();
+            save_group_series(scratch.series, scratch.writer);
+            blobs[g] = scratch.writer.data();
+          }
+          analyze_series_into(scratch, scratch.series, group, thresholds,
+                              comparison, classifier_config, part);
+          return part;
         },
         [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
         stats);
+    if (use_cache && stats) {
+      if (warm) {
+        std::uint64_t hits = 0;
+        for (const std::uint8_t ok : blob_loaded) hits += ok;
+        stats->cache_hits += hits;
+        stats->cache_misses += static_cast<std::uint64_t>(group_count) - hits;
+      } else {
+        stats->cache_misses += static_cast<std::uint64_t>(group_count);
+      }
+    }
+    if (use_cache && !warm) {
+      const auto t0 = std::chrono::steady_clock::now();
+      write_ingest_artifact(artifact_path, cache_key, blobs);
+      if (stats) stats->cache_save_seconds += seconds_since(t0);
+    }
   } else {
     // Shard tasks can abort; each group gets the plan's attempt budget and
     // is skipped (reported as lost) when every attempt fails. The abort

@@ -13,6 +13,7 @@
 #include "agg/classifier.h"
 #include "agg/degradation.h"
 #include "agg/opportunity.h"
+#include "analysis/ingest_cache.h"
 #include "analysis/session_metrics.h"
 #include "faultsim/fault_plan.h"
 #include "runtime/pipeline.h"
@@ -127,11 +128,19 @@ struct EdgeAnalysisResult {
 /// groups skipped and reported. The default (zeroed) plan takes exactly
 /// the fault-free code path: outputs are byte-identical to a build without
 /// faultsim in the loop, at any thread count.
+///
+/// `cache` (analysis/ingest_cache.h) persists the per-group ingest product
+/// so later runs with the same (world, config, goodput) skip session
+/// generation entirely. Warm runs are byte-identical to cold runs at any
+/// thread count; any unusable artifact silently falls back to cold ingest.
+/// Runs with any fault injected bypass the cache completely (no read, no
+/// write) — faulted series must never poison or be served from the cache.
 EdgeAnalysisResult run_edge_analysis(
     const World& world, const DatasetConfig& config,
     const AnalysisThresholds& thresholds = {},
     const ComparisonConfig& comparison = {}, GoodputConfig goodput = {},
     const RuntimeOptions& runtime = RuntimeOptions::sequential(),
-    RunStats* stats = nullptr, const FaultPlan& faults = {});
+    RunStats* stats = nullptr, const FaultPlan& faults = {},
+    const IngestCacheOptions& cache = {});
 
 }  // namespace fbedge

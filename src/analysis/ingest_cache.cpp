@@ -1,0 +1,221 @@
+#include "analysis/ingest_cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "agg/series_io.h"
+#include "util/binio.h"
+
+namespace fbedge {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'B', 'E', 'C', 'A', 'C', 'H', 'E'};
+// magic + epoch + key + group count ... trailing checksum.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+
+void hash_route(Fnv64& h, const RouteProfile& rp) {
+  h.u32(rp.route.prefix.addr);
+  h.u32(static_cast<std::uint32_t>(rp.route.prefix.length));
+  h.u64(rp.route.as_path.size());
+  for (const std::uint32_t asn : rp.route.as_path) h.u32(asn);
+  h.u8(static_cast<std::uint8_t>(rp.route.relationship));
+  h.f64(rp.rtt_offset);
+  h.f64(rp.base_loss);
+  h.f64(rp.capacity);
+  h.u8(rp.diurnal_congestion ? 1 : 0);
+  h.f64(rp.peak_extra_delay);
+  h.f64(rp.peak_extra_loss);
+}
+
+void hash_group(Fnv64& h, const UserGroupProfile& g) {
+  h.u32(g.key.pop.value);
+  h.u32(g.key.prefix.addr);
+  h.u32(static_cast<std::uint32_t>(g.key.prefix.length));
+  h.u32(g.key.country.value);
+  h.u8(static_cast<std::uint8_t>(g.continent));
+  h.u32(g.asn.value);
+  h.f64(g.tz_offset_hours);
+  h.f64(g.location.lat);
+  h.f64(g.location.lon);
+  h.f64(g.pop_distance_km);
+  h.u8(g.remote_served ? 1 : 0);
+  h.f64(g.base_rtt);
+  h.f64(g.jitter_mean);
+  h.f64(g.non_hd_fraction);
+  h.f64(g.sessions_per_window);
+  h.f64(g.weight);
+  h.u8(g.dest_diurnal ? 1 : 0);
+  h.f64(g.dest_peak_delay);
+  h.f64(g.dest_peak_loss);
+  h.u64(g.episodes.size());
+  for (const Episode& e : g.episodes) {
+    h.u32(static_cast<std::uint32_t>(e.start_window));
+    h.u32(static_cast<std::uint32_t>(e.end_window));
+    h.u32(static_cast<std::uint32_t>(e.route_index));
+    h.f64(e.extra_delay);
+    h.f64(e.extra_loss);
+  }
+  h.u64(g.routes.size());
+  for (const RouteProfile& rp : g.routes) hash_route(h, rp);
+}
+
+}  // namespace
+
+std::uint64_t ingest_cache_key(const World& world, const DatasetConfig& config,
+                               const GoodputConfig& goodput) {
+  Fnv64 h;
+  h.u32(kIngestArtifactEpoch);
+  // Dataset / sampler knobs the generator reads.
+  h.u64(config.seed);
+  h.u32(static_cast<std::uint32_t>(config.days));
+  h.f64(config.session_scale);
+  h.f64(config.sampler.sample_rate);
+  h.u32(static_cast<std::uint32_t>(config.sampler.num_alternates));
+  h.f64(config.sampler.preferred_fraction);
+  h.u64(config.sampler.salt);
+  h.f64(config.hosting_fraction);
+  h.f64(config.bufferbloat_fraction);
+  // Goodput target (HD evaluation happens at ingest).
+  h.f64(goodput.target_goodput);
+  // The built world, group by group. Hashing the world — not the
+  // WorldConfig — means callers that assembled a world by hand (tests) are
+  // keyed correctly too; build_world is deterministic, so a config maps to
+  // exactly one world content hash.
+  h.u64(world.pops.size());
+  for (const PopInfo& p : world.pops) {
+    h.u32(p.id.value);
+    h.u8(static_cast<std::uint8_t>(p.continent));
+    h.bytes(p.name.data(), p.name.size());
+    h.u8(0);  // name terminator so adjacent strings cannot alias
+  }
+  h.u64(world.groups.size());
+  for (const UserGroupProfile& g : world.groups) hash_group(h, g);
+  return h.value();
+}
+
+std::string ingest_artifact_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx",
+                static_cast<unsigned long long>(key));
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  path += "ingest-";
+  path += name;
+  path += ".fbecache";
+  return path;
+}
+
+bool read_ingest_artifact(const std::string& path, std::uint64_t key,
+                          std::size_t expected_groups, IngestArtifact& artifact) {
+  artifact.bytes.clear();
+  artifact.blobs.clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  if (file_size < static_cast<long>(kHeaderBytes + kChecksumBytes)) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  artifact.bytes.resize(static_cast<std::size_t>(file_size));
+  const std::size_t got =
+      std::fread(artifact.bytes.data(), 1, artifact.bytes.size(), f);
+  std::fclose(f);
+  if (got != artifact.bytes.size()) {
+    artifact.bytes.clear();
+    return false;
+  }
+
+  // Whole-file checksum first: everything before the trailing u64 must
+  // hash to it, so any flipped bit anywhere reads as a miss.
+  const std::size_t body = artifact.bytes.size() - kChecksumBytes;
+  Fnv64 sum;
+  sum.bytes(artifact.bytes.data(), body);
+  ByteReader tail(artifact.bytes.data() + body, kChecksumBytes);
+  if (tail.u64() != sum.value()) {
+    artifact.bytes.clear();
+    return false;
+  }
+
+  ByteReader r(artifact.bytes.data(), body);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    artifact.bytes.clear();
+    return false;
+  }
+  const std::uint32_t epoch = r.u32();
+  const std::uint64_t stored_key = r.u64();
+  const std::uint64_t groups = r.u64();
+  // Each blob costs at least its u64 length prefix, bounding a plausible
+  // group count by the bytes present (a corrupt count cannot trigger an
+  // absurd reserve — the checksum should catch it first, but belt and
+  // braces for hand-built files).
+  if (!r.ok() || epoch != kIngestArtifactEpoch || stored_key != key ||
+      (expected_groups != kAnyGroupCount && groups != expected_groups) ||
+      groups > r.remaining() / 8) {
+    artifact.bytes.clear();
+    return false;
+  }
+  artifact.blobs.reserve(static_cast<std::size_t>(groups));
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const std::uint64_t len = r.u64();
+    if (!r.ok() || len > r.remaining()) {
+      artifact.bytes.clear();
+      artifact.blobs.clear();
+      return false;
+    }
+    artifact.blobs.emplace_back(r.position(), static_cast<std::size_t>(len));
+    r.skip(static_cast<std::size_t>(len));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    artifact.bytes.clear();
+    artifact.blobs.clear();
+    return false;
+  }
+  return true;
+}
+
+bool write_ingest_artifact(const std::string& path, std::uint64_t key,
+                           const std::vector<std::string>& blobs) {
+  ByteWriter w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(kIngestArtifactEpoch);
+  w.u64(key);
+  w.u64(blobs.size());
+  for (const std::string& blob : blobs) {
+    w.u64(blob.size());
+    w.bytes(blob.data(), blob.size());
+  }
+  Fnv64 sum;
+  sum.bytes(w.data().data(), w.size());
+  w.u64(sum.value());
+
+  // Ensure the directory exists (single level is enough for the common
+  // `--cache-dir some/dir` case; deeper prefixes must pre-exist).
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0777);  // EEXIST is fine
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t put = std::fwrite(w.data().data(), 1, w.size(), f);
+  const bool flushed = std::fclose(f) == 0 && put == w.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fbedge

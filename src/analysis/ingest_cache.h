@@ -1,0 +1,77 @@
+// Deterministic ingest-artifact cache: generate once, analyze everywhere.
+//
+// The expensive half of run_edge_analysis is ingest — simulating every
+// sampled session of every group and folding it into per-(window, route)
+// aggregation cells. That product, the per-group GroupSeries, is a pure
+// function of (World, DatasetConfig, GoodputConfig): the analysis knobs
+// (thresholds, comparison config, thread count) only consume it. So the
+// series is cached as a versioned on-disk artifact keyed by a content hash
+// of exactly those inputs plus the format epoch (agg/series_io.h). A warm
+// run loads the artifact, skips ingest entirely, and — because
+// serialization round-trips bitwise — produces byte-identical output to
+// the cold run at any thread count. Five edge benches share one artifact.
+//
+// Failure policy: the cache can only ever make a run faster, never wrong
+// and never dead. A missing, truncated, checksum-failing, wrong-epoch, or
+// wrong-key artifact reads as a miss and the run falls back to cold
+// ingest; a failed write is reported in counters and otherwise ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "goodput/hdratio.h"
+#include "workload/generator.h"
+#include "workload/world.h"
+
+namespace fbedge {
+
+/// Cache knobs threaded from the CLI (`--cache-dir`, FBEDGE_CACHE_DIR)
+/// into run_edge_analysis. Default (empty dir) disables caching entirely.
+struct IngestCacheOptions {
+  /// Directory holding artifacts; created on first write. Empty = off.
+  std::string dir;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Content hash of everything ingest depends on: the built world (groups,
+/// routes, episodes, condition processes), the dataset/sampler config, the
+/// goodput target, and the artifact format epoch. Two runs with equal keys
+/// produce byte-identical ingest artifacts.
+std::uint64_t ingest_cache_key(const World& world, const DatasetConfig& config,
+                               const GoodputConfig& goodput);
+
+/// Artifact file path for a key inside `dir`.
+std::string ingest_artifact_path(const std::string& dir, std::uint64_t key);
+
+/// A loaded artifact: `bytes` owns the file contents, `blobs` holds each
+/// group's serialized GroupSeries as (offset, length) into `bytes`, in
+/// group-id order.
+struct IngestArtifact {
+  std::string bytes;
+  std::vector<std::pair<std::size_t, std::size_t>> blobs;
+};
+
+/// Pass as `expected_groups` when the blob count is not known up front
+/// (tools/fbedge_analyze keys by input-file hash; the count is in the
+/// artifact itself).
+inline constexpr std::size_t kAnyGroupCount = static_cast<std::size_t>(-1);
+
+/// Loads and validates the artifact at `path`. Returns false — leaving
+/// `artifact` empty — unless the file exists, carries the current format
+/// epoch, matches `key` and `expected_groups` (kAnyGroupCount accepts any
+/// count), and passes its whole-file checksum. Never crashes on corrupt
+/// bytes.
+bool read_ingest_artifact(const std::string& path, std::uint64_t key,
+                          std::size_t expected_groups, IngestArtifact& artifact);
+
+/// Atomically writes an artifact (temp file + rename, so readers never see
+/// a partial file) containing one blob per group in group-id order.
+/// Returns false on I/O failure (the run simply stays uncached).
+bool write_ingest_artifact(const std::string& path, std::uint64_t key,
+                           const std::vector<std::string>& blobs);
+
+}  // namespace fbedge

@@ -80,6 +80,14 @@ struct RunStats {
   /// Process peak RSS observed at the end of the run (monotone high-water
   /// mark, not a per-phase delta).
   std::uint64_t peak_rss_bytes{0};
+  /// Ingest-artifact cache observability (analysis/ingest_cache.h): groups
+  /// served from a cached artifact vs. groups that had to cold-ingest.
+  /// Both stay zero when no cache directory is configured.
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+  /// Wall time spent reading/validating and writing cache artifacts.
+  double cache_load_seconds{0};
+  double cache_save_seconds{0};
   std::vector<ShardStats> shards;
   FaultCounters faults;
 
@@ -101,6 +109,10 @@ struct RunStats {
     alloc_count += other.alloc_count;
     alloc_bytes += other.alloc_bytes;
     if (other.peak_rss_bytes > peak_rss_bytes) peak_rss_bytes = other.peak_rss_bytes;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_load_seconds += other.cache_load_seconds;
+    cache_save_seconds += other.cache_save_seconds;
     faults.accumulate(other.faults);
     if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
     for (std::size_t s = 0; s < other.shards.size(); ++s) {
@@ -123,6 +135,13 @@ struct RunStats {
                  static_cast<unsigned long long>(alloc_count),
                  static_cast<double>(alloc_bytes) / (1024.0 * 1024.0),
                  static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+    if (cache_hits > 0 || cache_misses > 0) {
+      std::fprintf(out,
+                   "[runtime]   cache: hits=%llu misses=%llu load=%.3fs save=%.3fs\n",
+                   static_cast<unsigned long long>(cache_hits),
+                   static_cast<unsigned long long>(cache_misses),
+                   cache_load_seconds, cache_save_seconds);
+    }
     for (std::size_t s = 0; s < shards.size(); ++s) {
       std::fprintf(out, "[runtime]   shard %zu: tasks=%llu steals=%llu busy=%.3fs\n",
                    s, static_cast<unsigned long long>(shards[s].tasks),

@@ -17,6 +17,11 @@ namespace fbedge {
 /// arbitrary x or inverted at a quantile.
 class WeightedCdf {
  public:
+  struct Point {
+    double value;
+    double weight;
+  };
+
   void add(double value, double weight = 1.0) {
     FBEDGE_EXPECT(weight > 0, "cdf weight must be positive");
     points_.push_back({value, weight});
@@ -78,12 +83,19 @@ class WeightedCdf {
     return total_weight_;
   }
 
- private:
-  struct Point {
-    double value;
-    double weight;
-  };
+  /// Raw points in current storage order — the serialization view. Saving
+  /// these verbatim and restoring via assign_points() reproduces a cdf
+  /// whose every query is bitwise identical (the sort runs over the same
+  /// sequence either way).
+  const std::vector<Point>& points() const { return points_; }
 
+  /// Replaces the point set (deserialization); queries re-sort lazily.
+  void assign_points(std::vector<Point> points) {
+    points_ = std::move(points);
+    sorted_ = false;
+  }
+
+ private:
   void ensure_sorted() const {
     if (sorted_) return;
     std::sort(points_.begin(), points_.end(),

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "stats/quantiles.h"
 #include "util/expect.h"
 
 namespace fbedge {
@@ -59,31 +58,77 @@ MedianBracket median_bracket(double n, double alpha) {
   return {lo - 1.0, hi - 1.0};  // convert to 0-based
 }
 
-double value_at_pos(const std::vector<double>& sorted, double pos) {
-  pos = std::clamp(pos, 0.0, static_cast<double>(sorted.size() - 1));
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-}
-
 // Standard error of the median recovered from its order-statistic interval.
 double median_se(const ConfidenceInterval& ci, double alpha) {
   const double z = normal_quantile(0.5 + alpha / 2.0);
   return ci.width() / (2.0 * z);
 }
 
+// The interval needs the sample values at three fractional positions
+// (median, bracket low, bracket high), i.e. at most six order statistics.
+// Rather than sorting the whole scratch buffer, each needed rank is placed
+// with nth_element restricted to the segment between the nearest
+// already-placed ranks (nth_element leaves the buffer partitioned around
+// every rank it has placed). O(n) total instead of O(n log n), and an
+// exact order statistic is the same double either way, so results match
+// the former full sort bit-for-bit.
+class OrderStatSelector {
+ public:
+  explicit OrderStatSelector(std::vector<double>& scratch) : v_(scratch) {}
+
+  // Interpolated value at fractional 0-based position `pos` (the formula of
+  // quantile_sorted / the former value_at_pos, verbatim).
+  double at(double pos) {
+    pos = std::clamp(pos, 0.0, static_cast<double>(v_.size() - 1));
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double lo_v = rank(lo);
+    const double hi_v = rank(hi);
+    return lo_v + frac * (hi_v - lo_v);
+  }
+
+ private:
+  double rank(std::size_t k) {
+    std::size_t from = 0, to = v_.size();
+    for (const std::size_t p : placed_) {
+      if (p == k) return v_[k];
+      if (p < k) {
+        from = std::max(from, p + 1);
+      } else {
+        to = std::min(to, p);
+      }
+    }
+    std::nth_element(v_.begin() + static_cast<std::ptrdiff_t>(from),
+                     v_.begin() + static_cast<std::ptrdiff_t>(k),
+                     v_.begin() + static_cast<std::ptrdiff_t>(to));
+    placed_.push_back(k);
+    return v_[k];
+  }
+
+  std::vector<double>& v_;
+  std::vector<std::size_t> placed_;
+};
+
+ConfidenceInterval ci_from_scratch(std::vector<double>& scratch, double alpha) {
+  FBEDGE_EXPECT(scratch.size() >= 5, "median CI needs >= 5 samples");
+  const auto bracket = median_bracket(static_cast<double>(scratch.size()), alpha);
+  const double median_pos = 0.5 * static_cast<double>(scratch.size() - 1);
+  OrderStatSelector sel(scratch);
+  ConfidenceInterval ci;
+  ci.estimate = sel.at(median_pos);
+  ci.lower = sel.at(bracket.lo_pos);
+  ci.upper = sel.at(bracket.hi_pos);
+  return ci;
+}
+
 }  // namespace
 
-ConfidenceInterval median_confidence_interval(std::vector<double> values, double alpha) {
-  FBEDGE_EXPECT(values.size() >= 5, "median CI needs >= 5 samples");
-  std::sort(values.begin(), values.end());
-  const auto bracket = median_bracket(static_cast<double>(values.size()), alpha);
-  ConfidenceInterval ci;
-  ci.estimate = median_sorted(values);
-  ci.lower = value_at_pos(values, bracket.lo_pos);
-  ci.upper = value_at_pos(values, bracket.hi_pos);
-  return ci;
+ConfidenceInterval median_confidence_interval(std::span<const double> values,
+                                              std::vector<double>& scratch,
+                                              double alpha) {
+  scratch.assign(values.begin(), values.end());
+  return ci_from_scratch(scratch, alpha);
 }
 
 ConfidenceInterval median_confidence_interval(const TDigest& digest, double alpha) {
@@ -115,10 +160,12 @@ ConfidenceInterval combine_difference(const ConfidenceInterval& ca,
 
 }  // namespace
 
-ConfidenceInterval median_difference_interval(std::vector<double> a, std::vector<double> b,
+ConfidenceInterval median_difference_interval(std::span<const double> a,
+                                              std::span<const double> b,
+                                              std::vector<double>& scratch,
                                               double alpha) {
-  const auto ca = median_confidence_interval(std::move(a), alpha);
-  const auto cb = median_confidence_interval(std::move(b), alpha);
+  const auto ca = median_confidence_interval(a, scratch, alpha);
+  const auto cb = median_confidence_interval(b, scratch, alpha);
   return combine_difference(ca, cb, alpha);
 }
 

@@ -9,6 +9,7 @@
 // bound of the interval against a threshold.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "stats/tdigest.h"
@@ -31,7 +32,14 @@ struct ConfidenceInterval {
 /// u = n - l + 1 (1-based) bracket the median with coverage >= alpha by the
 /// binomial argument; values are interpolated from the sorted sample.
 /// Requires n >= 5; alpha in (0, 1), default 0.95.
-ConfidenceInterval median_confidence_interval(std::vector<double> values,
+///
+/// `values` is copied into `scratch` (whose capacity is reused across
+/// calls) and the handful of bracketing order statistics are selected with
+/// std::nth_element — O(n) per call instead of a full sort, and an exact
+/// order statistic is an exact order statistic either way, so the interval
+/// is bitwise identical to the sort-based computation.
+ConfidenceInterval median_confidence_interval(std::span<const double> values,
+                                              std::vector<double>& scratch,
                                               double alpha = 0.95);
 
 /// Same interval computed from a t-digest sketch instead of raw samples,
@@ -44,8 +52,11 @@ ConfidenceInterval median_confidence_interval(const TDigest& digest, double alph
 ///
 /// The standard error of each median is recovered from its order-statistic
 /// interval (se = width / (2 z)); the difference interval is
-/// (m_a - m_b) +/- z * sqrt(se_a^2 + se_b^2).
-ConfidenceInterval median_difference_interval(std::vector<double> a, std::vector<double> b,
+/// (m_a - m_b) +/- z * sqrt(se_a^2 + se_b^2). `scratch` is reused for both
+/// sides' selections.
+ConfidenceInterval median_difference_interval(std::span<const double> a,
+                                              std::span<const double> b,
+                                              std::vector<double>& scratch,
                                               double alpha = 0.95);
 
 /// Sketch-based version of the above.

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "util/expect.h"
@@ -42,10 +43,33 @@ inline double quantile(std::vector<double> values, double q) {
   return lo_v + frac * (hi_v - lo_v);
 }
 
+/// Allocation-free variant for hot loops: copies `values` into `scratch`
+/// (reusing its capacity) and selects in place. Same result, bit-for-bit,
+/// as the by-value overload.
+inline double quantile(std::span<const double> values, std::vector<double>& scratch,
+                       double q) {
+  scratch.assign(values.begin(), values.end());
+  FBEDGE_EXPECT(!scratch.empty(), "quantile of empty sample");
+  if (scratch.size() == 1) return scratch[0];
+  const double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(scratch.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const auto lo_it = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), lo_it, scratch.end());
+  const double lo_v = *lo_it;
+  if (lo + 1 >= scratch.size()) return lo_v;
+  const double hi_v = *std::min_element(lo_it + 1, scratch.end());
+  return lo_v + frac * (hi_v - lo_v);
+}
+
 inline double median_sorted(const std::vector<double>& sorted) {
   return quantile_sorted(sorted, 0.5);
 }
 
 inline double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+inline double median(std::span<const double> values, std::vector<double>& scratch) {
+  return quantile(values, scratch, 0.5);
+}
 
 }  // namespace fbedge

@@ -127,6 +127,65 @@ const std::vector<TDigest::Centroid>& TDigest::centroids() const {
   return centroids_;
 }
 
+void TDigest::reset() {
+  centroids_.clear();
+  buffer_.clear();
+  total_weight_ = 0;
+  unmerged_weight_ = 0;
+  count_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void TDigest::save(ByteWriter& w) const {
+  compress();
+  w.f64(compression_);
+  w.u64(static_cast<std::uint64_t>(count_));
+  w.f64(total_weight_);
+  w.f64(min_);
+  w.f64(max_);
+  w.u64(static_cast<std::uint64_t>(centroids_.size()));
+  for (const Centroid& c : centroids_) {
+    w.f64(c.mean);
+    w.f64(c.weight);
+  }
+}
+
+bool TDigest::load(ByteReader& r) {
+  reset();
+  const double compression = r.f64();
+  const std::uint64_t count = r.u64();
+  const double total_weight = r.f64();
+  const double min = r.f64();
+  const double max = r.f64();
+  const std::uint64_t n = r.u64();
+  // Structural validation: a centroid is 16 bytes, so a count the stream
+  // cannot possibly hold marks a corrupt length field (prevents a huge
+  // reserve from a few flipped bits).
+  if (!r.ok() || !(compression >= 20.0) || n > r.remaining() / 16) {
+    r.fail();
+    return false;
+  }
+  compression_ = compression;
+  buffer_limit_ = static_cast<std::size_t>(compression * 4);
+  centroids_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Centroid c;
+    c.mean = r.f64();
+    c.weight = r.f64();
+    centroids_.push_back(c);
+  }
+  if (!r.ok()) {
+    reset();
+    return false;
+  }
+  count_ = static_cast<std::size_t>(count);
+  total_weight_ = total_weight;
+  min_ = min;
+  max_ = max;
+  return true;
+}
+
 double TDigest::quantile(double q) const {
   compress();
   if (centroids_.empty()) return kNaN;

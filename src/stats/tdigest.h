@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/binio.h"
 #include "util/expect.h"
 
 namespace fbedge {
@@ -87,6 +88,25 @@ class TDigest {
 
   /// Read-only view of the merged centroids (compresses first).
   const std::vector<Centroid>& centroids() const;
+
+  /// Returns the digest to its empty post-construction state while keeping
+  /// every internal buffer's capacity — the reuse primitive behind the
+  /// per-worker aggregation pools (a reset digest produces bit-identical
+  /// results to a freshly constructed one with the same compression).
+  void reset();
+
+  /// Appends the compressed state (compression, count, weight, min/max,
+  /// centroid list) to `w` as raw little-endian bit patterns. save() then
+  /// load() reconstructs a digest whose every subsequent query is bitwise
+  /// identical to this one's — compress() runs first, and a compressed
+  /// digest's behavior is a pure function of the serialized fields.
+  void save(ByteWriter& w) const;
+
+  /// Replaces this digest's state from `r` (keeping buffer capacity, so
+  /// pooled digests deserialize without allocating once warm). Returns
+  /// false — leaving the digest reset-empty — on truncated input or
+  /// structurally invalid fields; never crashes on corrupt bytes.
+  bool load(ByteReader& r);
 
  private:
   /// Merges the sorted `run` with the sorted `centroids_` and rebuilds the

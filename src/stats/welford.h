@@ -34,6 +34,22 @@ class Welford {
   std::uint64_t count() const { return n_; }
   double mean() const { return mean_; }
 
+  /// Raw sum of squared deviations, exposed (with mean/count) so the
+  /// accumulator state can be serialized bitwise (agg/series_io).
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from previously captured raw state. The
+  /// triple is stored verbatim, so save -> from_raw round-trips bitwise
+  /// for any payload (including non-finite values from corrupt input —
+  /// downstream validity checks, not this type, reject those).
+  static Welford from_raw(std::uint64_t n, double mean, double m2) {
+    Welford w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    return w;
+  }
+
   /// Sample variance (n-1 denominator); 0 for fewer than 2 points.
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;

@@ -1,0 +1,128 @@
+// Bitwise-exact little-endian binary encoding for cache artifacts.
+//
+// Every multi-byte value is written byte-by-byte in little-endian order, so
+// artifacts are portable across hosts regardless of native endianness, and
+// doubles travel as their raw IEEE-754 bit patterns — NaN payloads, ±inf,
+// and negative zero round-trip bit-for-bit (never through text formatting).
+// ByteReader never throws and never reads out of bounds: any overrun or
+// failed validation latches `ok() == false` and subsequent reads return
+// zeros, so corrupt artifacts degrade into a rejected load, not a crash.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fbedge {
+
+/// FNV-1a 64-bit running hash; doubles as the artifact checksum and the
+/// cache-key content hash (util layer so every module can key artifacts).
+class Fnv64 {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_{0xcbf29ce484222325ULL};
+};
+
+/// Append-only little-endian encoder into an owned byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Raw IEEE-754 bits; bitwise round-trip for every payload incl. NaNs.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& data() const { return out_; }
+  std::size_t size() const { return out_.size(); }
+  /// Clears content but keeps capacity (serialization scratch reuse).
+  void clear() { out_.clear(); }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t n)
+      : data_(static_cast<const unsigned char*>(data)), size_(n) {}
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Advances past `n` bytes (latching failure if fewer remain).
+  void skip(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+  /// Marks the stream failed (validation found an inconsistency).
+  void fail() { ok_ = false; }
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace fbedge

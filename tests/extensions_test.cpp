@@ -308,9 +308,9 @@ TEST(MeanComparison, TailSkewMovesMeanNotMedian) {
 
 TEST(Bootstrap, MedianCiMatchesClosedForm) {
   Rng rng(7);
-  std::vector<double> xs;
+  std::vector<double> xs, scratch;
   for (int i = 0; i < 400; ++i) xs.push_back(rng.lognormal(std::log(40.0), 0.4));
-  const auto closed = median_confidence_interval(xs);
+  const auto closed = median_confidence_interval(xs, scratch);
   const auto boot = bootstrap_ci(
       xs, [](std::vector<double>& v) { return median(std::move(v)); }, 800);
   EXPECT_NEAR(boot.estimate, closed.estimate, 1e-9);
@@ -320,12 +320,12 @@ TEST(Bootstrap, MedianCiMatchesClosedForm) {
 
 TEST(Bootstrap, MedianDifferenceMatchesPriceBonett) {
   Rng rng(8);
-  std::vector<double> a, b;
+  std::vector<double> a, b, scratch;
   for (int i = 0; i < 300; ++i) {
     a.push_back(rng.normal(60, 6));
     b.push_back(rng.normal(50, 6));
   }
-  const auto pb = median_difference_interval(a, b);
+  const auto pb = median_difference_interval(a, b, scratch);
   const auto boot = bootstrap_median_difference(a, b, 800);
   EXPECT_NEAR(boot.estimate, pb.estimate, 1e-9);
   EXPECT_NEAR(boot.lower, pb.lower, 1.5);

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -692,6 +693,52 @@ TEST(FaultsimEndToEnd, CountersMatchInjectedFaultsExactly) {
   EXPECT_TRUE(result.faults.any());
   EXPECT_GT(result.faults.lost_groups, 0u);
   EXPECT_LT(result.faults.lost_groups, world.groups.size());
+}
+
+TEST(FaultsimEndToEnd, FaultedRunsBypassTheIngestCache) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+  const IngestCacheOptions cache{::testing::TempDir() + "fbedge_fault_cache"};
+  const std::string path =
+      ingest_artifact_path(cache.dir, ingest_cache_key(world, dc, {}));
+  std::remove(path.c_str());
+
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.window_drop_rate = 0.1;  // any nonzero rate disables the cache
+
+  // 1. A faulted run must not WRITE an artifact (faulted series would
+  // poison every later zero-fault run with the same key).
+  RunStats stats;
+  const auto faulted = run_edge_analysis(world, dc, {}, {}, {},
+                                         RuntimeOptions::sequential(), &stats,
+                                         plan, cache);
+  EXPECT_TRUE(faulted.faults.any());
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "faulted run wrote an artifact";
+  if (f) std::fclose(f);
+
+  // 2. With a valid zero-fault artifact present, a faulted run must not
+  // READ it either: its output must equal a cache-less faulted run.
+  run_edge_analysis(world, dc, {}, {}, {}, RuntimeOptions::sequential(),
+                    nullptr, {}, cache);  // zero-fault run seeds the artifact
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+
+  RunStats seeded_stats;
+  const auto faulted_again = run_edge_analysis(world, dc, {}, {}, {},
+                                               RuntimeOptions::sequential(),
+                                               &seeded_stats, plan, cache);
+  EXPECT_EQ(seeded_stats.cache_hits, 0u);
+  EXPECT_EQ(seeded_stats.cache_misses, 0u);
+  expect_results_eq(faulted, faulted_again);
+  const auto no_cache = run_edge_analysis(world, dc, {}, {}, {},
+                                          RuntimeOptions::sequential(), nullptr,
+                                          plan);
+  expect_results_eq(faulted, no_cache);
 }
 
 TEST(FaultsimEndToEnd, TotalPopOutageDegradesToEmptyResult) {

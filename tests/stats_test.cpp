@@ -582,9 +582,9 @@ TEST(NormalQuantile, KnownValues) {
 
 TEST(MedianCi, ContainsSampleMedian) {
   Rng rng(11);
-  std::vector<double> xs;
+  std::vector<double> xs, scratch;
   for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50, 10));
-  const auto ci = median_confidence_interval(xs);
+  const auto ci = median_confidence_interval(xs, scratch);
   EXPECT_LE(ci.lower, ci.estimate);
   EXPECT_GE(ci.upper, ci.estimate);
   EXPECT_NEAR(ci.estimate, 50.0, 2.0);
@@ -596,10 +596,11 @@ TEST(MedianCi, CoverageNearNominal) {
   Rng rng(17);
   int covered = 0;
   const int trials = 400;
+  std::vector<double> scratch;
   for (int t = 0; t < trials; ++t) {
     std::vector<double> xs;
     for (int i = 0; i < 81; ++i) xs.push_back(rng.normal(0, 1));
-    const auto ci = median_confidence_interval(xs, 0.95);
+    const auto ci = median_confidence_interval(xs, scratch, 0.95);
     if (ci.contains(0.0)) ++covered;
   }
   const double coverage = static_cast<double>(covered) / trials;
@@ -609,24 +610,25 @@ TEST(MedianCi, CoverageNearNominal) {
 
 TEST(MedianCi, WidthShrinksWithSampleSize) {
   Rng rng(23);
+  std::vector<double> scratch;
   auto make = [&](int n) {
     std::vector<double> xs;
     for (int i = 0; i < n; ++i) xs.push_back(rng.normal(0, 1));
-    return median_confidence_interval(xs).width();
+    return median_confidence_interval(xs, scratch).width();
   };
   EXPECT_GT(make(50), make(5000));
 }
 
 TEST(MedianCi, SketchAgreesWithExact) {
   Rng rng(31);
-  std::vector<double> xs;
+  std::vector<double> xs, scratch;
   TDigest d;
   for (int i = 0; i < 5000; ++i) {
     const double v = rng.lognormal(2, 0.5);
     xs.push_back(v);
     d.add(v);
   }
-  const auto exact = median_confidence_interval(xs);
+  const auto exact = median_confidence_interval(xs, scratch);
   const auto sketch = median_confidence_interval(d);
   EXPECT_NEAR(sketch.estimate, exact.estimate, 0.05 * exact.estimate);
   EXPECT_NEAR(sketch.lower, exact.lower, 0.1 * exact.estimate);
@@ -635,12 +637,12 @@ TEST(MedianCi, SketchAgreesWithExact) {
 
 TEST(MedianDifference, DetectsShift) {
   Rng rng(41);
-  std::vector<double> a, b;
+  std::vector<double> a, b, scratch;
   for (int i = 0; i < 300; ++i) {
     a.push_back(rng.normal(60, 5));
     b.push_back(rng.normal(50, 5));
   }
-  const auto ci = median_difference_interval(a, b);
+  const auto ci = median_difference_interval(a, b, scratch);
   EXPECT_NEAR(ci.estimate, 10.0, 2.0);
   EXPECT_GT(ci.lower, 5.0);  // clearly positive
 }
@@ -649,16 +651,54 @@ TEST(MedianDifference, NoFalseShiftOnEqualDistributions) {
   Rng rng(43);
   int false_positive = 0;
   const int trials = 200;
+  std::vector<double> scratch;
   for (int t = 0; t < trials; ++t) {
     std::vector<double> a, b;
     for (int i = 0; i < 100; ++i) {
       a.push_back(rng.normal(50, 5));
       b.push_back(rng.normal(50, 5));
     }
-    const auto ci = median_difference_interval(a, b);
+    const auto ci = median_difference_interval(a, b, scratch);
     if (!ci.contains(0.0)) ++false_positive;
   }
   EXPECT_LE(false_positive, trials / 10);  // ~5% nominal
+}
+
+TEST(MedianCi, SelectionMatchesFullSortBitwise) {
+  // The nth_element-based selector must reproduce the full-sort reference
+  // computation exactly — same order statistics, same interpolation — so
+  // every CI is bitwise identical to the pre-selection implementation.
+  Rng rng(53);
+  std::vector<double> scratch;
+  for (const int n : {5, 6, 7, 30, 81, 500, 4097}) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(1, 0.8));
+    // duplicate-heavy variant exercises equal-element partitions too
+    for (int i = 0; i < n / 3; ++i) xs[static_cast<std::size_t>(i)] = 7.25;
+    for (const double alpha : {0.5, 0.8, 0.95, 0.999}) {
+      // Reference: full sort + interpolated order statistics.
+      std::vector<double> sorted = xs;
+      std::sort(sorted.begin(), sorted.end());
+      const double z = normal_quantile(0.5 + alpha / 2.0);
+      const double half_width = z * std::sqrt(static_cast<double>(n)) / 2.0;
+      const double lo_pos =
+          std::max(1.0, static_cast<double>(n) / 2.0 - half_width) - 1.0;
+      const double hi_pos =
+          std::min(static_cast<double>(n),
+                   static_cast<double>(n) / 2.0 + half_width + 1.0) - 1.0;
+      auto at = [&](double pos) {
+        pos = std::clamp(pos, 0.0, static_cast<double>(n - 1));
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+      };
+      const auto ci = median_confidence_interval(xs, scratch, alpha);
+      EXPECT_EQ(ci.estimate, at(0.5 * (n - 1)));
+      EXPECT_EQ(ci.lower, at(lo_pos));
+      EXPECT_EQ(ci.upper, at(hi_pos));
+    }
+  }
 }
 
 TEST(MedianDifference, SketchDetectsShiftToo) {

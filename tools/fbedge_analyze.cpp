@@ -3,94 +3,249 @@
 // it: hosting filter, §3.2.5 coalescing, HDratio evaluation, and a
 // Figure 6-style summary plus a per-group opportunity scan.
 //
-// Usage: fbedge_analyze [--threads T] [FILE]   (reads stdin if no file)
+// Usage: fbedge_analyze [--threads T] [--cache-dir DIR] [FILE]
+//        (reads stdin if no file)
+//
+// With --cache-dir (or FBEDGE_CACHE_DIR) and a FILE argument, the parsed
+// ingest state (counters, summary CDFs, and every group's aggregation
+// series) is persisted keyed by a content hash of the input bytes; a rerun
+// over the same file skips parsing entirely and prints identical output.
+// Stdin input is never cached (no stable identity to key on).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "agg/series_io.h"
+#include "analysis/ingest_cache.h"
 #include "fbedge/fbedge.h"
 
 using namespace fbedge;
 
+namespace {
+
+/// Everything the analysis below needs from ingest — the cacheable state.
+struct IngestState {
+  WeightedCdf minrtt, hdratio;
+  AggregationStore store;
+  std::uint64_t sessions = 0, filtered = 0, malformed = 0;
+};
+
+void save_cdf(const WeightedCdf& cdf, ByteWriter& w) {
+  w.u64(cdf.points().size());
+  for (const auto& p : cdf.points()) {
+    w.f64(p.value);
+    w.f64(p.weight);
+  }
+}
+
+bool load_cdf(ByteReader& r, WeightedCdf& cdf) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > r.remaining() / 16) return false;
+  std::vector<WeightedCdf::Point> points;
+  points.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WeightedCdf::Point p;
+    p.value = r.f64();
+    p.weight = r.f64();
+    points.push_back(p);
+  }
+  if (!r.ok()) return false;
+  cdf.assign_points(std::move(points));
+  return true;
+}
+
+/// Artifact layout: blob 0 is the header (counters + summary CDFs), blobs
+/// 1..N each hold one group's key followed by its serialized series, in
+/// ascending key order so the artifact bytes are independent of the
+/// unordered_map's iteration order.
+std::vector<std::string> serialize_state(const IngestState& state) {
+  std::vector<std::string> blobs;
+  ByteWriter w;
+  w.u64(state.sessions);
+  w.u64(state.filtered);
+  w.u64(state.malformed);
+  save_cdf(state.minrtt, w);
+  save_cdf(state.hdratio, w);
+  blobs.push_back(w.take());
+
+  std::vector<const std::pair<const UserGroupKey, GroupSeries>*> entries;
+  entries.reserve(state.store.group_count());
+  for (const auto& entry : state.store.groups()) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    const UserGroupKey& ka = a->first;
+    const UserGroupKey& kb = b->first;
+    if (ka.pop.value != kb.pop.value) return ka.pop.value < kb.pop.value;
+    if (ka.prefix.addr != kb.prefix.addr) return ka.prefix.addr < kb.prefix.addr;
+    if (ka.prefix.length != kb.prefix.length) return ka.prefix.length < kb.prefix.length;
+    return ka.country.value < kb.country.value;
+  });
+  for (const auto* entry : entries) {
+    w.clear();
+    w.u32(entry->first.pop.value);
+    w.u32(entry->first.prefix.addr);
+    w.u32(static_cast<std::uint32_t>(entry->first.prefix.length));
+    w.u32(entry->first.country.value);
+    save_group_series(entry->second, w);
+    blobs.push_back(w.take());
+  }
+  return blobs;
+}
+
+bool deserialize_state(const IngestArtifact& artifact, IngestState& state) {
+  if (artifact.blobs.empty()) return false;
+  {
+    const auto [offset, length] = artifact.blobs.front();
+    ByteReader r(artifact.bytes.data() + offset, length);
+    state.sessions = r.u64();
+    state.filtered = r.u64();
+    state.malformed = r.u64();
+    if (!load_cdf(r, state.minrtt) || !load_cdf(r, state.hdratio) || !r.ok() ||
+        r.remaining() != 0) {
+      return false;
+    }
+  }
+  for (std::size_t i = 1; i < artifact.blobs.size(); ++i) {
+    const auto [offset, length] = artifact.blobs[i];
+    ByteReader r(artifact.bytes.data() + offset, length);
+    UserGroupKey key;
+    key.pop = PopId{r.u32()};
+    key.prefix.addr = r.u32();
+    key.prefix.length = static_cast<int>(r.u32());
+    key.country = CountryId{r.u32()};
+    if (!r.ok() ||
+        !load_group_series(r, state.store.series_for(key), nullptr) ||
+        r.remaining() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Content hash of the input dataset bytes (plus the format epoch and a
+/// tool tag so edge-analysis artifacts can never collide with these).
+std::uint64_t dataset_cache_key(const std::string& data) {
+  Fnv64 h;
+  h.u32(kIngestArtifactEpoch);
+  h.bytes("fbedge_analyze", 14);
+  h.u64(data.size());
+  h.bytes(data.data(), data.size());
+  return h.value();
+}
+
+void ingest_lines(std::istream& in, IngestState& state) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto sample = parse_sample(line);
+    if (!sample) {
+      ++state.malformed;
+      continue;
+    }
+    if (!SessionSampler::keep_for_analysis(sample->client)) {
+      ++state.filtered;
+      continue;
+    }
+    ++state.sessions;
+    const SessionMetrics m = compute_session_metrics(*sample);
+    if (sample->route_index == 0) {
+      state.minrtt.add(m.min_rtt);
+      if (m.hdratio) state.hdratio.add(*m.hdratio);
+    }
+    UserGroupKey key{sample->pop, sample->client.bgp_prefix, sample->client.country};
+    state.store.add_session(key, sample->client.continent, sample->established_at,
+                            sample->route_index, m.min_rtt, m.hdratio, m.traffic);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   RuntimeOptions runtime;
   std::string path;
+  IngestCacheOptions cache;
+  if (const char* env = std::getenv("FBEDGE_CACHE_DIR")) cache.dir = env;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       runtime.threads = std::atoi(argv[++i]);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache.dir = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: fbedge_analyze [--threads T] [FILE]\n");
+      std::fprintf(stderr,
+                   "usage: fbedge_analyze [--threads T] [--cache-dir DIR] [FILE]\n");
       return 2;
     }
   }
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
-  if (!path.empty()) {
-    file.open(path);
+  IngestState state;
+  bool warm = false;
+  if (cache.enabled() && !path.empty()) {
+    // Cached mode: the file is the cache identity, so read it whole.
+    std::ifstream file(path, std::ios::binary);
     if (!file) {
       std::fprintf(stderr, "fbedge_analyze: cannot open %s\n", path.c_str());
       return 1;
     }
-    in = &file;
-  }
-
-  // Streaming ingest: aggregate as lines arrive.
-  WeightedCdf minrtt, hdratio;
-  AggregationStore store;
-  std::uint64_t sessions = 0, filtered = 0, malformed = 0;
-  std::string line;
-  while (std::getline(*in, line)) {
-    if (line.empty()) continue;
-    const auto sample = parse_sample(line);
-    if (!sample) {
-      ++malformed;
-      continue;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string data = buffer.str();
+    const std::uint64_t key = dataset_cache_key(data);
+    const std::string artifact_path = ingest_artifact_path(cache.dir, key);
+    IngestArtifact artifact;
+    if (read_ingest_artifact(artifact_path, key, kAnyGroupCount, artifact) &&
+        deserialize_state(artifact, state)) {
+      warm = true;
+    } else {
+      state = IngestState{};  // discard any partial deserialization
+      std::istringstream in(data);
+      ingest_lines(in, state);
+      write_ingest_artifact(artifact_path, key, serialize_state(state));
     }
-    if (!SessionSampler::keep_for_analysis(sample->client)) {
-      ++filtered;
-      continue;
+  } else {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (!path.empty()) {
+      file.open(path);
+      if (!file) {
+        std::fprintf(stderr, "fbedge_analyze: cannot open %s\n", path.c_str());
+        return 1;
+      }
+      in = &file;
     }
-    ++sessions;
-    const SessionMetrics m = compute_session_metrics(*sample);
-    if (sample->route_index == 0) {
-      minrtt.add(m.min_rtt);
-      if (m.hdratio) hdratio.add(*m.hdratio);
-    }
-    UserGroupKey key{sample->pop, sample->client.bgp_prefix, sample->client.country};
-    store.add_session(key, sample->client.continent, sample->established_at,
-                      sample->route_index, m.min_rtt, m.hdratio, m.traffic);
+    ingest_lines(*in, state);
   }
 
   std::printf("ingested %llu sessions (%llu hosting-filtered, %llu malformed), "
               "%zu user groups\n",
-              static_cast<unsigned long long>(sessions),
-              static_cast<unsigned long long>(filtered),
-              static_cast<unsigned long long>(malformed), store.group_count());
-  if (sessions == 0) return 0;
+              static_cast<unsigned long long>(state.sessions),
+              static_cast<unsigned long long>(state.filtered),
+              static_cast<unsigned long long>(state.malformed),
+              state.store.group_count());
+  if (state.sessions == 0) return 0;
 
   print_header("Performance summary (preferred route)");
-  print_quantile_summary("MinRTT [ms]", minrtt, 1e3);
-  if (!hdratio.empty()) {
+  print_quantile_summary("MinRTT [ms]", state.minrtt, 1e3);
+  if (!state.hdratio.empty()) {
     std::printf("HDratio: P(=0)=%.3f  P(=1)=%.3f  median=%.2f "
                 "(%zu HD-testable sessions)\n",
-                hdratio.fraction_at_or_below(0.0),
-                1.0 - hdratio.fraction_at_or_below(0.999), hdratio.quantile(0.5),
-                hdratio.size());
+                state.hdratio.fraction_at_or_below(0.0),
+                1.0 - state.hdratio.fraction_at_or_below(0.999),
+                state.hdratio.quantile(0.5), state.hdratio.size());
   }
 
   print_header("Routing opportunity scan (§6)");
   // Fan the per-group scans out over the runtime; the per-group hit counts
   // are summed in group order (integer sums, so exact for any thread count).
   std::vector<const GroupSeries*> series_list;
-  series_list.reserve(store.group_count());
-  for (const auto& [key, series] : store.groups()) series_list.push_back(&series);
+  series_list.reserve(state.store.group_count());
+  for (const auto& [key, series] : state.store.groups()) series_list.push_back(&series);
 
   RunStats stats;
   const std::vector<int> window_hits = parallel_map(
@@ -112,7 +267,13 @@ int main(int argc, char** argv) {
   }
   std::printf("groups with any >=5 ms / >=0.05 opportunity: %d of %zu "
               "(%d window hits)\n",
-              groups_with_opportunity, store.group_count(), windows_with_opportunity);
+              groups_with_opportunity, state.store.group_count(),
+              windows_with_opportunity);
+  if (warm) {
+    stats.cache_hits += state.store.group_count();
+  } else if (cache.enabled() && !path.empty()) {
+    stats.cache_misses += state.store.group_count();
+  }
   stats.print("fbedge_analyze");
   return 0;
 }
