@@ -68,14 +68,23 @@ void analyze_degradation_into(const GroupSeries& series, const ComparisonConfig&
     const RouteWindowAgg* pref = agg.route(0);
     if (!pref || pref->sessions() == 0) continue;
     DegradationWindow dw;
-    dw.window = w;
-    dw.traffic = pref->traffic();
-    if (base_rtt) dw.rtt = compare_minrtt(*pref, *base_rtt, config);
-    if (base_hd) {
-      // Degradation direction: baseline - current (HD drops when degraded).
-      dw.hd = compare_hdratio(*base_hd, *pref, config);
-    }
+    evaluate_degradation_window(w, *pref, base_rtt, base_hd, config, dw);
     out.windows.push_back(std::move(dw));
+  }
+}
+
+void evaluate_degradation_window(int window, const RouteWindowAgg& pref,
+                                 const RouteWindowAgg* base_rtt,
+                                 const RouteWindowAgg* base_hd,
+                                 const ComparisonConfig& config,
+                                 DegradationWindow& out) {
+  out = DegradationWindow{};
+  out.window = window;
+  out.traffic = pref.traffic();
+  if (base_rtt) out.rtt = compare_minrtt(pref, *base_rtt, config);
+  if (base_hd) {
+    // Degradation direction: baseline - current (HD drops when degraded).
+    out.hd = compare_hdratio(*base_hd, pref, config);
   }
 }
 

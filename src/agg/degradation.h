@@ -54,4 +54,16 @@ DegradationResult analyze_degradation(const GroupSeries& series,
 void analyze_degradation_into(const GroupSeries& series, const ComparisonConfig& config,
                               DegradationScratch& scratch, DegradationResult& out);
 
+/// The per-window degradation comparison: `pref` (the preferred-route cell
+/// of one window) against the chosen baseline cells. Overwrites `out`; a
+/// null baseline leaves the corresponding Comparison kMissing. Shared by
+/// the retrospective analyzer above, the online DegradationMonitor, and the
+/// streaming verdict path (agg/window_verdict.h) — one implementation, so
+/// batch and stream verdicts cannot drift.
+void evaluate_degradation_window(int window, const RouteWindowAgg& pref,
+                                 const RouteWindowAgg* base_rtt,
+                                 const RouteWindowAgg* base_hd,
+                                 const ComparisonConfig& config,
+                                 DegradationWindow& out);
+
 }  // namespace fbedge

@@ -1,42 +1,19 @@
 #include "agg/monitor.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include "agg/degradation.h"
 
 namespace fbedge {
 
-const DegradationMonitor::HistoryEntry* DegradationMonitor::baseline_entry(
-    bool use_hd) const {
-  std::vector<std::pair<double, const HistoryEntry*>> values;
-  values.reserve(history_.size());
-  for (const auto& entry : history_) {
-    if (use_hd) {
-      if (entry.agg.hd_sessions() < config_.comparison.min_samples) continue;
-      values.emplace_back(-entry.agg.hdratio_p50(), &entry);  // p90 via negation
-    } else {
-      if (entry.agg.sessions() < config_.comparison.min_samples) continue;
-      values.emplace_back(entry.agg.minrtt_p50(), &entry);
-    }
-  }
-  if (static_cast<int>(values.size()) < config_.min_history) return nullptr;
-  std::sort(values.begin(), values.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  const auto pos = static_cast<std::size_t>(std::llround(
-      config_.baseline_quantile * static_cast<double>(values.size() - 1)));
-  return values[pos].second;
-}
-
 std::optional<Duration> DegradationMonitor::baseline_minrtt() const {
-  const auto* entry = baseline_entry(false);
-  if (!entry) return std::nullopt;
-  return entry->agg.minrtt_p50();
+  const RouteWindowAgg* base = baseline_.baseline_rtt();
+  if (!base) return std::nullopt;
+  return base->minrtt_p50();
 }
 
 std::optional<double> DegradationMonitor::baseline_hdratio() const {
-  const auto* entry = baseline_entry(true);
-  if (!entry) return std::nullopt;
-  return entry->agg.hdratio_p50();
+  const RouteWindowAgg* base = baseline_.baseline_hd();
+  if (!base) return std::nullopt;
+  return base->hdratio_p50();
 }
 
 void DegradationMonitor::on_window_closed(int window, const RouteWindowAgg& agg) {
@@ -47,23 +24,19 @@ void DegradationMonitor::on_window_closed(int window, const RouteWindowAgg& agg)
     ++skipped_empty_;
     return;
   }
+  DegradationWindow dw;
+  evaluate_degradation_window(window, agg, baseline_.baseline_rtt(),
+                              baseline_.baseline_hd(), config_.comparison, dw);
   DegradationEvent event;
   event.window = window;
   bool fire = false;
-
-  if (const auto* base = baseline_entry(false)) {
-    const Comparison cmp = compare_minrtt(agg, base->agg, config_.comparison);
-    if (cmp.exceeds(config_.rtt_threshold)) {
-      event.rtt = cmp.diff;
-      fire = true;
-    }
+  if (dw.rtt.exceeds(config_.rtt_threshold)) {
+    event.rtt = dw.rtt.diff;
+    fire = true;
   }
-  if (const auto* base = baseline_entry(true)) {
-    const Comparison cmp = compare_hdratio(base->agg, agg, config_.comparison);
-    if (cmp.exceeds(config_.hd_threshold)) {
-      event.hd = cmp.diff;
-      fire = true;
-    }
+  if (dw.hd.exceeds(config_.hd_threshold)) {
+    event.hd = dw.hd.diff;
+    fire = true;
   }
   if (fire && alert_) alert_(event);
 
@@ -71,10 +44,7 @@ void DegradationMonitor::on_window_closed(int window, const RouteWindowAgg& agg)
   // baseline quantile keeps selecting healthy windows, and a persistent
   // shift eventually *becomes* the baseline (matching §3.4's per-group
   // baseline semantics).
-  history_.push_back({window, agg});
-  while (static_cast<int>(history_.size()) > config_.history_windows) {
-    history_.pop_front();
-  }
+  baseline_.push(window, agg);
 }
 
 }  // namespace fbedge

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "agg/comparison.h"
+#include "agg/window_verdict.h"
 
 namespace fbedge {
 
@@ -47,14 +47,22 @@ class DegradationMonitor {
   using AlertFn = std::function<void(const DegradationEvent&)>;
 
   explicit DegradationMonitor(MonitorConfig config, AlertFn alert)
-      : config_(config), alert_(std::move(alert)) {}
+      : config_(config),
+        alert_(std::move(alert)),
+        baseline_(RollingBaseline::Config{config.history_windows,
+                                          config.baseline_quantile,
+                                          config.min_history,
+                                          config.comparison.min_samples}) {}
 
   /// Processes a completed (user group x window) aggregation for the
   /// monitored route. The aggregation is copied into the rolling history.
+  /// The comparison itself is the shared evaluate_degradation_window, so a
+  /// monitor alert and a streaming-pipeline verdict for the same window are
+  /// the same computation.
   void on_window_closed(int window, const RouteWindowAgg& agg);
 
   /// Windows currently in the baseline history.
-  int history_size() const { return static_cast<int>(history_.size()); }
+  int history_size() const { return baseline_.history_size(); }
 
   /// Session-less windows rejected by on_window_closed.
   std::uint64_t skipped_empty() const { return skipped_empty_; }
@@ -64,16 +72,9 @@ class DegradationMonitor {
   std::optional<double> baseline_hdratio() const;
 
  private:
-  struct HistoryEntry {
-    int window;
-    RouteWindowAgg agg;
-  };
-
-  const HistoryEntry* baseline_entry(bool use_hd) const;
-
   MonitorConfig config_;
   AlertFn alert_;
-  std::deque<HistoryEntry> history_;
+  RollingBaseline baseline_;
   std::uint64_t skipped_empty_{0};
 };
 

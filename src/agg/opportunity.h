@@ -58,4 +58,14 @@ std::vector<OpportunityWindow> analyze_opportunity(const GroupSeries& series,
 void analyze_opportunity_into(const GroupSeries& series, const ComparisonConfig& config,
                               std::vector<OpportunityWindow>& out);
 
+/// The per-window comparison body: preferred (route 0) vs the best-ranked
+/// alternates of one window's aggregation. Returns false (leaving `out`
+/// untouched) when the window has no preferred route or fewer than two
+/// measured routes. Shared by the batch analyzer above and the streaming
+/// verdict path (agg/window_verdict.h) — one implementation, so batch and
+/// stream verdicts cannot drift.
+bool evaluate_opportunity_window(int window, const WindowAgg& agg,
+                                 const ComparisonConfig& config,
+                                 OpportunityWindow& out);
+
 }  // namespace fbedge

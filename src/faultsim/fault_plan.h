@@ -56,6 +56,18 @@ struct FaultPlan {
   /// Aggregated 15-minute window dropped before analysis.
   double window_drop_rate{0};
 
+  // ---- stream layer (per (group, window, micro-batch)) -------------------
+  /// Micro-batch delivery held back by 1..stream_late_max_delay windows of
+  /// event time (delivery-order fault on the source -> window-machine
+  /// transport). Held batches whose windows seal in the meantime become
+  /// counted late-drops at the machine.
+  double stream_late_rate{0};
+  /// Maximum hold-back of a late batch, in 15-minute windows (>= 1).
+  int stream_late_max_delay{4};
+  /// Micro-batch delivered twice (at-least-once transport), inflating the
+  /// open window exactly like duplicated sampler records.
+  double stream_duplicate_rate{0};
+
   // ---- runtime layer (per (group, attempt)) ------------------------------
   /// Shard task abort probability per attempt.
   double task_abort_rate{0};
@@ -69,9 +81,13 @@ struct FaultPlan {
            skew_rate > 0 || thin_rate > 0 || pop_outage_rate > 0;
   }
   bool agg_faults() const { return window_drop_rate > 0; }
+  bool stream_faults() const {
+    return stream_late_rate > 0 || stream_duplicate_rate > 0;
+  }
   bool runtime_faults() const { return task_abort_rate > 0; }
   bool enabled() const {
-    return sampler_faults() || agg_faults() || runtime_faults();
+    return sampler_faults() || agg_faults() || stream_faults() ||
+           runtime_faults();
   }
 };
 
@@ -90,6 +106,9 @@ constexpr std::uint64_t kThinKeep = 0x7468696e6b656570ULL;     // "thinkeep"
 constexpr std::uint64_t kPopOutage = 0x706f706f75746167ULL;    // "popoutag"
 constexpr std::uint64_t kWindowDrop = 0x77696e64726f7031ULL;   // "windrop1"
 constexpr std::uint64_t kTaskAbort = 0x7461736b61626f72ULL;    // "taskabor"
+constexpr std::uint64_t kStreamLate = 0x7374726d6c617465ULL;   // "strmlate"
+constexpr std::uint64_t kStreamLateDelay = 0x7374726d64656c79ULL;  // "strmdely"
+constexpr std::uint64_t kStreamDup = 0x7374726d64757031ULL;    // "strmdup1"
 }  // namespace faultsite
 
 /// The decision stream for one (site, entity) pair. Fresh per call: the
@@ -111,6 +130,17 @@ inline bool fault_decision(const FaultPlan& plan, std::uint64_t site,
 /// Canonical fault key of a user group (same value on every thread/shard).
 inline std::uint64_t group_fault_key(const UserGroupKey& key) {
   return static_cast<std::uint64_t>(UserGroupKeyHash{}(key));
+}
+
+/// Canonical fault key of one stream micro-batch: (group, nominal window,
+/// sequence within the window). Pure data — independent of delivery order
+/// and thread count — so the stream fault sites (kStreamLate /
+/// kStreamLateDelay / kStreamDup) are exactly recountable.
+inline std::uint64_t stream_batch_fault_key(std::uint64_t group_key, int window,
+                                            int seq) {
+  return hash_combine(group_key,
+                      hash_combine(static_cast<std::uint64_t>(window),
+                                   static_cast<std::uint64_t>(seq)));
 }
 
 /// Whether the shard task for `group_key` aborts on `attempt` (runtime

@@ -1,8 +1,10 @@
 #include "runtime/alloc_counter.h"
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
@@ -111,6 +113,40 @@ std::uint64_t peak_rss_bytes() {
   if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
   // Linux reports ru_maxrss in kilobytes.
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+namespace {
+
+/// Sampled-RSS watermark (rss_sample / rss_sampled_peak). Relaxed: readers
+/// only want an eventually-consistent high-water mark.
+std::atomic<std::uint64_t> g_rss_watermark{0};
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long pages_total = 0;
+  unsigned long long pages_resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  static const long page_size = sysconf(_SC_PAGESIZE);
+  return static_cast<std::uint64_t>(pages_resident) *
+         static_cast<std::uint64_t>(page_size > 0 ? page_size : 4096);
+}
+
+std::uint64_t rss_sample() {
+  const std::uint64_t cur = current_rss_bytes();
+  std::uint64_t prev = g_rss_watermark.load(std::memory_order_relaxed);
+  while (cur > prev && !g_rss_watermark.compare_exchange_weak(
+                           prev, cur, std::memory_order_relaxed)) {
+  }
+  return prev > cur ? prev : cur;
+}
+
+std::uint64_t rss_sampled_peak() {
+  return g_rss_watermark.load(std::memory_order_relaxed);
 }
 
 }  // namespace fbedge

@@ -33,4 +33,20 @@ AllocCounters alloc_counters_now();
 /// delta.
 std::uint64_t peak_rss_bytes();
 
+/// Current resident set size in bytes (/proc/self/statm); 0 if unreadable.
+/// Unlike peak_rss_bytes this goes *down* when memory is returned to the
+/// kernel, so periodic samples of it distinguish "flat working set" from
+/// "grew once, never shrank".
+std::uint64_t current_rss_bytes();
+
+/// Samples current_rss_bytes() into a process-wide monotone watermark and
+/// returns the updated watermark. Call sites sprinkle this through
+/// long-running loops (thread-pool tasks, stream window seals) so the
+/// watermark tracks the RSS actually observed *during* a run — the
+/// measurable form of the streaming pipeline's flat-memory claim.
+std::uint64_t rss_sample();
+
+/// The watermark as of the last rss_sample() call (no new sample taken).
+std::uint64_t rss_sampled_peak();
+
 }  // namespace fbedge

@@ -36,6 +36,13 @@ struct FaultCounters {
   std::uint64_t pop_outage_groups{0};  // groups silenced by a PoP outage
   // Aggregation-layer injections.
   std::uint64_t dropped_windows{0};    // 15-minute windows lost post-agg
+  // Stream-layer injections (src/stream/): delivery-order faults on the
+  // micro-batch transport between the source and the window machines.
+  std::uint64_t stream_late_batches{0};       // micro-batches held back
+  std::uint64_t stream_duplicate_batches{0};  // micro-batches delivered twice
+  /// Degraded artifact of stream lateness: rows that arrived after their
+  /// window sealed and were dropped by the window machine.
+  std::uint64_t stream_dropped_rows{0};
   // Runtime-layer injections.
   std::uint64_t task_aborts{0};   // failed shard-task attempts
   std::uint64_t task_retries{0};  // re-executions after an abort
@@ -45,7 +52,8 @@ struct FaultCounters {
     return truncated_records || corrupt_records || rejected_records ||
            duplicated_samples || skewed_samples || thinned_groups ||
            thinned_sessions || pop_outage_groups || dropped_windows ||
-           task_aborts || task_retries || lost_groups;
+           stream_late_batches || stream_duplicate_batches ||
+           stream_dropped_rows || task_aborts || task_retries || lost_groups;
   }
 
   void accumulate(const FaultCounters& other) {
@@ -58,6 +66,9 @@ struct FaultCounters {
     thinned_sessions += other.thinned_sessions;
     pop_outage_groups += other.pop_outage_groups;
     dropped_windows += other.dropped_windows;
+    stream_late_batches += other.stream_late_batches;
+    stream_duplicate_batches += other.stream_duplicate_batches;
+    stream_dropped_rows += other.stream_dropped_rows;
     task_aborts += other.task_aborts;
     task_retries += other.task_retries;
     lost_groups += other.lost_groups;
@@ -80,6 +91,18 @@ struct RunStats {
   /// Process peak RSS observed at the end of the run (monotone high-water
   /// mark, not a per-phase delta).
   std::uint64_t peak_rss_bytes{0};
+  /// Sampled-RSS high-water mark (runtime/alloc_counter.h rss_sample()):
+  /// the largest *current* RSS observed at the sampling points the run
+  /// actually passed through (task boundaries, stream window seals). This
+  /// is the number the streaming monitor's flat-memory claim is judged by.
+  std::uint64_t rss_sampled_peak_bytes{0};
+  /// Streaming-monitor observability (src/stream/); all zero for runs that
+  /// never touch the stream pipeline.
+  std::uint64_t stream_windows_sealed{0};
+  std::uint64_t stream_watermark_advances{0};
+  /// Peak simultaneously-open windows across all group machines (max, not
+  /// sum): the streaming memory model in one number.
+  std::uint64_t stream_open_windows_peak{0};
   /// Ingest-artifact cache observability (analysis/ingest_cache.h): groups
   /// served from a cached artifact vs. groups that had to cold-ingest.
   /// Both stay zero when no cache directory is configured.
@@ -109,6 +132,14 @@ struct RunStats {
     alloc_count += other.alloc_count;
     alloc_bytes += other.alloc_bytes;
     if (other.peak_rss_bytes > peak_rss_bytes) peak_rss_bytes = other.peak_rss_bytes;
+    if (other.rss_sampled_peak_bytes > rss_sampled_peak_bytes) {
+      rss_sampled_peak_bytes = other.rss_sampled_peak_bytes;
+    }
+    stream_windows_sealed += other.stream_windows_sealed;
+    stream_watermark_advances += other.stream_watermark_advances;
+    if (other.stream_open_windows_peak > stream_open_windows_peak) {
+      stream_open_windows_peak = other.stream_open_windows_peak;
+    }
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_load_seconds += other.cache_load_seconds;
@@ -128,13 +159,22 @@ struct RunStats {
     std::fprintf(out,
                  "[runtime] %s: threads=%d tasks=%llu steals=%llu "
                  "wall=%.3fs cpu=%.3fs util=%.1f%% allocs=%llu "
-                 "alloc_mb=%.1f peak_rss_mb=%.1f\n",
+                 "alloc_mb=%.1f peak_rss_mb=%.1f rss_sampled_mb=%.1f\n",
                  label, threads, static_cast<unsigned long long>(tasks),
                  static_cast<unsigned long long>(steals), wall_seconds,
                  cpu_seconds, 100.0 * utilization(),
                  static_cast<unsigned long long>(alloc_count),
                  static_cast<double>(alloc_bytes) / (1024.0 * 1024.0),
-                 static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+                 static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0),
+                 static_cast<double>(rss_sampled_peak_bytes) / (1024.0 * 1024.0));
+    if (stream_windows_sealed > 0 || stream_watermark_advances > 0) {
+      std::fprintf(out,
+                   "[runtime]   stream: sealed=%llu watermark_advances=%llu "
+                   "open_windows_peak=%llu\n",
+                   static_cast<unsigned long long>(stream_windows_sealed),
+                   static_cast<unsigned long long>(stream_watermark_advances),
+                   static_cast<unsigned long long>(stream_open_windows_peak));
+    }
     if (cache_hits > 0 || cache_misses > 0) {
       std::fprintf(out,
                    "[runtime]   cache: hits=%llu misses=%llu load=%.3fs save=%.3fs\n",
@@ -153,7 +193,8 @@ struct RunStats {
           out,
           "[runtime]   faults: trunc=%llu corrupt=%llu rejected=%llu dup=%llu "
           "skew=%llu thin_groups=%llu thin_sessions=%llu pop_out=%llu "
-          "dropped_windows=%llu aborts=%llu retries=%llu lost_groups=%llu\n",
+          "dropped_windows=%llu stream_late=%llu stream_dup=%llu "
+          "stream_dropped_rows=%llu aborts=%llu retries=%llu lost_groups=%llu\n",
           static_cast<unsigned long long>(faults.truncated_records),
           static_cast<unsigned long long>(faults.corrupt_records),
           static_cast<unsigned long long>(faults.rejected_records),
@@ -163,6 +204,9 @@ struct RunStats {
           static_cast<unsigned long long>(faults.thinned_sessions),
           static_cast<unsigned long long>(faults.pop_outage_groups),
           static_cast<unsigned long long>(faults.dropped_windows),
+          static_cast<unsigned long long>(faults.stream_late_batches),
+          static_cast<unsigned long long>(faults.stream_duplicate_batches),
+          static_cast<unsigned long long>(faults.stream_dropped_rows),
           static_cast<unsigned long long>(faults.task_aborts),
           static_cast<unsigned long long>(faults.task_retries),
           static_cast<unsigned long long>(faults.lost_groups));

@@ -103,6 +103,11 @@ void ThreadPool::run_job(int worker, const WorkerTask& fn) {
     st.busy_seconds += seconds_since(start);
     ++st.tasks;
     if (stolen) ++st.steals;
+    // Feed the sampled-RSS watermark at task boundaries (every 8th task per
+    // worker): a /proc read costs microseconds against tasks that run for
+    // milliseconds to seconds, and the watermark then reflects RSS *during*
+    // the run, not just wherever the run happened to end.
+    if ((st.tasks & 7u) == 0) rss_sample();
   }
 }
 
@@ -164,6 +169,7 @@ RunStats ThreadPool::parallel_for_workers(const ShardPlan& plan, const WorkerTas
   rs.alloc_count = alloc_end.count - alloc_start.count;
   rs.alloc_bytes = alloc_end.bytes - alloc_start.bytes;
   rs.peak_rss_bytes = peak_rss_bytes();
+  rs.rss_sampled_peak_bytes = rss_sample();
   rs.shards = job_stats_;
   for (const auto& st : rs.shards) {
     rs.tasks += st.tasks;

@@ -1,0 +1,89 @@
+// The streaming monitor pipeline: world -> per-group event-time replay ->
+// window machine -> shared §3.4 verdict step, sharded over the runtime
+// pool with per-group verdicts folded in group-id order.
+//
+// One pipeline, two memory models. In stream mode each group's machine
+// seals windows on the low-watermark (holding only the lateness band
+// open), so live state per group is O(open windows), independent of the
+// study length. In batch mode the same machine runs with lateness =
+// kStreamNeverSeal: every window stays open until the group's flush, which
+// then seals them ascending — the materialize-everything replay. Both
+// modes push the same rows into the same cells and seal in the same
+// ascending order, so their verdicts are bitwise identical; only
+// `open_windows_peak` (and RSS) differs. That equivalence is the
+// subsystem's core invariant, enforced by tests/stream_test.cpp and the CI
+// stream-equivalence job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/window_verdict.h"
+#include "faultsim/fault_plan.h"
+#include "runtime/pipeline.h"
+#include "stream/stream_source.h"
+
+namespace fbedge {
+
+enum class MonitorMode {
+  kStream,  // seal on the watermark; verdict per window as it closes
+  kBatch,   // materialize the whole series, seal everything at flush
+};
+
+struct StreamMonitorOptions {
+  ComparisonConfig comparison;
+  /// Thresholds for counting a verdict as degraded / improvable.
+  VerdictPolicy policy;
+  /// Rolling-baseline shape; min_samples is overridden from `comparison`
+  /// by run_stream_monitor so the two floors cannot diverge.
+  RollingBaselineConfig baseline;
+  /// Stream-mode lateness band: windows older than watermark - lateness
+  /// seal immediately. 0 is exactly safe on a clean in-order replay (rows
+  /// of nominal batch w land only in windows w and w+1).
+  int allowed_lateness_windows{0};
+  /// Micro-batch slice size; <= 0 delivers one batch per window.
+  int max_batch_rows{256};
+  GoodputConfig goodput;
+  /// Keep every WindowVerdict per group (tests; large for real runs).
+  bool collect_verdicts{false};
+};
+
+/// One group's monitor outcome, plus the fold of all groups (`total`).
+struct GroupVerdictSummary {
+  std::uint64_t windows{0};  // sealed, non-empty
+  std::uint64_t degraded_rtt{0};
+  std::uint64_t degraded_hd{0};
+  std::uint64_t opp_rtt{0};
+  std::uint64_t opp_hd{0};
+  /// Traffic sums in bytes (doubles: folded in group-id order, so exact
+  /// order-dependent rounding is reproducible).
+  double traffic{0};
+  double degraded_traffic{0};
+  double opportunity_traffic{0};
+  std::uint64_t rows{0};
+  std::uint64_t late_rows{0};
+  /// FNV-1a over the group's verdict stream (see hash_window_verdict); for
+  /// `total`, FNV-1a over the per-group hashes in group-id order.
+  std::uint64_t verdict_hash{0};
+};
+
+struct MonitorResult {
+  std::vector<GroupVerdictSummary> groups;  // indexed by group id
+  GroupVerdictSummary total;
+  /// Per-group verdict streams (only when options.collect_verdicts).
+  std::vector<std::vector<WindowVerdict>> verdicts;
+  FaultCounters faults;
+};
+
+/// Runs the monitor over every group of `world`. Stream counters
+/// (windows sealed / watermark advances / open-window peak) and fault
+/// counters land in `stats` when provided; verdict outputs are
+/// byte-identical for any `runtime.threads` and across modes.
+MonitorResult run_stream_monitor(const World& world, const DatasetConfig& config,
+                                 MonitorMode mode,
+                                 const StreamMonitorOptions& options,
+                                 const RuntimeOptions& runtime,
+                                 RunStats* stats = nullptr,
+                                 const FaultPlan& faults = {});
+
+}  // namespace fbedge

@@ -1,0 +1,140 @@
+#include "stream/stream_source.h"
+
+#include <algorithm>
+
+namespace fbedge {
+
+namespace {
+
+/// Releases every held delivery whose release window has been reached, in
+/// the order the deliveries were created (the transport is a FIFO per
+/// release window). `up_to_window` = INT_MAX drains everything (group end).
+void release_held(StreamSourceScratch& scratch, long long up_to_window,
+                  FaultCounters& counters, StreamSourceTotals& totals,
+                  const StreamDeliverFn& deliver) {
+  for (auto& h : scratch.held) {
+    if (h.released || static_cast<long long>(h.release_window) > up_to_window) {
+      continue;
+    }
+    h.released = 1;
+    const StreamRow* rows = scratch.held_rows.data() + h.begin;
+    deliver(h.nominal_window, rows, h.count);
+    ++totals.deliveries;
+    if (h.duplicate) {
+      ++counters.stream_duplicate_batches;
+      deliver(h.nominal_window, rows, h.count);
+      ++totals.deliveries;
+    }
+  }
+}
+
+}  // namespace
+
+StreamSourceTotals replay_group_stream(const DatasetGenerator& generator,
+                                       const UserGroupProfile& group,
+                                       const GoodputConfig& goodput,
+                                       int max_batch_rows, const FaultPlan& faults,
+                                       FaultCounters& counters,
+                                       StreamSourceScratch& scratch,
+                                       const StreamDeliverFn& deliver) {
+  StreamSourceTotals totals;
+  const bool faulted = faults.stream_faults();
+  const std::uint64_t gkey = group_fault_key(group.key);
+  scratch.held_rows.clear();
+  scratch.held.clear();
+
+  generator.generate_group_batched(
+      group, scratch.batch, [&](int window, const SessionBatch& b) {
+        // Same columnar stages — and therefore bit-identical row values —
+        // as the batch pipeline's ingest_group.
+        coalesce_batch(b, b.hosting.data(), scratch.coalesced);
+        const std::size_t n = b.size();
+        scratch.hd.resize(n);
+        evaluate_hd_batch(scratch.coalesced.txns.data(),
+                          scratch.coalesced.offset.data(),
+                          scratch.coalesced.count.data(), n, scratch.hd.data(),
+                          goodput);
+        scratch.rows.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (b.hosting[i] != 0) continue;
+          StreamRow row;
+          row.at = b.established_at[i];
+          row.route = b.route_index[i];
+          row.min_rtt = b.min_rtt[i];
+          const std::optional<double> hd = scratch.hd[i].hdratio();
+          row.has_hd = hd.has_value() ? 1 : 0;
+          row.hd_value = hd.value_or(0.0);
+          row.bytes = b.total_bytes[i];
+          scratch.rows.push_back(row);
+        }
+        totals.rows += scratch.rows.size();
+
+        // Slice into micro-batches. A window whose rows were all filtered
+        // out still emits one empty delivery: the watermark must advance on
+        // event-time progress, not on data.
+        const std::size_t total = scratch.rows.size();
+        const std::size_t chunk =
+            max_batch_rows > 0 ? static_cast<std::size_t>(max_batch_rows) : total;
+        std::size_t begin = 0;
+        int seq = 0;
+        do {
+          const std::size_t count =
+              chunk > 0 ? std::min(chunk, total - begin) : total;
+          const StreamRow* rows = scratch.rows.data() + begin;
+          if (!faulted) {
+            deliver(window, rows, count);
+            ++totals.deliveries;
+          } else {
+            const std::uint64_t key = stream_batch_fault_key(gkey, window, seq);
+            const bool dup =
+                fault_decision(faults, faultsite::kStreamDup, key,
+                               faults.stream_duplicate_rate);
+            if (fault_decision(faults, faultsite::kStreamLate, key,
+                               faults.stream_late_rate)) {
+              // Held back: the delivery leaves the transport only when the
+              // source reaches window + delay. The duplicate decision is
+              // drawn now (pure data) and applied at release.
+              ++counters.stream_late_batches;
+              const int max_delay = std::max(1, faults.stream_late_max_delay);
+              const int delay = static_cast<int>(
+                  fault_stream(faults, faultsite::kStreamLateDelay, key)
+                      .uniform_int(1, max_delay));
+              StreamSourceScratch::HeldDelivery h;
+              h.nominal_window = window;
+              h.release_window = window + delay;
+              h.begin = static_cast<std::uint32_t>(scratch.held_rows.size());
+              h.count = static_cast<std::uint32_t>(count);
+              h.duplicate = dup ? 1 : 0;
+              scratch.held_rows.insert(scratch.held_rows.end(), rows, rows + count);
+              scratch.held.push_back(h);
+            } else {
+              deliver(window, rows, count);
+              ++totals.deliveries;
+              if (dup) {
+                ++counters.stream_duplicate_batches;
+                deliver(window, rows, count);
+                ++totals.deliveries;
+              }
+            }
+          }
+          begin += count;
+          ++seq;
+        } while (begin < total);
+
+        // On-time traffic for this window is out; release transport-held
+        // deliveries that were due by now.
+        if (faulted && !scratch.held.empty()) {
+          release_held(scratch, window, counters, totals, deliver);
+        }
+      });
+
+  // Group end: drain the transport. Rows whose windows sealed while their
+  // delivery was held become counted late-drops at the machine.
+  if (faulted && !scratch.held.empty()) {
+    release_held(scratch, std::numeric_limits<long long>::max(), counters, totals,
+                 deliver);
+  }
+  return totals;
+}
+
+}  // namespace fbedge

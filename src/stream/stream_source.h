@@ -1,0 +1,83 @@
+// Deterministic event-time stream source: replays one group's generated
+// workload as ordered micro-batch deliveries into a WindowMachine.
+//
+// The source reuses the batch pipeline's columnar stages verbatim —
+// generate_group_batched -> coalesce_batch -> evaluate_hd_batch — so every
+// row carries bit-identical values to what batch ingest aggregates; the
+// only new step is compacting the survivors into StreamRows and slicing
+// each window's rows into micro-batches of at most `max_batch_rows`. On a
+// fault-free run deliveries leave in strict nominal-window order (a window
+// with zero surviving rows still emits one empty delivery, so the
+// watermark advances through idle periods exactly like wall time would).
+//
+// With stream faults armed (FaultPlan::stream_faults()), a per-micro-batch
+// transport sits between the source and the machine: kStreamLate holds a
+// batch back 1..stream_late_max_delay windows (released, in original
+// creation order, once the source reaches the target window), and
+// kStreamDup delivers a batch twice. Both decisions are pure functions of
+// (plan seed, site, group x window x sequence) — see
+// stream_batch_fault_key — so a recount that replays the source standalone
+// reproduces the injected schedule exactly, independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faultsim/fault_plan.h"
+#include "goodput/hdratio.h"
+#include "runtime/run_stats.h"
+#include "sampler/session_batch.h"
+#include "stream/window_machine.h"
+#include "workload/generator.h"
+
+namespace fbedge {
+
+/// Receives each micro-batch delivery (normally WindowMachine::on_delivery).
+/// `rows` may be null when `count` is 0 (watermark-only delivery).
+using StreamDeliverFn =
+    std::function<void(int nominal_window, const StreamRow* rows, std::size_t count)>;
+
+/// Per-worker scratch for replay_group_stream: the batch-pipeline arenas
+/// plus the row compaction buffer and the held-delivery store used by the
+/// fault transport. Cleared (not shrunk) per group.
+struct StreamSourceScratch {
+  SessionBatch batch;
+  CoalescedBatch coalesced;
+  std::vector<SessionHd> hd;
+  std::vector<StreamRow> rows;
+  /// Fault transport: rows of held-back deliveries, plus one record per
+  /// held delivery (slice of `held_rows` + its release schedule).
+  std::vector<StreamRow> held_rows;
+  struct HeldDelivery {
+    int nominal_window{0};
+    int release_window{0};
+    std::uint32_t begin{0};
+    std::uint32_t count{0};
+    std::uint8_t duplicate{0};
+    std::uint8_t released{0};
+  };
+  std::vector<HeldDelivery> held;
+};
+
+struct StreamSourceTotals {
+  std::uint64_t rows{0};
+  std::uint64_t deliveries{0};
+};
+
+/// Replays one group's whole study span as micro-batch deliveries, in
+/// event-time order, and returns row/delivery totals. Fault counters for
+/// the stream transport sites accumulate into `counters`; with a zero-rate
+/// plan the transport is bypassed entirely (`deliver` is invoked straight
+/// from the slicing loop) so fault-free streams stay byte-identical to a
+/// build without the fault sites. `max_batch_rows` <= 0 means one delivery
+/// per window.
+StreamSourceTotals replay_group_stream(const DatasetGenerator& generator,
+                                       const UserGroupProfile& group,
+                                       const GoodputConfig& goodput,
+                                       int max_batch_rows, const FaultPlan& faults,
+                                       FaultCounters& counters,
+                                       StreamSourceScratch& scratch,
+                                       const StreamDeliverFn& deliver);
+
+}  // namespace fbedge

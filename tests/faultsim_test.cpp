@@ -29,6 +29,7 @@
 #include "runtime/thread_pool.h"
 #include "sampler/io.h"
 #include "sampler/sampler.h"
+#include "stream/monitor_pipeline.h"
 #include "workload/generator.h"
 #include "workload/world.h"
 
@@ -99,6 +100,9 @@ void expect_counters_eq(const FaultCounters& a, const FaultCounters& b) {
   EXPECT_EQ(a.thinned_sessions, b.thinned_sessions);
   EXPECT_EQ(a.pop_outage_groups, b.pop_outage_groups);
   EXPECT_EQ(a.dropped_windows, b.dropped_windows);
+  EXPECT_EQ(a.stream_late_batches, b.stream_late_batches);
+  EXPECT_EQ(a.stream_duplicate_batches, b.stream_duplicate_batches);
+  EXPECT_EQ(a.stream_dropped_rows, b.stream_dropped_rows);
   EXPECT_EQ(a.task_aborts, b.task_aborts);
   EXPECT_EQ(a.task_retries, b.task_retries);
   EXPECT_EQ(a.lost_groups, b.lost_groups);
@@ -693,6 +697,79 @@ TEST(FaultsimEndToEnd, CountersMatchInjectedFaultsExactly) {
   EXPECT_TRUE(result.faults.any());
   EXPECT_GT(result.faults.lost_groups, 0u);
   EXPECT_LT(result.faults.lost_groups, world.groups.size());
+}
+
+TEST(FaultsimStream, StreamCountersMatchInjectedFaultsExactly) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  FaultPlan plan;
+  plan.seed = 909;
+  plan.stream_late_rate = 0.15;
+  plan.stream_late_max_delay = 2;
+  plan.stream_duplicate_rate = 0.1;
+
+  StreamMonitorOptions options;
+  options.max_batch_rows = 64;
+
+  // Recount every stream-transport decision outside the pipeline. The
+  // micro-batch slicing is a pure function of the dataset, so a zero-fault
+  // replay enumerates exactly the (window, seq) chunk keys the faulted run
+  // draws decisions for; kStreamLate / kStreamDup are then recomputed per
+  // key. Every held batch is eventually released (group-end drain), so the
+  // duplicate count is the dup decisions over ALL chunks, held or not.
+  // Dropped rows are recounted with a standalone sequential machine replay
+  // under the faulted plan.
+  const DatasetGenerator generator(world, dc);
+  FaultCounters expected;
+  StreamSourceScratch scratch;
+  WindowMachine machine;
+  for (const auto& group : world.groups) {
+    const std::uint64_t gkey = group_fault_key(group.key);
+    std::vector<std::pair<int, int>> chunks;  // (window, micro-batch count)
+    FaultCounters none;
+    replay_group_stream(generator, group, options.goodput, options.max_batch_rows,
+                        FaultPlan{}, none, scratch,
+                        [&](int w, const StreamRow*, std::size_t) {
+                          if (chunks.empty() || chunks.back().first != w) {
+                            chunks.push_back({w, 0});
+                          }
+                          ++chunks.back().second;
+                        });
+    EXPECT_FALSE(none.any());
+    for (const auto& [w, n] : chunks) {
+      for (int seq = 0; seq < n; ++seq) {
+        const std::uint64_t key = stream_batch_fault_key(gkey, w, seq);
+        if (fault_decision(plan, faultsite::kStreamLate, key,
+                           plan.stream_late_rate)) {
+          ++expected.stream_late_batches;
+        }
+        if (fault_decision(plan, faultsite::kStreamDup, key,
+                           plan.stream_duplicate_rate)) {
+          ++expected.stream_duplicate_batches;
+        }
+      }
+    }
+    machine.start_group(options.allowed_lateness_windows, [](int, WindowAgg&) {});
+    FaultCounters scratch_counters;
+    replay_group_stream(generator, group, options.goodput, options.max_batch_rows,
+                        plan, scratch_counters, scratch,
+                        [&](int w, const StreamRow* rows, std::size_t n) {
+                          machine.on_delivery(w, rows, n);
+                        });
+    machine.flush();
+    expected.stream_dropped_rows += machine.late_rows();
+  }
+
+  RunStats stats;
+  const auto result = run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                                         RuntimeOptions{4}, &stats, plan);
+  expect_counters_eq(result.faults, expected);
+  expect_counters_eq(stats.faults, expected);
+  EXPECT_GT(result.faults.stream_late_batches, 0u);
+  EXPECT_GT(result.faults.stream_duplicate_batches, 0u);
+  EXPECT_GT(result.faults.stream_dropped_rows, 0u);
+  EXPECT_EQ(result.total.late_rows, result.faults.stream_dropped_rows);
 }
 
 TEST(FaultsimEndToEnd, FaultedRunsBypassTheIngestCache) {

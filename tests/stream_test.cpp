@@ -1,0 +1,391 @@
+// Streaming monitor tests (src/stream/).
+//
+// Two layers of guarantees:
+//   1. WindowMachine semantics, on hand-built row streams: watermark-driven
+//      ascending seals, the allowed-lateness band, exact late-drop
+//      accounting, flush idempotence, empty windows never sealing, and the
+//      open-window memory bound.
+//   2. The pipeline's core invariant: stream-mode verdicts are bitwise
+//      identical to batch-mode verdicts — over a 100-seed sweep of
+//      datasets, lateness bands and micro-batch sizes, at any thread
+//      count — while stream mode's live window state stays O(lateness)
+//      instead of O(study length).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/user_group.h"
+#include "stream/monitor_pipeline.h"
+#include "stream/window_machine.h"
+#include "workload/generator.h"
+#include "workload/world.h"
+
+namespace fbedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WindowMachine units.
+// ---------------------------------------------------------------------------
+
+StreamRow make_row(int window, double offset, int route = 0, double rtt = 0.05,
+                   double hd = 1.0, Bytes bytes = 1000) {
+  StreamRow r;
+  r.at = window * kWindowLength + offset;
+  r.route = route;
+  r.min_rtt = rtt;
+  r.hd_value = hd;
+  r.has_hd = 1;
+  r.bytes = bytes;
+  return r;
+}
+
+struct SealLog {
+  std::vector<int> windows;
+  std::vector<int> sessions;  // preferred-route sessions at seal time
+};
+
+WindowMachine::SealFn log_seals(SealLog& log) {
+  return [&log](int w, WindowAgg& agg) {
+    log.windows.push_back(w);
+    const WindowAgg& sealed = agg;  // pick the non-materializing accessor
+    const RouteWindowAgg* pref = sealed.route(0);
+    log.sessions.push_back(pref ? pref->sessions() : 0);
+  };
+}
+
+TEST(WindowMachine, InOrderStreamSealsOnTheWatermark) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(0, log_seals(log));
+
+  std::vector<StreamRow> w0{make_row(0, 10), make_row(0, 20), make_row(0, 30)};
+  std::vector<StreamRow> w1{make_row(1, 10), make_row(1, 20)};
+  std::vector<StreamRow> w2{make_row(2, 10)};
+  m.on_delivery(0, w0.data(), w0.size());
+  EXPECT_TRUE(log.windows.empty());  // nothing older than the band yet
+  m.on_delivery(1, w1.data(), w1.size());
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));  // w0 closed the moment w1 landed
+  m.on_delivery(2, w2.data(), w2.size());
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 1}));
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(log.sessions, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(m.sealed_windows(), 3u);
+  EXPECT_EQ(m.watermark_advances(), 3u);
+  EXPECT_EQ(m.late_rows(), 0u);
+  EXPECT_EQ(m.open_windows(), 0u);  // sealed windows are freed, not kept
+  EXPECT_EQ(m.open_windows_peak(), 1u);
+}
+
+TEST(WindowMachine, ZeroRowDeliveryAdvancesTheWatermark) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(0, log_seals(log));
+  std::vector<StreamRow> w0{make_row(0, 5)};
+  m.on_delivery(0, w0.data(), w0.size());
+  // Event-time progress without data: an idle period must still close
+  // older windows.
+  m.on_delivery(5, nullptr, 0);
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));  // nothing else ever opened
+  EXPECT_EQ(m.watermark_advances(), 2u);
+}
+
+TEST(WindowMachine, OutOfOrderWithinTheLatenessBandIsAccepted) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(2, log_seals(log));
+  std::vector<StreamRow> w0{make_row(0, 10), make_row(0, 20)};
+  std::vector<StreamRow> w1{make_row(1, 10)};
+  std::vector<StreamRow> w2{make_row(2, 10)};
+  std::vector<StreamRow> replay{make_row(0, 40)};
+  m.on_delivery(0, w0.data(), w0.size());
+  m.on_delivery(1, w1.data(), w1.size());
+  m.on_delivery(2, w2.data(), w2.size());
+  EXPECT_TRUE(log.windows.empty());  // band of 2 holds w0 open at watermark 2
+  // A straggler delivery for w0 arrives after w2: inside the band, so it
+  // must land in the still-open window, not be dropped.
+  m.on_delivery(0, replay.data(), replay.size());
+  EXPECT_EQ(m.late_rows(), 0u);
+  std::vector<StreamRow> w3{make_row(3, 10)};
+  m.on_delivery(3, w3.data(), w3.size());
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));
+  EXPECT_EQ(log.sessions, (std::vector<int>{3}));  // 2 on-time + 1 straggler
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WindowMachine, LateRowsAreDroppedAndCountedExactly) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(0, log_seals(log));
+  std::vector<StreamRow> w0{make_row(0, 10), make_row(0, 20)};
+  std::vector<StreamRow> w1{make_row(1, 10)};
+  m.on_delivery(0, w0.data(), w0.size());
+  m.on_delivery(1, w1.data(), w1.size());  // seals w0
+  ASSERT_EQ(log.windows, (std::vector<int>{0}));
+
+  // Entirely-late delivery: every row addresses the sealed w0.
+  std::vector<StreamRow> late{make_row(0, 30), make_row(0, 40), make_row(0, 50)};
+  m.on_delivery(0, late.data(), late.size());
+  EXPECT_EQ(m.late_rows(), 3u);
+  EXPECT_EQ(m.late_deliveries(), 1u);
+
+  // Mixed delivery: one row late, one row on time for the open w1.
+  std::vector<StreamRow> mixed{make_row(0, 60), make_row(1, 60)};
+  m.on_delivery(1, mixed.data(), mixed.size());
+  EXPECT_EQ(m.late_rows(), 4u);
+  EXPECT_EQ(m.late_deliveries(), 2u);
+
+  m.flush();
+  // w0 sealed exactly once, with only its on-time rows; the straggler made
+  // it into w1 before the flush.
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 1}));
+  EXPECT_EQ(log.sessions, (std::vector<int>{2, 2}));
+  EXPECT_EQ(m.sealed_windows(), 2u);
+}
+
+TEST(WindowMachine, FlushIsIdempotentAndTerminal) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(0, log_seals(log));
+  std::vector<StreamRow> w0{make_row(0, 10)};
+  m.on_delivery(0, w0.data(), w0.size());
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));
+  m.flush();  // second flush seals nothing
+  EXPECT_EQ(m.sealed_windows(), 1u);
+  // Post-flush deliveries are entirely late, whatever their window.
+  std::vector<StreamRow> w5{make_row(5, 10), make_row(5, 20)};
+  m.on_delivery(5, w5.data(), w5.size());
+  EXPECT_EQ(m.late_rows(), 2u);
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0}));
+  EXPECT_EQ(m.sealed_windows(), 1u);
+}
+
+TEST(WindowMachine, EmptyWindowsNeverSeal) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(0, log_seals(log));
+  std::vector<StreamRow> w0{make_row(0, 10)};
+  std::vector<StreamRow> w4{make_row(4, 10)};
+  m.on_delivery(0, w0.data(), w0.size());
+  m.on_delivery(4, w4.data(), w4.size());
+  m.flush();
+  // w1..w3 had no traffic: the watermark swept past them but no seal fired
+  // (the batch analyzers likewise never see absent windows).
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 4}));
+  EXPECT_EQ(m.sealed_windows(), 2u);
+}
+
+TEST(WindowMachine, BatchSentinelMaterializesThenSealsAscending) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(kStreamNeverSeal, log_seals(log));
+  for (int w = 0; w < 10; ++w) {
+    const StreamRow row = make_row(w, 10);
+    m.on_delivery(w, &row, 1);
+  }
+  EXPECT_TRUE(log.windows.empty());  // nothing seals before flush
+  EXPECT_EQ(m.open_windows(), 10u);
+  EXPECT_EQ(m.open_windows_peak(), 10u);
+  m.flush();
+  EXPECT_EQ(log.windows, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(WindowMachine, OpenWindowsStayWithinTheLatenessBound) {
+  WindowMachine m;
+  SealLog log;
+  m.start_group(1, log_seals(log));
+  for (int w = 0; w < 50; ++w) {
+    const StreamRow row = make_row(w, 10);
+    m.on_delivery(w, &row, 1);
+    EXPECT_LE(m.open_windows(), 3u) << "w=" << w;  // lateness + 2
+  }
+  m.flush();
+  EXPECT_EQ(m.sealed_windows(), 50u);
+  EXPECT_LE(m.open_windows_peak(), 3u);
+}
+
+TEST(WindowMachine, StartGroupResetsStateAndCounters) {
+  WindowMachine m;
+  SealLog a;
+  m.start_group(0, log_seals(a));
+  std::vector<StreamRow> w0{make_row(0, 10)};
+  std::vector<StreamRow> w1{make_row(1, 10)};
+  m.on_delivery(0, w0.data(), w0.size());
+  m.on_delivery(1, w1.data(), w1.size());
+  // Deliberately no flush: the next group must not inherit the open w1.
+  SealLog b;
+  m.start_group(0, log_seals(b));
+  EXPECT_EQ(m.sealed_windows(), 0u);
+  EXPECT_EQ(m.late_rows(), 0u);
+  EXPECT_EQ(m.open_windows(), 0u);
+  std::vector<StreamRow> fresh{make_row(0, 5), make_row(0, 6)};
+  m.on_delivery(0, fresh.data(), fresh.size());
+  m.flush();
+  EXPECT_EQ(b.windows, (std::vector<int>{0}));
+  EXPECT_EQ(b.sessions, (std::vector<int>{2}));
+  EXPECT_EQ(a.windows, (std::vector<int>{0}));  // group A sealed only w0
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: stream == batch, bitwise, under every knob.
+// ---------------------------------------------------------------------------
+
+World sweep_world() {
+  WorldConfig wc;
+  wc.seed = 2019;
+  wc.groups_per_continent = 1;
+  wc.days = 1;
+  return build_world(wc);
+}
+
+DatasetConfig sweep_dataset(std::uint64_t seed) {
+  DatasetConfig dc;
+  dc.seed = seed;
+  dc.days = 1;
+  dc.session_scale = 0.05;
+  return dc;
+}
+
+void expect_comparison_eq(const Comparison& a, const Comparison& b) {
+  EXPECT_EQ(static_cast<int>(a.validity), static_cast<int>(b.validity));
+  EXPECT_EQ(a.diff.estimate, b.diff.estimate);
+  EXPECT_EQ(a.diff.lower, b.diff.lower);
+  EXPECT_EQ(a.diff.upper, b.diff.upper);
+}
+
+void expect_verdicts_eq(const MonitorResult& a, const MonitorResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  EXPECT_EQ(a.total.verdict_hash, b.total.verdict_hash);
+  EXPECT_EQ(a.total.windows, b.total.windows);
+  EXPECT_EQ(a.total.rows, b.total.rows);
+  EXPECT_EQ(a.total.degraded_rtt, b.total.degraded_rtt);
+  EXPECT_EQ(a.total.degraded_hd, b.total.degraded_hd);
+  EXPECT_EQ(a.total.opp_rtt, b.total.opp_rtt);
+  EXPECT_EQ(a.total.opp_hd, b.total.opp_hd);
+  EXPECT_EQ(a.total.traffic, b.total.traffic);
+  EXPECT_EQ(a.total.degraded_traffic, b.total.degraded_traffic);
+  EXPECT_EQ(a.total.opportunity_traffic, b.total.opportunity_traffic);
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].verdict_hash, b.groups[g].verdict_hash) << "g=" << g;
+    EXPECT_EQ(a.groups[g].windows, b.groups[g].windows) << "g=" << g;
+  }
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t g = 0; g < a.verdicts.size(); ++g) {
+    ASSERT_EQ(a.verdicts[g].size(), b.verdicts[g].size()) << "g=" << g;
+    for (std::size_t i = 0; i < a.verdicts[g].size(); ++i) {
+      const WindowVerdict& va = a.verdicts[g][i];
+      const WindowVerdict& vb = b.verdicts[g][i];
+      EXPECT_EQ(va.window, vb.window);
+      EXPECT_EQ(va.degr.traffic, vb.degr.traffic);
+      expect_comparison_eq(va.degr.rtt, vb.degr.rtt);
+      expect_comparison_eq(va.degr.hd, vb.degr.hd);
+      ASSERT_EQ(va.has_opp, vb.has_opp);
+      if (va.has_opp) {
+        EXPECT_EQ(va.opp.traffic, vb.opp.traffic);
+        EXPECT_EQ(va.opp.rtt_alternate, vb.opp.rtt_alternate);
+        EXPECT_EQ(va.opp.hd_alternate, vb.opp.hd_alternate);
+        expect_comparison_eq(va.opp.rtt, vb.opp.rtt);
+        expect_comparison_eq(va.opp.hd, vb.opp.hd);
+      }
+    }
+  }
+}
+
+TEST(StreamMonitor, StreamEqualsBatchBitwiseOver100Seeds) {
+  const World world = sweep_world();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const DatasetConfig dc = sweep_dataset(seed);
+    StreamMonitorOptions options;
+    options.collect_verdicts = true;
+    // Sweep the stream-only knobs too: none of them may move a verdict.
+    options.allowed_lateness_windows = static_cast<int>(seed % 3);
+    options.max_batch_rows = static_cast<int>((seed % 4) * 64);  // 0 = per window
+    const auto stream = run_stream_monitor(world, dc, MonitorMode::kStream,
+                                           options, RuntimeOptions::sequential());
+    const auto batch = run_stream_monitor(world, dc, MonitorMode::kBatch, options,
+                                          RuntimeOptions::sequential());
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    expect_verdicts_eq(stream, batch);
+    EXPECT_EQ(stream.total.late_rows, 0u);  // clean in-order replay drops nothing
+    EXPECT_GT(stream.total.windows, 0u);
+
+    // Every 10th seed: sharded runs must match the sequential ones exactly.
+    if (seed % 10 == 0) {
+      const auto stream4 = run_stream_monitor(world, dc, MonitorMode::kStream,
+                                              options, RuntimeOptions{4});
+      expect_verdicts_eq(stream, stream4);
+      const auto batch4 = run_stream_monitor(world, dc, MonitorMode::kBatch,
+                                             options, RuntimeOptions{4});
+      expect_verdicts_eq(batch, batch4);
+    }
+  }
+}
+
+TEST(StreamMonitor, StreamStateIsFlatWhereBatchGrowsWithTheSeries) {
+  const World world = sweep_world();
+  const DatasetConfig dc = sweep_dataset(2019);
+  StreamMonitorOptions options;
+  RunStats stream_stats, batch_stats;
+  run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                     RuntimeOptions::sequential(), &stream_stats);
+  run_stream_monitor(world, dc, MonitorMode::kBatch, options,
+                     RuntimeOptions::sequential(), &batch_stats);
+  // Stream mode holds only the lateness band open (lateness 0 -> at most
+  // the current window plus a boundary spill); batch mode materializes the
+  // whole day per group.
+  EXPECT_LE(stream_stats.stream_open_windows_peak, 2u);
+  EXPECT_GE(batch_stats.stream_open_windows_peak, 90u);
+  EXPECT_EQ(stream_stats.stream_windows_sealed, batch_stats.stream_windows_sealed);
+}
+
+TEST(StreamMonitor, ZeroRateFaultPlanIsByteIdentical) {
+  const World world = sweep_world();
+  const DatasetConfig dc = sweep_dataset(7);
+  StreamMonitorOptions options;
+  options.collect_verdicts = true;
+  const auto plain = run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                                        RuntimeOptions::sequential());
+  FaultPlan armed_but_zero;
+  armed_but_zero.seed = 123;  // a seed alone must not change anything
+  RunStats stats;
+  const auto with_plan =
+      run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                         RuntimeOptions::sequential(), &stats, armed_but_zero);
+  expect_verdicts_eq(plain, with_plan);
+  EXPECT_FALSE(stats.faults.any());
+}
+
+TEST(StreamMonitor, InjectedStreamFaultsStayDeterministicAcrossThreads) {
+  const World world = sweep_world();
+  const DatasetConfig dc = sweep_dataset(11);
+  StreamMonitorOptions options;
+  options.collect_verdicts = true;
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.stream_late_rate = 0.2;
+  plan.stream_late_max_delay = 3;
+  plan.stream_duplicate_rate = 0.1;
+  RunStats seq_stats, par_stats;
+  const auto seq = run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                                      RuntimeOptions::sequential(), &seq_stats, plan);
+  const auto par = run_stream_monitor(world, dc, MonitorMode::kStream, options,
+                                      RuntimeOptions{4}, &par_stats, plan);
+  expect_verdicts_eq(seq, par);
+  EXPECT_EQ(seq.faults.stream_late_batches, par.faults.stream_late_batches);
+  EXPECT_EQ(seq.faults.stream_duplicate_batches, par.faults.stream_duplicate_batches);
+  EXPECT_EQ(seq.faults.stream_dropped_rows, par.faults.stream_dropped_rows);
+  EXPECT_GT(seq.faults.stream_late_batches, 0u);
+  EXPECT_GT(seq.faults.stream_duplicate_batches, 0u);
+  // Dropped rows are exactly the machine-side late rows, and they surface
+  // in both the summaries and the fault counters.
+  EXPECT_EQ(seq.total.late_rows, seq.faults.stream_dropped_rows);
+}
+
+}  // namespace
+}  // namespace fbedge
