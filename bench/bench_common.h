@@ -150,6 +150,9 @@ inline void print_paper_note(const char* note) {
 /// committed BENCH files (always cold, uncached runs) are unaffected.
 inline void add_runtime_json(JsonOutput& json, const RunStats& stats) {
   json.add("runtime_threads", stats.threads);
+  // 1 = AVX2 kernels, 0 = scalar reference, -1 = unknown. CI's scalar-rot
+  // guard asserts this is 1 under FBEDGE_SIMD=avx2 on an AVX2 runner.
+  json.add("runtime_simd_avx2", stats.simd_avx2);
   json.add("runtime_wall_seconds", stats.wall_seconds);
   json.add("runtime_cpu_seconds", stats.cpu_seconds);
   json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));

@@ -67,11 +67,6 @@ int main(int argc, char** argv) {
   json.add("hdratio_naive_median", perf.hdratio_naive_all.quantile(0.5));
   json.add("sessions_total", static_cast<double>(perf.sessions_total));
   json.add("sessions_hd_testable", static_cast<double>(perf.sessions_hd_testable));
-  json.add("runtime_threads", stats.threads);
-  json.add("runtime_wall_seconds", stats.wall_seconds);
-  json.add("runtime_cpu_seconds", stats.cpu_seconds);
-  json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
-  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
-  json.add("runtime_steals", static_cast<double>(stats.steals));
+  bench::add_runtime_json(json, stats);
   return json.write() ? 0 : 1;
 }

@@ -95,11 +95,6 @@ int main(int argc, char** argv) {
                static_cast<double>(tally.sustained[r]) / tally.tested[r]);
     }
   }
-  json.add("runtime_threads", stats.threads);
-  json.add("runtime_wall_seconds", stats.wall_seconds);
-  json.add("runtime_cpu_seconds", stats.cpu_seconds);
-  json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
-  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
-  json.add("runtime_steals", static_cast<double>(stats.steals));
+  bench::add_runtime_json(json, stats);
   return json.write() ? 0 : 1;
 }

@@ -98,6 +98,13 @@ class RouteWindowAgg {
     hdratio_.save(w);
   }
 
+  /// Exact number of bytes the next save() will append (compresses the
+  /// sketches, which save() does anyway) — lets serializers size output
+  /// buffers before writing.
+  std::size_t saved_size() const {
+    return 8 + 8 + 2 * 24 + minrtt_.saved_size() + hdratio_.saved_size();
+  }
+
   bool load(ByteReader& r) {
     const std::int64_t sessions = r.i64();
     traffic_bytes_ = r.i64();

@@ -12,7 +12,21 @@ constexpr std::size_t kMinWindowBytes = 8 + 4 + kMinCellBytes;
 
 }  // namespace
 
+std::size_t group_series_saved_size(const GroupSeries& series) {
+  std::size_t total = 1 + 8;  // continent tag + window count
+  for (const auto& [window, agg] : series.windows) {
+    (void)window;
+    total += 8 + 4;  // window id + route count
+    for (const RouteWindowAgg& cell : agg.routes) total += cell.saved_size();
+  }
+  return total;
+}
+
 void save_group_series(const GroupSeries& series, ByteWriter& w) {
+  // Sizing first compresses every sketch, so the save loop below never
+  // re-compresses, and the reserve turns ~N per-byte growth steps into a
+  // single allocation for the whole artifact.
+  w.reserve(group_series_saved_size(series));
   w.u8(static_cast<std::uint8_t>(series.continent));
   w.u64(series.windows.size());
   for (const auto& [window, agg] : series.windows) {

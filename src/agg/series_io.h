@@ -7,6 +7,7 @@
 // this). Doubles travel as raw IEEE-754 bit patterns via util/binio.h.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "agg/aggregation.h"
@@ -24,7 +25,14 @@ namespace fbedge {
 /// land in the same diff.
 inline constexpr std::uint32_t kIngestArtifactEpoch = 1;
 
-/// Appends `series` (continent + every window's route cells) to `w`.
+/// Exact number of bytes save_group_series() will append for `series`.
+/// Compresses every cell's sketches along the way — work save() repeats as
+/// a no-op — so computing the size first costs nothing beyond the walk.
+std::size_t group_series_saved_size(const GroupSeries& series);
+
+/// Appends `series` (continent + every window's route cells) to `w`,
+/// reserving the output buffer from the precomputed encoded size so the
+/// whole artifact lands in one allocation.
 void save_group_series(const GroupSeries& series, ByteWriter& w);
 
 /// Rebuilds `series` from `r`. The series is emptied first (recycling its

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "util/simd.h"
+
 namespace fbedge {
 
 SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig config) {
@@ -10,9 +12,9 @@ SessionHd evaluate_session(const std::vector<TxnTiming>& txns, GoodputConfig con
   return eval.result();
 }
 
-void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
-                       const std::uint32_t* counts, std::size_t rows,
-                       SessionHd* out, GoodputConfig config) {
+void evaluate_hd_batch_scalar(const TxnTiming* txns, const std::uint32_t* offsets,
+                              const std::uint32_t* counts, std::size_t rows,
+                              SessionHd* out, GoodputConfig config) {
   // One evaluator reused across rows: reset() is two trivial assignments,
   // and keeping it in a register-friendly local lets the compiler fold the
   // inline evaluate() into a single loop with `config` (the rate ladder's
@@ -25,6 +27,18 @@ void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
     for (std::uint32_t j = 0; j < n; ++j) eval.evaluate(t[j]);
     out[i] = eval.result();
   }
+}
+
+void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
+                       const std::uint32_t* counts, std::size_t rows,
+                       SessionHd* out, GoodputConfig config) {
+#if FBEDGE_HAVE_AVX2
+  if (simd::avx2_active()) {
+    evaluate_hd_batch_avx2(txns, offsets, counts, rows, out, config);
+    return;
+  }
+#endif
+  evaluate_hd_batch_scalar(txns, offsets, counts, rows, out, config);
 }
 
 }  // namespace fbedge

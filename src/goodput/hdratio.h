@@ -138,4 +138,22 @@ void evaluate_hd_batch(const TxnTiming* txns, const std::uint32_t* offsets,
                        const std::uint32_t* counts, std::size_t rows,
                        SessionHd* out, GoodputConfig config = {});
 
+/// The always-built scalar reference for evaluate_hd_batch — the pinned
+/// definition of the output. evaluate_hd_batch() dispatches here unless
+/// the AVX2 path is active (util/simd.h); the differential tests call both
+/// explicitly and require bitwise-equal results.
+void evaluate_hd_batch_scalar(const TxnTiming* txns, const std::uint32_t* offsets,
+                              const std::uint32_t* counts, std::size_t rows,
+                              SessionHd* out, GoodputConfig config = {});
+
+/// AVX2 lane-per-row kernel (defined only when FBEDGE_HAVE_AVX2; guard
+/// call sites with simd::compiled_avx2()). Four sessions advance in
+/// lock-step, one transaction per lane per step, with finished rows
+/// refilled from the remaining work (mask-and-compact) — every double is
+/// combined in the same order as the scalar chain, so the output is
+/// bitwise identical.
+void evaluate_hd_batch_avx2(const TxnTiming* txns, const std::uint32_t* offsets,
+                            const std::uint32_t* counts, std::size_t rows,
+                            SessionHd* out, GoodputConfig config = {});
+
 }  // namespace fbedge

@@ -1,0 +1,288 @@
+// AVX2 lane-per-row kernel for evaluate_hd_batch (see hdratio.h and the
+// bitwise contract in util/simd.h).
+//
+// Four sessions advance in lock-step, one transaction per lane per step.
+// When a lane's session runs out of transactions its SessionHd is flushed
+// and the lane is refilled with the next pending row (mask-and-compact), so
+// ragged session lengths keep all four lanes occupied. Idle lanes load a
+// zeroed dummy transaction, which fails the validity gate and therefore
+// cannot perturb any state.
+//
+// Bitwise identity with the scalar HdEvaluator chain rests on:
+//   * AVX2 add/sub/mul/div/max on doubles are IEEE correctly-rounded, i.e.
+//     identical to the scalar instructions, and this TU is compiled with
+//     -ffp-contract=off so no mul+add fuses into an FMA;
+//   * every double is combined in exactly the scalar order — lanes are
+//     independent sessions, never reassociated partial sums;
+//   * the one non-replicable libm call in the chain, std::log2 inside
+//     ideal::rounds(), is eliminated: for ratio = Btotal/Wstart + 1 > 1 the
+//     result m = max(1, ceil(log2(ratio) - 1e-12)) equals e + 1 (e =
+//     unbiased exponent of ratio) whenever the mantissa fraction is at
+//     least 16384 ulps above a power of two — then log2(ratio) - 1e-12 lies
+//     strictly inside (e, e+1) for any correctly-rounded-to-1-ulp log2.
+//     Lanes inside the 16384-ulp guard zone (including exact powers of
+//     two) re-run the scalar std::log2 expression verbatim, so the same
+//     libm code decides those.
+#include "goodput/hdratio.h"
+
+#if FBEDGE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace fbedge {
+
+namespace {
+
+static_assert(sizeof(TxnTiming) == 32, "lane loads assume a packed 4x8-byte TxnTiming");
+static_assert(offsetof(TxnTiming, btotal) == 0 && offsetof(TxnTiming, ttotal) == 8 &&
+                  offsetof(TxnTiming, wnic) == 16 && offsetof(TxnTiming, min_rtt) == 24,
+              "transpose assumes field order btotal, ttotal, wnic, min_rtt");
+
+// Loaded by idle lanes; btotal == 0 fails the validity gate so the lane's
+// counters and Wstart chain stay untouched.
+constexpr TxnTiming kIdleTxn{};
+
+// Exact int64 -> double. The branchless magic-constant trick is exact for
+// 0 <= v < 2^52 (every byte count the pipeline produces); larger values --
+// only reachable via a saturated Wstart chain -- take the per-lane scalar
+// conversion, which is what the reference code does everywhere. Negative
+// inputs only occur in lanes the validity gate already discarded.
+inline __m256d exact_i64_to_pd(__m256i v) {
+  const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);  // (double)2^52
+  const __m256i big = _mm256_cmpgt_epi64(v, _mm256_set1_epi64x((1LL << 52) - 1));
+  if (_mm256_testz_si256(big, big)) {
+    return _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(v, magic)),
+                         _mm256_castsi256_pd(magic));
+  }
+  alignas(32) long long a[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(a), v);
+  return _mm256_set_pd(static_cast<double>(a[3]), static_cast<double>(a[2]),
+                       static_cast<double>(a[1]), static_cast<double>(a[0]));
+}
+
+// 2^k as a double, built from the exponent bits; exact for 0 <= k <= 1023
+// (m never exceeds 64 here). Masked-out lanes may pass garbage k and get a
+// defined-but-meaningless double back, which the caller blends away.
+inline __m256d pow2_epi64(__m256i k) {
+  return _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(k, _mm256_set1_epi64x(1023)), 52));
+}
+
+}  // namespace
+
+void evaluate_hd_batch_avx2(const TxnTiming* txns, const std::uint32_t* offsets,
+                            const std::uint32_t* counts, std::size_t rows,
+                            SessionHd* out, GoodputConfig config) {
+  // Per-lane session state. Counters and the Wstart chain live in memory so
+  // a single lane can be flushed/reset on refill without unpacking vectors.
+  const TxnTiming* lane_ptr[4] = {&kIdleTxn, &kIdleTxn, &kIdleTxn, &kIdleTxn};
+  std::uint32_t lane_left[4] = {0, 0, 0, 0};
+  std::size_t lane_row[4] = {0, 0, 0, 0};
+  alignas(32) long long prev_end[4] = {0, 0, 0, 0};
+  alignas(32) long long tested[4] = {0, 0, 0, 0};
+  alignas(32) long long achieved[4] = {0, 0, 0, 0};
+  alignas(32) long long naive[4] = {0, 0, 0, 0};
+
+  std::size_t next_row = 0;
+  int live = 4;
+
+  const auto refill = [&](int lane) {
+    // Zero-transaction rows produce an empty SessionHd without occupying a
+    // lane (the scalar loop writes eval.result() of a fresh evaluator).
+    while (next_row < rows && counts[next_row] == 0) {
+      out[next_row] = SessionHd{};
+      ++next_row;
+    }
+    if (next_row == rows) {
+      lane_ptr[lane] = &kIdleTxn;
+      lane_left[lane] = 0;
+      --live;
+      return;
+    }
+    lane_row[lane] = next_row;
+    lane_ptr[lane] = txns + offsets[next_row];
+    lane_left[lane] = counts[next_row];
+    prev_end[lane] = 0;
+    tested[lane] = 0;
+    achieved[lane] = 0;
+    naive[lane] = 0;
+    ++next_row;
+  };
+  for (int lane = 0; lane < 4; ++lane) refill(lane);
+
+  const __m256d kZero = _mm256_setzero_pd();
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  const __m256d kTwo = _mm256_set1_pd(2.0);
+  const __m256d kEight = _mm256_set1_pd(8.0);
+  const __m256d kInf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256i kZeroI = _mm256_setzero_si256();
+  const __m256i kOneI = _mm256_set1_epi64x(1);
+  const __m256d target = _mm256_set1_pd(config.target_goodput);
+
+  while (live > 0) {
+    // One transaction per lane; 4x4 transpose into columns. The int64
+    // fields travel as raw bits through the double shuffles.
+    const __m256d r0 = _mm256_loadu_pd(reinterpret_cast<const double*>(lane_ptr[0]));
+    const __m256d r1 = _mm256_loadu_pd(reinterpret_cast<const double*>(lane_ptr[1]));
+    const __m256d r2 = _mm256_loadu_pd(reinterpret_cast<const double*>(lane_ptr[2]));
+    const __m256d r3 = _mm256_loadu_pd(reinterpret_cast<const double*>(lane_ptr[3]));
+    const __m256d t01lo = _mm256_unpacklo_pd(r0, r1);
+    const __m256d t01hi = _mm256_unpackhi_pd(r0, r1);
+    const __m256d t23lo = _mm256_unpacklo_pd(r2, r3);
+    const __m256d t23hi = _mm256_unpackhi_pd(r2, r3);
+    const __m256i btotal_i = _mm256_castpd_si256(_mm256_permute2f128_pd(t01lo, t23lo, 0x20));
+    const __m256d ttotal = _mm256_permute2f128_pd(t01hi, t23hi, 0x20);
+    const __m256i wnic_i = _mm256_castpd_si256(_mm256_permute2f128_pd(t01lo, t23lo, 0x31));
+    const __m256d min_rtt = _mm256_permute2f128_pd(t01hi, t23hi, 0x31);
+
+    // Validity gate (HdEvaluator::evaluate's skip conditions). 0 < x < inf
+    // is exactly isfinite(x) && x > 0; NaN fails both ordered compares.
+    const __m256i pos_sizes =
+        _mm256_and_si256(_mm256_cmpgt_epi64(btotal_i, kZeroI), _mm256_cmpgt_epi64(wnic_i, kZeroI));
+    const __m256d rtt_ok = _mm256_and_pd(_mm256_cmp_pd(min_rtt, kZero, _CMP_GT_OQ),
+                                         _mm256_cmp_pd(min_rtt, kInf, _CMP_LT_OQ));
+    const __m256d tt_ok = _mm256_and_pd(_mm256_cmp_pd(ttotal, kZero, _CMP_GT_OQ),
+                                        _mm256_cmp_pd(ttotal, kInf, _CMP_LT_OQ));
+    const __m256d valid =
+        _mm256_and_pd(_mm256_castsi256_pd(pos_sizes), _mm256_and_pd(rtt_ok, tt_ok));
+    const unsigned valid_bits = static_cast<unsigned>(_mm256_movemask_pd(valid));
+
+    if (valid_bits) {
+      // Wstart = max(Wnic, ideal end window of the previous transaction).
+      const __m256i prev = _mm256_load_si256(reinterpret_cast<const __m256i*>(prev_end));
+      const __m256i wstart_i =
+          _mm256_blendv_epi8(prev, wnic_i, _mm256_cmpgt_epi64(wnic_i, prev));
+
+      const __m256d btotal_d = exact_i64_to_pd(btotal_i);
+      const __m256d wstart_d = exact_i64_to_pd(wstart_i);
+
+      // rounds() (Eq. 1) without libm: ratio > 1 for valid lanes, so with
+      // biased exponent E and mantissa fraction f,
+      //   m = E - 1022  when f >= 16384 (see file comment);
+      // the guard zone f < 16384 re-runs the scalar log2 expression.
+      const __m256d ratio = _mm256_add_pd(_mm256_div_pd(btotal_d, wstart_d), kOne);
+      const __m256i ratio_bits = _mm256_castpd_si256(ratio);
+      const __m256i frac =
+          _mm256_and_si256(ratio_bits, _mm256_set1_epi64x((1LL << 52) - 1));
+      __m256i m = _mm256_sub_epi64(_mm256_srli_epi64(ratio_bits, 52),
+                                   _mm256_set1_epi64x(1022));
+      const __m256i frac_small = _mm256_cmpgt_epi64(_mm256_set1_epi64x(16384), frac);
+      const unsigned fallback_bits =
+          valid_bits &
+          static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(frac_small)));
+      if (fallback_bits) {
+        alignas(32) double ratio_a[4];
+        alignas(32) long long m_a[4];
+        _mm256_store_pd(ratio_a, ratio);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(m_a), m);
+        for (int lane = 0; lane < 4; ++lane) {
+          if (fallback_bits & (1u << lane)) {
+            m_a[lane] =
+                std::max(1, static_cast<int>(std::ceil(std::log2(ratio_a[lane]) - 1e-12)));
+          }
+        }
+        m = _mm256_load_si256(reinterpret_cast<const __m256i*>(m_a));
+      }
+
+      // Gtestable (Eq. 3). pow2(m-2) is garbage for m == 1 lanes; blended
+      // away below. maxpd picks its second operand on ties where std::max
+      // picks the first, but a tie means both hold identical bytes
+      // (penultimate is always a positive normal), so the pick is moot.
+      const __m256d pow_m1 = pow2_epi64(_mm256_sub_epi64(m, kOneI));
+      const __m256d pow_m2 = pow2_epi64(_mm256_sub_epi64(m, _mm256_set1_epi64x(2)));
+      const __m256d sent_before_last = _mm256_mul_pd(wstart_d, _mm256_sub_pd(pow_m1, kOne));
+      const __m256d penultimate = _mm256_mul_pd(wstart_d, pow_m2);
+      const __m256d last_round = _mm256_sub_pd(btotal_d, sent_before_last);
+      const __m256d best_round = _mm256_max_pd(penultimate, last_round);
+      const __m256d num = _mm256_blendv_pd(
+          best_round, btotal_d, _mm256_castsi256_pd(_mm256_cmpeq_epi64(m, kOneI)));
+      const __m256d gtestable = _mm256_div_pd(_mm256_mul_pd(num, kEight), min_rtt);
+
+      // Advance the ideal-growth chain for every valid transaction (the
+      // scalar evaluator does this before the can_test check). The cast
+      // compiles to the same cvttsd2si as the scalar code, including its
+      // saturating out-of-range behavior.
+      {
+        alignas(32) double end_a[4];
+        _mm256_store_pd(end_a, _mm256_mul_pd(wstart_d, pow_m1));  // ldexp(wstart, m-1)
+        for (int lane = 0; lane < 4; ++lane) {
+          if (valid_bits & (1u << lane)) {
+            prev_end[lane] = static_cast<long long>(end_a[lane]);
+          }
+        }
+      }
+
+      const __m256d can_test =
+          _mm256_and_pd(_mm256_cmp_pd(gtestable, target, _CMP_GE_OQ), valid);
+      if (_mm256_movemask_pd(can_test)) {
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(tested),
+            _mm256_sub_epi64(_mm256_load_si256(reinterpret_cast<const __m256i*>(tested)),
+                             _mm256_castpd_si256(can_test)));
+
+        // t_model's slow-start loop, all testing lanes in lock-step. A lane
+        // leaves the loop exactly when the scalar loop would: window
+        // sustains the target, transfer fits in slow start, or n > 64.
+        const __m256d wnic_d = exact_i64_to_pd(wnic_i);
+        __m256d cwnd = wnic_d;
+        __m256d sent = kZero;
+        __m256i n = kZeroI;
+        __m256d looping = can_test;
+        while (_mm256_movemask_pd(looping)) {
+          const __m256d growing = _mm256_cmp_pd(
+              _mm256_div_pd(_mm256_mul_pd(cwnd, kEight), min_rtt), target, _CMP_LT_OQ);
+          const __m256d fits =
+              _mm256_cmp_pd(_mm256_add_pd(sent, cwnd), btotal_d, _CMP_GE_OQ);
+          const __m256d step = _mm256_andnot_pd(fits, _mm256_and_pd(growing, looping));
+          sent = _mm256_blendv_pd(sent, _mm256_add_pd(sent, cwnd), step);
+          cwnd = _mm256_blendv_pd(cwnd, _mm256_mul_pd(cwnd, kTwo), step);
+          n = _mm256_sub_epi64(n, _mm256_castpd_si256(step));
+          looping = _mm256_andnot_pd(
+              _mm256_castsi256_pd(_mm256_cmpgt_epi64(n, _mm256_set1_epi64x(64))), step);
+        }
+        const __m256d remaining = _mm256_max_pd(kZero, _mm256_sub_pd(btotal_d, sent));
+        const __m256d tmodel = _mm256_add_pd(
+            _mm256_add_pd(_mm256_mul_pd(exact_i64_to_pd(n), min_rtt),
+                          _mm256_div_pd(_mm256_mul_pd(remaining, kEight), target)),
+            min_rtt);
+
+        const __m256d ach =
+            _mm256_and_pd(_mm256_cmp_pd(ttotal, tmodel, _CMP_LE_OQ), can_test);
+        const __m256d nai = _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_div_pd(_mm256_mul_pd(btotal_d, kEight), ttotal), target,
+                          _CMP_GE_OQ),
+            can_test);
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(achieved),
+            _mm256_sub_epi64(_mm256_load_si256(reinterpret_cast<const __m256i*>(achieved)),
+                             _mm256_castpd_si256(ach)));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(naive),
+            _mm256_sub_epi64(_mm256_load_si256(reinterpret_cast<const __m256i*>(naive)),
+                             _mm256_castpd_si256(nai)));
+      }
+    }
+
+    // Consume one transaction per occupied lane; flush and refill finished
+    // rows.
+    for (int lane = 0; lane < 4; ++lane) {
+      if (lane_left[lane] == 0) continue;
+      ++lane_ptr[lane];
+      if (--lane_left[lane] == 0) {
+        out[lane_row[lane]] = SessionHd{static_cast<int>(tested[lane]),
+                                        static_cast<int>(achieved[lane]),
+                                        static_cast<int>(naive[lane])};
+        refill(lane);
+      }
+    }
+  }
+}
+
+}  // namespace fbedge
+
+#endif  // FBEDGE_HAVE_AVX2

@@ -111,6 +111,11 @@ struct RunStats {
   /// Wall time spent reading/validating and writing cache artifacts.
   double cache_load_seconds{0};
   double cache_save_seconds{0};
+  /// Which columnar-kernel path the run dispatched to (util/simd.h):
+  /// 1 = AVX2, 0 = scalar reference, -1 = unknown (stats assembled outside
+  /// the sharded runtime). Carried through so benches and --verbose can
+  /// prove a run did not silently fall back to scalar.
+  int simd_avx2{-1};
   std::vector<ShardStats> shards;
   FaultCounters faults;
 
@@ -144,6 +149,7 @@ struct RunStats {
     cache_misses += other.cache_misses;
     cache_load_seconds += other.cache_load_seconds;
     cache_save_seconds += other.cache_save_seconds;
+    if (other.simd_avx2 >= 0) simd_avx2 = other.simd_avx2;
     faults.accumulate(other.faults);
     if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
     for (std::size_t s = 0; s < other.shards.size(); ++s) {
@@ -159,14 +165,15 @@ struct RunStats {
     std::fprintf(out,
                  "[runtime] %s: threads=%d tasks=%llu steals=%llu "
                  "wall=%.3fs cpu=%.3fs util=%.1f%% allocs=%llu "
-                 "alloc_mb=%.1f peak_rss_mb=%.1f rss_sampled_mb=%.1f\n",
+                 "alloc_mb=%.1f peak_rss_mb=%.1f rss_sampled_mb=%.1f simd=%s\n",
                  label, threads, static_cast<unsigned long long>(tasks),
                  static_cast<unsigned long long>(steals), wall_seconds,
                  cpu_seconds, 100.0 * utilization(),
                  static_cast<unsigned long long>(alloc_count),
                  static_cast<double>(alloc_bytes) / (1024.0 * 1024.0),
                  static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0),
-                 static_cast<double>(rss_sampled_peak_bytes) / (1024.0 * 1024.0));
+                 static_cast<double>(rss_sampled_peak_bytes) / (1024.0 * 1024.0),
+                 simd_avx2 == 1 ? "avx2" : simd_avx2 == 0 ? "scalar" : "unknown");
     if (stream_windows_sealed > 0 || stream_watermark_advances > 0) {
       std::fprintf(out,
                    "[runtime]   stream: sealed=%llu watermark_advances=%llu "

@@ -5,6 +5,7 @@
 
 #include "runtime/alloc_counter.h"
 #include "util/expect.h"
+#include "util/simd.h"
 
 namespace fbedge {
 
@@ -134,6 +135,7 @@ RunStats ThreadPool::parallel_for(const ShardPlan& plan, const Task& fn) {
 RunStats ThreadPool::parallel_for_workers(const ShardPlan& plan, const WorkerTask& fn) {
   RunStats rs;
   rs.threads = threads_;
+  rs.simd_avx2 = simd::avx2_active() ? 1 : 0;
   rs.shards.resize(static_cast<std::size_t>(threads_));
   if (plan.size() == 0) return rs;
 

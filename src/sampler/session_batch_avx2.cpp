@@ -1,0 +1,145 @@
+// AVX2 path for coalesce_batch (see session_batch.h and the bitwise
+// contract in util/simd.h).
+//
+// The scalar merge scan's only floating-point work is the per-pair join
+// predicate
+//
+//   joins(i) = cur.multiplexed || cur.preempted || prev.multiplexed ||
+//              prev.preempted ||
+//              cur.first_byte_nic <= prev.last_byte_nic + gap
+//
+// and the scan always compares write i against write i-1 (the group's
+// `last` is by construction the previous element), so the predicate is
+// pairwise over the flat write buffer and independent of grouping state.
+// That lets this path evaluate the timing compare four pairs at a time over
+// the *entire* batch — row boundaries included; those mask entries are
+// simply never read — ORing in the flag bits from the same cache lines in
+// the same pass, and finally run the integer-only masked merge scan per row
+// (coalesce_writes_append_masked). The vector add/compare are the same
+// IEEE operations as the scalar expression (this TU is compiled with
+// -ffp-contract=off), so the mask, and with it every group boundary, byte
+// total, and eligibility verdict, is bitwise identical.
+#include "sampler/session_batch.h"
+
+#if FBEDGE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fbedge {
+
+namespace {
+
+static_assert(offsetof(ResponseWrite, first_byte_nic) == 0 &&
+                  offsetof(ResponseWrite, last_byte_nic) == 8,
+              "paired loads assume adjacent first/last NIC timestamps");
+static_assert(offsetof(ResponseWrite, preempted) ==
+                  offsetof(ResponseWrite, multiplexed) + 1,
+              "flag word load assumes adjacent multiplexed/preempted bytes");
+
+// Nonzero iff either flag byte of w is set (both are 0/1 bools, loaded as
+// one 16-bit word from their adjacent bytes).
+std::uint8_t flag_pair(const ResponseWrite& w) {
+  std::uint16_t both;
+  std::memcpy(&both, &w.multiplexed, 2);
+  return static_cast<std::uint8_t>(both != 0);
+}
+
+// joins[i] = full join predicate (gap compare OR either side's
+// multiplexed/preempted flag) for i in [1, n); joins[0] is left untouched.
+// Flags live in the same cache line as the timestamps, so folding them in
+// here keeps the whole mask build a single pass over the write buffer.
+void fill_join_mask(const ResponseWrite* w, std::size_t n, Duration gap, std::uint8_t* joins) {
+  const __m256d gap_v = _mm256_set1_pd(gap);
+  std::uint32_t prev_flag = n > 0 ? flag_pair(w[0]) : 0u;
+  std::size_t i = 1;
+  // {first_byte_nic, last_byte_nic} pair of write i-1, carried across
+  // iterations (each step's last load is the next step's predecessor).
+  __m128d p = n > 1 ? _mm_loadu_pd(&w[0].first_byte_nic) : _mm_setzero_pd();
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a0 = _mm_loadu_pd(&w[i].first_byte_nic);
+    const __m128d a1 = _mm_loadu_pd(&w[i + 1].first_byte_nic);
+    const __m128d a2 = _mm_loadu_pd(&w[i + 2].first_byte_nic);
+    const __m128d a3 = _mm_loadu_pd(&w[i + 3].first_byte_nic);
+    const __m256d first_cur =
+        _mm256_set_m128d(_mm_unpacklo_pd(a2, a3), _mm_unpacklo_pd(a0, a1));
+    const __m256d last_prev =
+        _mm256_set_m128d(_mm_unpackhi_pd(a1, a2), _mm_unpackhi_pd(p, a0));
+    const std::uint32_t bits = static_cast<std::uint32_t>(_mm256_movemask_pd(
+        _mm256_cmp_pd(first_cur, _mm256_add_pd(last_prev, gap_v), _CMP_LE_OQ)));
+    // Spread the 4 compare bits to one byte each (b0|b1<<8|b2<<16|b3<<24),
+    // OR in each write's own flag and its predecessor's, and store all four
+    // mask bytes with a single write.
+    const std::uint32_t gap_bytes = (bits * 0x00204081u) & 0x01010101u;
+    const std::uint32_t flags = flag_pair(w[i]) | (flag_pair(w[i + 1]) << 8) |
+                                (flag_pair(w[i + 2]) << 16) |
+                                (flag_pair(w[i + 3]) << 24);
+    const std::uint32_t mask = gap_bytes | flags | (flags << 8) | prev_flag;
+    std::memcpy(joins + i, &mask, 4);
+    prev_flag = flags >> 24;
+    p = a3;
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t f = flag_pair(w[i]);
+    joins[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint32_t>(w[i].first_byte_nic <=
+                                   w[i - 1].last_byte_nic + gap) |
+        f | prev_flag);
+    prev_flag = f;
+  }
+}
+
+}  // namespace
+
+void coalesce_batch_avx2(const SessionBatch& batch, const std::uint8_t* skip,
+                         CoalescedBatch& out, CoalescerConfig config) {
+  out.clear();
+  const std::size_t rows = batch.size();
+  out.offset.reserve(rows);
+  out.count.reserve(rows);
+
+  const ResponseWrite* w = batch.writes.data();
+  const std::size_t n_writes = batch.writes.size();
+  out.join_scratch.resize(n_writes);
+  std::uint8_t* joins = out.join_scratch.data();
+
+  // Row-aligned chunks: fill the join mask for ~64 KB of writes, then scan
+  // those rows while the lines are still in cache. One whole-buffer fill
+  // followed by a whole-buffer scan would touch every write twice from
+  // memory once the batch outgrows L2 — that second pass is what made the
+  // unchunked variant lose to the fused scalar scan.
+  constexpr std::size_t kChunkWrites = 1024;
+  std::size_t r0 = 0;
+  while (r0 < rows) {
+    const std::size_t chunk_off = batch.write_offset[r0];
+    std::size_t chunk_end = chunk_off;
+    std::size_t r1 = r0;
+    while (r1 < rows && (r1 == r0 || chunk_end - chunk_off < kChunkWrites)) {
+      chunk_end = batch.write_offset[r1] + batch.write_count[r1];
+      ++r1;
+    }
+    fill_join_mask(w + chunk_off, chunk_end - chunk_off, config.back_to_back_gap,
+                   joins + chunk_off);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const auto before = static_cast<std::uint32_t>(out.txns.size());
+      out.offset.push_back(before);
+      if (skip != nullptr && skip[i] != 0) {
+        out.count.push_back(0);
+        continue;
+      }
+      const std::uint32_t off = batch.write_offset[i];
+      coalesce_writes_append_masked(w + off, joins + off, batch.write_count[i],
+                                    batch.min_rtt[i], out.txns,
+                                    out.ineligible_groups, out.coalesced_writes);
+      out.count.push_back(static_cast<std::uint32_t>(out.txns.size()) - before);
+    }
+    r0 = r1;
+  }
+}
+
+}  // namespace fbedge
+
+#endif  // FBEDGE_HAVE_AVX2

@@ -1,0 +1,119 @@
+// AVX2 sort path for TDigest::compress (see tdigest.h and the bitwise
+// contract in util/simd.h).
+//
+// The centroid comparator orders by (mean, weight) with IEEE `<`. For
+// doubles that are neither -0.0 nor NaN, the classic order-preserving
+// integer encoding
+//
+//   key(x) = bits(x) XOR (x < 0 ? 0xFFFF'FFFF'FFFF'FFFF
+//                                : 0x8000'0000'0000'0000)
+//
+// is a strictly monotone bijection, so sorting (key(mean), key(weight))
+// pairs lexicographically as integers visits exactly the comparator's
+// order — and because comparator-equivalent centroids are byte-identical
+// 16-byte pairs, even an unstable sort yields the same output bytes. The
+// encode, the hazard scan (-0.0 orders differently under integer compare;
+// NaN compares unordered), and the decode all run four doubles per
+// instruction; the sort itself is std::sort over two branchless integer
+// compares. Buffers containing a hazard are declined untouched and the
+// caller falls back to the comparator sort.
+#include "stats/tdigest.h"
+
+#if FBEDGE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fbedge::detail {
+
+namespace {
+
+static_assert(sizeof(TDigest::Centroid) == 16 && sizeof(CentroidKey) == 16,
+              "key array must mirror the centroid array layout");
+
+constexpr std::uint64_t kSignBit = 0x8000'0000'0000'0000ULL;
+constexpr std::uint64_t kExpMask = 0x7FF0'0000'0000'0000ULL;
+
+inline std::uint64_t encode_scalar(std::uint64_t bits) {
+  return bits ^ ((bits & kSignBit) != 0 ? ~std::uint64_t{0} : kSignBit);
+}
+
+inline std::uint64_t decode_scalar(std::uint64_t key) {
+  return key ^ ((key & kSignBit) != 0 ? kSignBit : ~std::uint64_t{0});
+}
+
+inline bool hazard_scalar(std::uint64_t bits) {
+  return bits == kSignBit || (bits & ~kSignBit) > kExpMask;  // -0.0 or NaN
+}
+
+}  // namespace
+
+bool tdigest_sort_avx2(std::vector<TDigest::Centroid>& buffer,
+                       std::vector<CentroidKey>& scratch) {
+  const std::size_t n = buffer.size();
+  scratch.resize(n);
+  // The buffer is 2n contiguous doubles (mean, weight, mean, weight, ...);
+  // the transform is lane-independent, so no deinterleave is needed. Byte
+  // pointers + memcpy/intrinsic loads keep the double<->uint64 punning
+  // aliasing-clean.
+  const auto* src = reinterpret_cast<const unsigned char*>(buffer.data());
+  auto* keys = reinterpret_cast<unsigned char*>(scratch.data());
+  const std::size_t total = 2 * n;
+
+  const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(kSignBit));
+  const __m256i expmask = _mm256_set1_epi64x(static_cast<long long>(kExpMask));
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i hazard = zero;
+  std::size_t i = 0;
+  for (; i + 4 <= total; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 8));
+    const __m256i neg = _mm256_cmpgt_epi64(zero, v);  // arithmetic >>63
+    hazard = _mm256_or_si256(
+        hazard, _mm256_or_si256(
+                    _mm256_cmpeq_epi64(v, sign),                            // -0.0
+                    _mm256_cmpgt_epi64(_mm256_andnot_si256(sign, v), expmask)));  // NaN
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i * 8),
+                        _mm256_xor_si256(v, _mm256_or_si256(neg, sign)));
+  }
+  bool tail_hazard = false;
+  for (; i < total; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, src + i * 8, 8);
+    tail_hazard |= hazard_scalar(bits);
+    const std::uint64_t key = encode_scalar(bits);
+    std::memcpy(keys + i * 8, &key, 8);
+  }
+  if (tail_hazard || !_mm256_testz_si256(hazard, hazard)) return false;
+
+  std::sort(scratch.begin(), scratch.end(), [](const CentroidKey& a, const CentroidKey& b) {
+    return a.mean < b.mean || (a.mean == b.mean && a.weight < b.weight);
+  });
+
+  auto* dst = reinterpret_cast<unsigned char*>(buffer.data());
+  const auto* sorted = reinterpret_cast<const unsigned char*>(scratch.data());
+  i = 0;
+  for (; i + 4 <= total; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sorted + i * 8));
+    const __m256i nonneg =
+        _mm256_xor_si256(_mm256_cmpgt_epi64(zero, k), _mm256_set1_epi64x(-1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i * 8),
+                        _mm256_xor_si256(k, _mm256_or_si256(nonneg, sign)));
+  }
+  for (; i < total; ++i) {
+    std::uint64_t key;
+    std::memcpy(&key, sorted + i * 8, 8);
+    const std::uint64_t bits = decode_scalar(key);
+    std::memcpy(dst + i * 8, &bits, 8);
+  }
+  return true;
+}
+
+}  // namespace fbedge::detail
+
+#endif  // FBEDGE_HAVE_AVX2

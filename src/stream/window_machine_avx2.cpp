@@ -1,0 +1,31 @@
+// AVX2 window-key bucketing for the streaming classifier (see
+// window_machine.h and the bitwise contract in util/simd.h).
+//
+// window_index(t) is one IEEE divide by the window length and one truncating
+// cast. vdivpd is correctly rounded (identical to the scalar divide), and
+// vcvttpd2dq truncates toward zero with the same 0x80000000 result for
+// out-of-range and NaN inputs as the scalar cvttsd2si the cast compiles to,
+// so the four-wide pass is bitwise identical to calling window_index per row.
+#include "stream/window_machine.h"
+
+#if FBEDGE_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace fbedge {
+
+void bucket_window_keys_avx2(const StreamRow* rows, std::size_t n, std::int32_t* out) {
+  const __m256d len = _mm256_set1_pd(kWindowLength);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d at =
+        _mm256_setr_pd(rows[i].at, rows[i + 1].at, rows[i + 2].at, rows[i + 3].at);
+    const __m128i keys = _mm256_cvttpd_epi32(_mm256_div_pd(at, len));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), keys);
+  }
+  for (; i < n; ++i) out[i] = window_index(rows[i].at);
+}
+
+}  // namespace fbedge
+
+#endif  // FBEDGE_HAVE_AVX2

@@ -52,10 +52,14 @@ class ByteWriter {
  public:
   void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
   void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    out_.append(b, 4);
   }
   void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    out_.append(b, 8);
   }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   /// Raw IEEE-754 bits; bitwise round-trip for every payload incl. NaNs.
@@ -63,6 +67,11 @@ class ByteWriter {
   void bytes(const void* data, std::size_t n) {
     out_.append(static_cast<const char*>(data), n);
   }
+
+  /// Pre-grows the buffer for `n` further bytes beyond what is already
+  /// written, so a caller that knows its encoded size pays one allocation
+  /// instead of the string's geometric growth path.
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
 
   const std::string& data() const { return out_; }
   std::size_t size() const { return out_.size(); }

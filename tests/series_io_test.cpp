@@ -57,6 +57,24 @@ TEST(BinIo, ReaderLatchesOnOverrunAndReturnsZeros) {
   EXPECT_EQ(r.remaining(), 0u);
 }
 
+TEST(BinIo, FastAppendsMatchPerByteEncoding) {
+  // The block-append u32/u64 paths must emit exactly the bytes the original
+  // per-byte push_back encoder did — little-endian, low byte first — or
+  // every committed ingest artifact would silently change.
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t v =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 62)) * 3u;
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(v));
+    w.u64(v);
+    std::string ref;
+    for (int i = 0; i < 4; ++i) ref.push_back(static_cast<char>(v >> (8 * i)));
+    for (int i = 0; i < 8; ++i) ref.push_back(static_cast<char>(v >> (8 * i)));
+    ASSERT_EQ(w.data(), ref);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // TDigest round-trips.
 // ---------------------------------------------------------------------------
@@ -185,6 +203,34 @@ TEST(SeriesIo, RoundTripIsBitwise) {
   EXPECT_EQ(fresh.continent, original.continent);
   EXPECT_EQ(fresh.windows.size(), original.windows.size());
   EXPECT_EQ(fresh.total_traffic(), original.total_traffic());
+}
+
+TEST(SeriesIo, SavedSizePredictsActualBytesExactly) {
+  // save_group_series reserves from this precomputed count; an over- or
+  // under-estimate would mean either wasted memory or a silent fall back to
+  // the geometric growth path the reserve exists to avoid.
+  for (const std::uint64_t seed : {55u, 60u, 61u, 62u}) {
+    const GroupSeries series = make_series(seed);
+    EXPECT_EQ(group_series_saved_size(series), series_bytes(series).size())
+        << "seed " << seed;
+  }
+  GroupSeries empty;
+  empty.continent = Continent::kEurope;
+  EXPECT_EQ(group_series_saved_size(empty), series_bytes(empty).size());
+}
+
+TEST(SeriesIo, SaveIntoPartiallyFilledWriterAppends) {
+  // The reserve is relative to what the writer already holds; prior content
+  // must survive untouched and the appended region must match a clean save.
+  const GroupSeries series = make_series(63);
+  ByteWriter w;
+  w.u64(0xfeedface12345678ULL);
+  const std::size_t prefix = w.size();
+  save_group_series(series, w);
+  const std::string combined = w.take();
+  EXPECT_EQ(combined.substr(prefix), series_bytes(series));
+  ByteReader r(combined.data(), combined.size());
+  EXPECT_EQ(r.u64(), 0xfeedface12345678ULL);
 }
 
 TEST(SeriesIo, LoadIntoDirtyPooledSeriesMatches) {

@@ -3,8 +3,12 @@
 // it: hosting filter, §3.2.5 coalescing, HDratio evaluation, and a
 // Figure 6-style summary plus a per-group opportunity scan.
 //
-// Usage: fbedge_analyze [--threads T] [--cache-dir DIR] [FILE]
+// Usage: fbedge_analyze [--threads T] [--cache-dir DIR] [--verbose] [FILE]
 //        (reads stdin if no file)
+//
+// --verbose reports (on stderr, so measurement output stays byte-identical)
+// which columnar-kernel path the run dispatched to and why — the guard
+// against an AVX2 build silently falling back to scalar.
 //
 // With --cache-dir (or FBEDGE_CACHE_DIR) and a FILE argument, the parsed
 // ingest state (counters, summary CDFs, and every group's aggregation
@@ -23,6 +27,7 @@
 #include "agg/series_io.h"
 #include "analysis/ingest_cache.h"
 #include "fbedge/fbedge.h"
+#include "util/simd.h"
 
 using namespace fbedge;
 
@@ -168,6 +173,7 @@ int main(int argc, char** argv) {
   RuntimeOptions runtime;
   std::string path;
   IngestCacheOptions cache;
+  bool verbose = false;
   if (const char* env = std::getenv("FBEDGE_CACHE_DIR")) cache.dir = env;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -175,13 +181,23 @@ int main(int argc, char** argv) {
       runtime.threads = std::atoi(argv[++i]);
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache.dir = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: fbedge_analyze [--threads T] [--cache-dir DIR] [FILE]\n");
+                   "usage: fbedge_analyze [--threads T] [--cache-dir DIR] "
+                   "[--verbose] [FILE]\n");
       return 2;
     }
+  }
+  if (verbose) {
+    std::fprintf(stderr,
+                 "[simd] path=%s source=%s compiled_avx2=%d cpu_avx2=%d\n",
+                 simd::active_path_name(), simd::dispatch_source(),
+                 simd::compiled_avx2() ? 1 : 0,
+                 simd::cpu_supports_avx2() ? 1 : 0);
   }
 
   IngestState state;
