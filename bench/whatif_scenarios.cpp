@@ -1,0 +1,133 @@
+// Scenario-pack what-if suite: a fixed set of operational questions (PoP
+// drain at peak, transit depref, flash crowd, submarine-cable cut) run
+// against the same world as the §5/§6 benches, reporting each scenario's
+// opportunity/degradation deltas vs baseline plus a verdict hash. The
+// scenario configs are embedded as config-format text so this bench also
+// exercises the parser end-to-end.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/whatif.h"
+#include "bench_common.h"
+#include "fbedge/fbedge.h"
+#include "scenario/scenario.h"
+
+using namespace fbedge;
+
+namespace {
+
+// Windows are 15 minutes; day d's 19:00-23:00 peak is windows
+// d*96+76 .. d*96+92. The world default is 10 days (960 windows).
+constexpr const char* kScenarios[] = {
+    R"(# Drain the primary European PoP through day 1's peak hours.
+[scenario]
+name = drain-eu-peak
+seed = 42
+
+[drain]
+pop = EU-pop1
+start_window = 172
+end_window = 188
+reroute_rtt_min_ms = 20
+reroute_rtt_max_ms = 45
+reroute_loss = 0.002
+)",
+    R"(# Deprefer the largest tier-1 transit everywhere: every group whose
+# preferred route rides AS3356 falls back to its next-best route.
+[scenario]
+name = depref-transit-3356
+seed = 42
+
+[depref]
+asn = 3356
+continent = all
+)",
+    R"(# Flash-crowd a South American country 8x for a day, with the shared
+# destination bottleneck congesting while the crowd lasts.
+[scenario]
+name = flash-crowd-sa
+seed = 42
+
+[flash_crowd]
+country = 500
+multiplier = 8
+jitter = 0.15
+start_window = 480
+end_window = 576
+congestion_delay_ms = 12
+congestion_loss = 0.01
+)",
+    R"(# Submarine-cable cut on the EU-AF corridor for the whole study:
+# Africa's Europe-served overflow traffic detours ~80 ms the long way.
+[scenario]
+name = cable-cut-eu-af
+seed = 42
+
+[cable_cut]
+continents = EU-AF
+extra_rtt_ms = 80
+extra_loss = 0.003
+start_window = 0
+end_window = 960
+)",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RunConfig rc = bench::edge_run(argc, argv);
+  bench::print_paper_note(
+      "what-if scenario packs over the §3.4/§6 analyses (decision-tool use)");
+
+  std::vector<ScenarioPack> packs;
+  for (const char* text : kScenarios) {
+    ScenarioParseResult parsed = parse_scenario(text);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "whatif_scenarios: bad embedded scenario: %s\n",
+                   parsed.error.c_str());
+      return 1;
+    }
+    packs.push_back(std::move(parsed.pack));
+  }
+
+  const World world = build_world(rc.world);
+  RunStats stats;
+  bench::JsonOutput json(rc.json_path);
+
+  const auto baseline_result = run_edge_analysis(
+      world, rc.dataset, {}, {}, {}, rc.runtime, &stats, {}, rc.cache);
+  const WhatifReport baseline = whatif_report(baseline_result);
+  std::printf("=== baseline ===\n");
+  print_whatif_report(baseline);
+  for (const auto& [name, value] : baseline.metrics) {
+    json.add("baseline_" + name, value);
+  }
+
+  for (const auto& pack : packs) {
+    const auto result = run_edge_analysis(world, rc.dataset, {}, {}, {},
+                                          rc.runtime, &stats, {}, rc.cache,
+                                          pack);
+    const WhatifReport report = whatif_report(result);
+    std::printf("=== scenario %s ===\n", pack.name.c_str());
+    print_whatif_report(report);
+    std::printf("applied: drained=%llu depref=%llu flash=%llu cable_cut=%llu\n",
+                static_cast<unsigned long long>(
+                    result.faults.scenario_drained_groups),
+                static_cast<unsigned long long>(
+                    result.faults.scenario_depref_groups),
+                static_cast<unsigned long long>(
+                    result.faults.scenario_flash_groups),
+                static_cast<unsigned long long>(
+                    result.faults.scenario_cable_cut_groups));
+    print_whatif_deltas(baseline, report);
+    for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+      json.add(pack.name + "_d_" + report.metrics[i].first,
+               report.metrics[i].second - baseline.metrics[i].second);
+    }
+  }
+
+  bench::add_runtime_json(json, stats);
+  stats.print("whatif_scenarios");
+  return json.write() ? 0 : 1;
+}

@@ -543,7 +543,22 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
                                      GoodputConfig goodput,
                                      const RuntimeOptions& runtime,
                                      RunStats* stats, const FaultPlan& faults,
-                                     const IngestCacheOptions& cache) {
+                                     const IngestCacheOptions& cache,
+                                     const ScenarioPack& scenario) {
+  // Scenario runs recurse with the perturbed world and an empty pack; the
+  // scenario-free path below is exactly the pre-scenario code, so an empty
+  // pack is byte-identical to a build without the subsystem.
+  if (!scenario.empty()) {
+    FaultCounters applied;
+    const World perturbed = apply_scenario(world, scenario, &applied);
+    EdgeAnalysisResult out =
+        run_edge_analysis(perturbed, config, thresholds, comparison, goodput,
+                          runtime, stats, faults, cache);
+    out.faults.accumulate(applied);
+    if (stats) stats->faults.accumulate(applied);
+    return out;
+  }
+
   ClassifierConfig classifier_config;
   classifier_config.total_windows = config.days * 96;
   // Diurnal detection needs the pattern to repeat on multiple days; scale

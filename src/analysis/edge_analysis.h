@@ -17,6 +17,7 @@
 #include "analysis/session_metrics.h"
 #include "faultsim/fault_plan.h"
 #include "runtime/pipeline.h"
+#include "scenario/scenario.h"
 #include "stats/cdf.h"
 #include "util/geo.h"
 #include "workload/generator.h"
@@ -135,12 +136,21 @@ struct EdgeAnalysisResult {
 /// thread count; any unusable artifact silently falls back to cold ingest.
 /// Runs with any fault injected bypass the cache completely (no read, no
 /// write) — faulted series must never poison or be served from the cache.
+///
+/// `scenario` (scenario/scenario.h) runs the sweep against
+/// apply_scenario(world, scenario) instead of `world`: a declarative
+/// what-if (PoP drain, transit depref, flash crowd, cable cut) whose
+/// applied-perturbation counts land in the result's FaultCounters
+/// (scenario_* fields). An empty pack takes exactly the scenario-free code
+/// path — byte-identical output at any thread count. Scenario runs keep
+/// the cache enabled: ingest_cache_key hashes the (perturbed) world
+/// contents, so baseline and scenario artifacts can never collide.
 EdgeAnalysisResult run_edge_analysis(
     const World& world, const DatasetConfig& config,
     const AnalysisThresholds& thresholds = {},
     const ComparisonConfig& comparison = {}, GoodputConfig goodput = {},
     const RuntimeOptions& runtime = RuntimeOptions::sequential(),
     RunStats* stats = nullptr, const FaultPlan& faults = {},
-    const IngestCacheOptions& cache = {});
+    const IngestCacheOptions& cache = {}, const ScenarioPack& scenario = {});
 
 }  // namespace fbedge

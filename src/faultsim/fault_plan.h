@@ -109,6 +109,14 @@ constexpr std::uint64_t kTaskAbort = 0x7461736b61626f72ULL;    // "taskabor"
 constexpr std::uint64_t kStreamLate = 0x7374726d6c617465ULL;   // "strmlate"
 constexpr std::uint64_t kStreamLateDelay = 0x7374726d64656c79ULL;  // "strmdely"
 constexpr std::uint64_t kStreamDup = 0x7374726d64757031ULL;    // "strmdup1"
+// Scenario-pack perturbation sites (src/scenario/): same purity rule as the
+// fault sites above, but seeded from ScenarioPack::seed instead of a
+// FaultPlan. kScenarioDepref is structural (no draw today) and reserved so
+// a future probabilistic depref cannot collide with another site.
+constexpr std::uint64_t kScenarioDrain = 0x7363646e7261696eULL;     // "scdnrain"
+constexpr std::uint64_t kScenarioDepref = 0x7363646570726566ULL;    // "scdepref"
+constexpr std::uint64_t kScenarioFlash = 0x7363666c61736831ULL;     // "scflash1"
+constexpr std::uint64_t kScenarioCableCut = 0x7363636162637574ULL;  // "sccabcut"
 }  // namespace faultsite
 
 /// The decision stream for one (site, entity) pair. Fresh per call: the

@@ -47,13 +47,22 @@ struct FaultCounters {
   std::uint64_t task_aborts{0};   // failed shard-task attempts
   std::uint64_t task_retries{0};  // re-executions after an abort
   std::uint64_t lost_groups{0};   // groups that exhausted every attempt
+  // Scenario-pack perturbations (src/scenario/): one count per (group,
+  // delta) application, so tests can recount every injected perturbation
+  // exactly from the pack alone.
+  std::uint64_t scenario_drained_groups{0};    // PoP-drain reroute episodes
+  std::uint64_t scenario_depref_groups{0};     // groups with routes demoted
+  std::uint64_t scenario_flash_groups{0};      // flash-crowd load multipliers
+  std::uint64_t scenario_cable_cut_groups{0};  // continent-pair RTT episodes
 
   bool any() const {
     return truncated_records || corrupt_records || rejected_records ||
            duplicated_samples || skewed_samples || thinned_groups ||
            thinned_sessions || pop_outage_groups || dropped_windows ||
            stream_late_batches || stream_duplicate_batches ||
-           stream_dropped_rows || task_aborts || task_retries || lost_groups;
+           stream_dropped_rows || task_aborts || task_retries || lost_groups ||
+           scenario_drained_groups || scenario_depref_groups ||
+           scenario_flash_groups || scenario_cable_cut_groups;
   }
 
   void accumulate(const FaultCounters& other) {
@@ -72,6 +81,10 @@ struct FaultCounters {
     task_aborts += other.task_aborts;
     task_retries += other.task_retries;
     lost_groups += other.lost_groups;
+    scenario_drained_groups += other.scenario_drained_groups;
+    scenario_depref_groups += other.scenario_depref_groups;
+    scenario_flash_groups += other.scenario_flash_groups;
+    scenario_cable_cut_groups += other.scenario_cable_cut_groups;
   }
 };
 
@@ -217,6 +230,17 @@ struct RunStats {
           static_cast<unsigned long long>(faults.task_aborts),
           static_cast<unsigned long long>(faults.task_retries),
           static_cast<unsigned long long>(faults.lost_groups));
+    }
+    if (faults.scenario_drained_groups || faults.scenario_depref_groups ||
+        faults.scenario_flash_groups || faults.scenario_cable_cut_groups) {
+      std::fprintf(
+          out,
+          "[runtime]   scenario: drained=%llu depref=%llu flash=%llu "
+          "cable_cut=%llu\n",
+          static_cast<unsigned long long>(faults.scenario_drained_groups),
+          static_cast<unsigned long long>(faults.scenario_depref_groups),
+          static_cast<unsigned long long>(faults.scenario_flash_groups),
+          static_cast<unsigned long long>(faults.scenario_cable_cut_groups));
     }
   }
 };

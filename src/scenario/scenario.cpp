@@ -1,0 +1,233 @@
+// ScenarioPack application: canonical-order composition of world deltas.
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/expect.h"
+
+namespace fbedge {
+
+namespace {
+
+const PopInfo* find_pop(const World& world, const std::string& name) {
+  for (const auto& pop : world.pops) {
+    if (pop.name == name) return &pop;
+  }
+  return nullptr;
+}
+
+Continent pop_continent(const World& world, PopId id) {
+  for (const auto& pop : world.pops) {
+    if (pop.id == id) return pop.continent;
+  }
+  FBEDGE_EXPECT(false, "group served by a PoP the world does not know");
+  return Continent::kNorthAmerica;
+}
+
+bool cut_matches(const CableCutDelta& d, Continent client, Continent serving) {
+  return (client == d.a && serving == d.b) || (client == d.b && serving == d.a);
+}
+
+// Canonical within-type orderings: the applied schedule is a function of
+// the delta *content*, never of config order (double addition in episode
+// vectors cares about order, so this is what makes composition bitwise
+// order-invariant).
+void sort_canonical(ScenarioPack& pack) {
+  std::stable_sort(pack.deprefs.begin(), pack.deprefs.end(),
+                   [](const DepreferDelta& x, const DepreferDelta& y) {
+                     return std::tie(x.asn, x.all_continents, x.continent) <
+                            std::tie(y.asn, y.all_continents, y.continent);
+                   });
+  std::stable_sort(pack.drains.begin(), pack.drains.end(),
+                   [](const DrainDelta& x, const DrainDelta& y) {
+                     return std::tie(x.pop, x.start_window, x.end_window,
+                                     x.reroute_rtt_min, x.reroute_rtt_max,
+                                     x.reroute_loss) <
+                            std::tie(y.pop, y.start_window, y.end_window,
+                                     y.reroute_rtt_min, y.reroute_rtt_max,
+                                     y.reroute_loss);
+                   });
+  std::stable_sort(
+      pack.cable_cuts.begin(), pack.cable_cuts.end(),
+      [](const CableCutDelta& x, const CableCutDelta& y) {
+        const auto key = [](const CableCutDelta& d) {
+          return std::tuple(std::min(d.a, d.b), std::max(d.a, d.b),
+                            d.start_window, d.end_window, d.extra_rtt,
+                            d.extra_loss);
+        };
+        return key(x) < key(y);
+      });
+  std::stable_sort(pack.flash_crowds.begin(), pack.flash_crowds.end(),
+                   [](const FlashCrowdDelta& x, const FlashCrowdDelta& y) {
+                     return std::tie(x.country, x.multiplier, x.jitter,
+                                     x.start_window, x.end_window,
+                                     x.congestion_delay, x.congestion_loss) <
+                            std::tie(y.country, y.multiplier, y.jitter,
+                                     y.start_window, y.end_window,
+                                     y.congestion_delay, y.congestion_loss);
+                   });
+}
+
+/// Stable-moves the delta's transit routes behind every other route.
+/// Returns true when the route order actually changed; episode route
+/// indices (physical-route events) are remapped through the permutation.
+bool depref_group(UserGroupProfile& group, const DepreferDelta& delta) {
+  if (!delta.all_continents && group.continent != delta.continent) return false;
+  const auto demoted = [&](const RouteProfile& r) {
+    return r.route.relationship == Relationship::kTransit &&
+           !r.route.as_path.empty() && r.route.as_path.front() == delta.asn;
+  };
+  std::vector<int> new_index(group.routes.size());
+  int next = 0;
+  for (std::size_t i = 0; i < group.routes.size(); ++i) {
+    if (!demoted(group.routes[i])) new_index[i] = next++;
+  }
+  bool changed = false;
+  for (std::size_t i = 0; i < group.routes.size(); ++i) {
+    if (demoted(group.routes[i])) new_index[i] = next++;
+    if (new_index[i] != static_cast<int>(i)) changed = true;
+  }
+  if (!changed) return false;
+  std::vector<RouteProfile> reordered(group.routes.size());
+  for (std::size_t i = 0; i < group.routes.size(); ++i) {
+    reordered[static_cast<std::size_t>(new_index[i])] =
+        std::move(group.routes[i]);
+  }
+  group.routes = std::move(reordered);
+  for (auto& ep : group.episodes) {
+    if (ep.route_index >= 0 &&
+        ep.route_index < static_cast<int>(new_index.size())) {
+      ep.route_index = new_index[static_cast<std::size_t>(ep.route_index)];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void validate_scenario(const World& world, const ScenarioPack& pack) {
+  for (const auto& d : pack.drains) {
+    FBEDGE_EXPECT(find_pop(world, d.pop) != nullptr,
+                  "drain: unknown PoP name");
+    FBEDGE_EXPECT(d.start_window >= 0, "drain: negative start_window");
+    FBEDGE_EXPECT(d.end_window > d.start_window, "drain: empty window range");
+    FBEDGE_EXPECT(d.reroute_rtt_min >= 0, "drain: negative reroute RTT");
+    FBEDGE_EXPECT(d.reroute_rtt_max >= d.reroute_rtt_min,
+                  "drain: reroute RTT range inverted");
+    FBEDGE_EXPECT(d.reroute_loss >= 0 && d.reroute_loss <= 1,
+                  "drain: reroute_loss outside [0, 1]");
+  }
+  for (const auto& d : pack.deprefs) {
+    FBEDGE_EXPECT(d.asn != 0, "depref: zero ASN");
+  }
+  for (const auto& d : pack.flash_crowds) {
+    FBEDGE_EXPECT(d.country / 100 < static_cast<std::uint32_t>(kNumContinents),
+                  "flash_crowd: unknown country key");
+    FBEDGE_EXPECT(d.multiplier > 0, "flash_crowd: multiplier must be > 0");
+    FBEDGE_EXPECT(d.jitter >= 0 && d.jitter < 1,
+                  "flash_crowd: jitter outside [0, 1)");
+    FBEDGE_EXPECT(d.congestion_delay >= 0,
+                  "flash_crowd: negative congestion_delay");
+    FBEDGE_EXPECT(d.congestion_loss >= 0 && d.congestion_loss <= 1,
+                  "flash_crowd: congestion_loss outside [0, 1]");
+    FBEDGE_EXPECT((d.start_window < 0) == (d.end_window < 0),
+                  "flash_crowd: half-open congestion window");
+    if (d.start_window >= 0) {
+      FBEDGE_EXPECT(d.end_window > d.start_window,
+                    "flash_crowd: empty congestion window");
+    }
+  }
+  for (const auto& d : pack.cable_cuts) {
+    FBEDGE_EXPECT(d.a != d.b, "cable_cut: identical continents");
+    FBEDGE_EXPECT(d.extra_rtt >= 0, "cable_cut: negative extra_rtt");
+    FBEDGE_EXPECT(d.extra_loss >= 0 && d.extra_loss <= 1,
+                  "cable_cut: extra_loss outside [0, 1]");
+    FBEDGE_EXPECT(d.start_window >= 0, "cable_cut: negative start_window");
+    FBEDGE_EXPECT(d.end_window > d.start_window,
+                  "cable_cut: empty window range");
+  }
+}
+
+World apply_scenario(const World& world, const ScenarioPack& pack,
+                     FaultCounters* counters) {
+  World out = world;
+  if (pack.empty()) return out;
+  validate_scenario(world, pack);
+
+  ScenarioPack canon = pack;
+  sort_canonical(canon);
+
+  FaultCounters local;
+  FaultCounters& c = counters ? *counters : local;
+
+  // 1. Depref first: it permutes route indices, and the remaining delta
+  // types only append route_index=-1 (destination-side) episodes, which a
+  // permutation cannot invalidate.
+  for (const auto& d : canon.deprefs) {
+    for (auto& group : out.groups) {
+      if (depref_group(group, d)) ++c.scenario_depref_groups;
+    }
+  }
+
+  // 2. PoP drains: reroute episode on every group the PoP serves.
+  for (const auto& d : canon.drains) {
+    const PopInfo* pop = find_pop(out, d.pop);
+    for (auto& group : out.groups) {
+      if (!(group.key.pop == pop->id)) continue;
+      Episode ep;
+      ep.start_window = d.start_window;
+      ep.end_window = d.end_window;
+      ep.route_index = -1;
+      ep.extra_delay =
+          drain_reroute_rtt(pack.seed, d, group_fault_key(group.key));
+      ep.extra_loss = d.reroute_loss;
+      group.episodes.push_back(ep);
+      ++c.scenario_drained_groups;
+    }
+  }
+
+  // 3. Cable cuts: detour episode on matching remote-served groups.
+  for (const auto& d : canon.cable_cuts) {
+    for (auto& group : out.groups) {
+      if (!group.remote_served) continue;
+      if (!cut_matches(d, group.continent, pop_continent(out, group.key.pop))) {
+        continue;
+      }
+      Episode ep;
+      ep.start_window = d.start_window;
+      ep.end_window = d.end_window;
+      ep.route_index = -1;
+      ep.extra_delay =
+          d.extra_rtt *
+          cable_cut_stretch(pack.seed, d, group_fault_key(group.key));
+      ep.extra_loss = d.extra_loss;
+      group.episodes.push_back(ep);
+      ++c.scenario_cable_cut_groups;
+    }
+  }
+
+  // 4. Flash crowds: arrival-rate multiplier (and optional congestion).
+  for (const auto& d : canon.flash_crowds) {
+    for (auto& group : out.groups) {
+      if (group.key.country.value != d.country) continue;
+      group.sessions_per_window *=
+          flash_session_multiplier(pack.seed, d, group_fault_key(group.key));
+      if (d.start_window >= 0 &&
+          (d.congestion_delay > 0 || d.congestion_loss > 0)) {
+        Episode ep;
+        ep.start_window = d.start_window;
+        ep.end_window = d.end_window;
+        ep.route_index = -1;
+        ep.extra_delay = d.congestion_delay;
+        ep.extra_loss = d.congestion_loss;
+        group.episodes.push_back(ep);
+      }
+      ++c.scenario_flash_groups;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace fbedge

@@ -1,0 +1,200 @@
+// Declarative what-if scenarios over the synthetic world (§3.4 / §6 as
+// decision tools).
+//
+// A ScenarioPack names a composite operational question — "drain EU-pop1
+// during peak", "depref transit AS3356", "flash-crowd country 300 by 10x",
+// "cut the EU–AF submarine cable for a day" — as a list of typed deltas
+// parsed from a small key=value-sections config (scenario_config.cpp).
+// apply_scenario() materializes the pack against a *copy* of a built world:
+// the calibrated world builder and its RNG draw order are never touched,
+// so a perturbed world differs from baseline exactly where the pack says
+// and nowhere else.
+//
+// Determinism contract (the faultsim rule, CLAUDE.md):
+//   * Every per-group perturbation magnitude is a pure function of
+//     (pack.seed, scenario site, group key, delta identity), drawn from a
+//     fresh entity_stream — never from sequential state. The helpers below
+//     (drain_reroute_rtt, ...) are the *only* randomness in this module and
+//     are exported so tests can recount every injection exactly.
+//   * Deltas are applied in a canonical order (depref, then drain, then
+//     cable-cut, then flash; sorted by content within each type), so two
+//     configs listing the same deltas in any order produce bitwise-equal
+//     worlds — episode vectors sum extra delays in vector order, and
+//     doubles care about addition order.
+//   * An empty pack applies nothing: run_edge_analysis with a default
+//     ScenarioPack takes exactly the scenario-free code path and its output
+//     is byte-identical to a build without this module, at any --threads.
+//
+// Layering: util < ... < workload < runtime < faultsim < scenario <
+// stream < analysis. scenario composes workload state using the faultsim
+// site salts; analysis wires packs into the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faultsim/fault_plan.h"
+#include "runtime/run_stats.h"
+#include "util/geo.h"
+#include "util/rng.h"
+#include "workload/world.h"
+
+namespace fbedge {
+
+/// Drain one PoP over a window range: traffic it serves is rerouted to a
+/// farther PoP for the duration, modelled as a destination-side episode
+/// (extra RTT drawn per group from [reroute_rtt_min, reroute_rtt_max],
+/// plus reroute-path loss) on every group the PoP serves.
+struct DrainDelta {
+  std::string pop;  // PoP name, e.g. "EU-pop1" (see PopInfo::name)
+  int start_window{0};
+  int end_window{0};  // exclusive, in 15-minute windows
+  Duration reroute_rtt_min{0.020};
+  Duration reroute_rtt_max{0.045};
+  double reroute_loss{0.001};
+};
+
+/// Deprefer a transit provider: every transit route whose first AS-path
+/// hop is `asn` is moved (stable order) behind the group's other routes,
+/// changing which route is policy-preferred for the whole run. Structural
+/// — no randomness — and scoped to one continent unless all_continents.
+struct DepreferDelta {
+  std::uint32_t asn{0};
+  bool all_continents{true};
+  Continent continent{Continent::kEurope};
+};
+
+/// Flash-crowd one country: session arrivals multiplied by `multiplier`
+/// (with a per-group jitter factor in [1-jitter, 1+jitter]), optionally
+/// with a destination-side congestion episode while the crowd lasts.
+struct FlashCrowdDelta {
+  std::uint32_t country{0};  // CountryId::value
+  double multiplier{1.0};
+  double jitter{0.0};  // relative, in [0, 1)
+  int start_window{-1};  // congestion episode; -1 = no episode
+  int end_window{-1};
+  Duration congestion_delay{0};
+  double congestion_loss{0};
+};
+
+/// Submarine-cable cut between two continents: every remote-served group
+/// whose (client continent, serving-PoP continent) pair matches — in
+/// either direction — takes a restoration-detour episode of roughly
+/// `extra_rtt` (per-group stretch factor in [0.85, 1.15]) plus loss.
+struct CableCutDelta {
+  Continent a{Continent::kEurope};
+  Continent b{Continent::kAfrica};
+  Duration extra_rtt{0.080};
+  double extra_loss{0};
+  int start_window{0};
+  int end_window{0};  // exclusive
+};
+
+/// One named what-if question: a composition of typed deltas.
+struct ScenarioPack {
+  std::string name;
+  /// Seeds every per-group magnitude draw; independent of the dataset seed
+  /// so the same scenario can be replayed against different traffic.
+  std::uint64_t seed{0};
+  std::vector<DrainDelta> drains;
+  std::vector<DepreferDelta> deprefs;
+  std::vector<FlashCrowdDelta> flash_crowds;
+  std::vector<CableCutDelta> cable_cuts;
+
+  bool empty() const {
+    return drains.empty() && deprefs.empty() && flash_crowds.empty() &&
+           cable_cuts.empty();
+  }
+};
+
+// ---- pure per-group perturbation draws (the faultsim rule) ----------------
+// Exported so tests recount every injected magnitude outside the pipeline.
+// The entity key mixes the group with the delta's identifying content, so
+// two deltas of the same type draw decorrelated streams and the draw is
+// independent of config order, iteration order, and thread count.
+
+/// Entity key of (group, drain delta).
+inline std::uint64_t drain_entity_key(std::uint64_t group_key,
+                                      const DrainDelta& d) {
+  std::uint64_t h = hash_combine(group_key,
+                                 static_cast<std::uint64_t>(d.start_window));
+  h = hash_combine(h, static_cast<std::uint64_t>(d.end_window));
+  return h;
+}
+
+/// Extra RTT a drained group pays on the reroute path.
+inline Duration drain_reroute_rtt(std::uint64_t seed, const DrainDelta& d,
+                                  std::uint64_t group_key) {
+  Rng s = entity_stream(seed ^ faultsite::kScenarioDrain,
+                        drain_entity_key(group_key, d));
+  return s.uniform(d.reroute_rtt_min, d.reroute_rtt_max);
+}
+
+/// Entity key of (group, flash delta).
+inline std::uint64_t flash_entity_key(std::uint64_t group_key,
+                                      const FlashCrowdDelta& d) {
+  return hash_combine(group_key, static_cast<std::uint64_t>(d.country));
+}
+
+/// Load factor a flash-crowded group's arrivals are multiplied by.
+inline double flash_session_multiplier(std::uint64_t seed,
+                                       const FlashCrowdDelta& d,
+                                       std::uint64_t group_key) {
+  if (d.jitter <= 0) return d.multiplier;
+  Rng s = entity_stream(seed ^ faultsite::kScenarioFlash,
+                        flash_entity_key(group_key, d));
+  return d.multiplier * (1.0 + d.jitter * (2.0 * s.uniform() - 1.0));
+}
+
+/// Entity key of (group, cable-cut delta).
+inline std::uint64_t cable_cut_entity_key(std::uint64_t group_key,
+                                          const CableCutDelta& d) {
+  const auto lo = static_cast<std::uint64_t>(d.a < d.b ? d.a : d.b);
+  const auto hi = static_cast<std::uint64_t>(d.a < d.b ? d.b : d.a);
+  return hash_combine(group_key, hash_combine(lo, hi));
+}
+
+/// Per-group detour stretch on the post-cut restoration path.
+inline double cable_cut_stretch(std::uint64_t seed, const CableCutDelta& d,
+                                std::uint64_t group_key) {
+  Rng s = entity_stream(seed ^ faultsite::kScenarioCableCut,
+                        cable_cut_entity_key(group_key, d));
+  return s.uniform(0.85, 1.15);
+}
+
+// ---- config format (scenario_config.cpp) ----------------------------------
+
+struct ScenarioParseResult {
+  bool ok{false};
+  std::string error;  // "line N: ..." when !ok
+  ScenarioPack pack;
+};
+
+/// Parses the key=value-sections scenario format ('#' comments; sections
+/// [scenario], [drain], [depref], [flash_crowd], [cable_cut], repeatable).
+/// Syntax and vocabulary problems (unknown section/key, bad number,
+/// unknown continent code) are reported as errors, never aborts; semantic
+/// bounds are enforced later by apply_scenario via FBEDGE_EXPECT.
+ScenarioParseResult parse_scenario(const std::string& text);
+
+/// Canonical text form; parse_scenario(serialize_scenario(p)) reproduces p.
+std::string serialize_scenario(const ScenarioPack& pack);
+
+// ---- application -----------------------------------------------------------
+
+/// Fail-fast semantic bounds check (FBEDGE_EXPECT): window ranges ordered
+/// and non-negative, durations non-negative, multiplier > 0, jitter in
+/// [0, 1), loss rates in [0, 1], ASN nonzero, distinct cable-cut
+/// continents, drain PoP names and flash-crowd countries resolvable
+/// against `world`.
+void validate_scenario(const World& world, const ScenarioPack& pack);
+
+/// Returns a copy of `world` with the pack's deltas applied in canonical
+/// order (see file header), counting every (group, delta) application into
+/// `counters` (scenario_* fields). An empty pack returns an identical
+/// copy and counts nothing.
+World apply_scenario(const World& world, const ScenarioPack& pack,
+                     FaultCounters* counters = nullptr);
+
+}  // namespace fbedge

@@ -1,0 +1,319 @@
+// Scenario config format: '#' comments plus key = value lines grouped
+// under [section] headers. Sections [drain], [depref], [flash_crowd], and
+// [cable_cut] are repeatable (one delta each); [scenario] holds the pack
+// name and seed. No new dependencies — the same hand-rolled style as the
+// tool flag parsing. Durations are given in milliseconds via *_ms keys and
+// stored as seconds.
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+#include "scenario/scenario.h"
+
+namespace fbedge {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<double> parse_number(std::string_view v) {
+  const std::string text(v);
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double x = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return x;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view v) {
+  const std::string text(v);
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long x = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return x;
+}
+
+std::optional<Continent> continent_from_code(std::string_view code) {
+  for (const Continent c : kAllContinents) {
+    if (code == to_code(c)) return c;
+  }
+  return std::nullopt;
+}
+
+enum class Section { kNone, kScenario, kDrain, kDepref, kFlash, kCableCut };
+
+struct Parser {
+  ScenarioPack pack;
+  Section section{Section::kNone};
+  DrainDelta drain;
+  DepreferDelta depref;
+  FlashCrowdDelta flash;
+  CableCutDelta cut;
+  std::string error;
+  int line_no{0};
+
+  bool fail(const std::string& what) {
+    error = "line " + std::to_string(line_no) + ": " + what;
+    return false;
+  }
+
+  void close_section() {
+    switch (section) {
+      case Section::kDrain: pack.drains.push_back(drain); break;
+      case Section::kDepref: pack.deprefs.push_back(depref); break;
+      case Section::kFlash: pack.flash_crowds.push_back(flash); break;
+      case Section::kCableCut: pack.cable_cuts.push_back(cut); break;
+      case Section::kScenario:
+      case Section::kNone: break;
+    }
+  }
+
+  bool open_section(std::string_view name) {
+    close_section();
+    if (name == "scenario") {
+      section = Section::kScenario;
+    } else if (name == "drain") {
+      section = Section::kDrain;
+      drain = DrainDelta{};
+    } else if (name == "depref") {
+      section = Section::kDepref;
+      depref = DepreferDelta{};
+    } else if (name == "flash_crowd") {
+      section = Section::kFlash;
+      flash = FlashCrowdDelta{};
+    } else if (name == "cable_cut") {
+      section = Section::kCableCut;
+      cut = CableCutDelta{};
+    } else {
+      return fail("unknown section [" + std::string(name) + "]");
+    }
+    return true;
+  }
+
+  bool number(std::string_view value, double& out) {
+    const auto x = parse_number(value);
+    if (!x) return fail("bad number '" + std::string(value) + "'");
+    out = *x;
+    return true;
+  }
+
+  bool millis(std::string_view value, Duration& out) {
+    double ms = 0;
+    if (!number(value, ms)) return false;
+    out = ms * 1e-3;
+    return true;
+  }
+
+  bool integer(std::string_view value, int& out) {
+    const auto x = parse_int(value);
+    if (!x) return fail("bad integer '" + std::string(value) + "'");
+    out = static_cast<int>(*x);
+    return true;
+  }
+
+  bool keyval(std::string_view key, std::string_view value) {
+    switch (section) {
+      case Section::kNone:
+        return fail("key '" + std::string(key) + "' outside any section");
+      case Section::kScenario:
+        if (key == "name") {
+          pack.name = std::string(value);
+          return true;
+        }
+        if (key == "seed") {
+          const auto x = parse_int(value);
+          if (!x || *x < 0) {
+            return fail("bad seed '" + std::string(value) + "'");
+          }
+          pack.seed = static_cast<std::uint64_t>(*x);
+          return true;
+        }
+        break;
+      case Section::kDrain:
+        if (key == "pop") {
+          drain.pop = std::string(value);
+          return true;
+        }
+        if (key == "start_window") return integer(value, drain.start_window);
+        if (key == "end_window") return integer(value, drain.end_window);
+        if (key == "reroute_rtt_min_ms") {
+          return millis(value, drain.reroute_rtt_min);
+        }
+        if (key == "reroute_rtt_max_ms") {
+          return millis(value, drain.reroute_rtt_max);
+        }
+        if (key == "reroute_loss") return number(value, drain.reroute_loss);
+        break;
+      case Section::kDepref:
+        if (key == "asn") {
+          const auto x = parse_int(value);
+          if (!x || *x < 0) return fail("bad asn '" + std::string(value) + "'");
+          depref.asn = static_cast<std::uint32_t>(*x);
+          return true;
+        }
+        if (key == "continent") {
+          if (value == "all") {
+            depref.all_continents = true;
+            return true;
+          }
+          const auto c = continent_from_code(value);
+          if (!c) {
+            return fail("unknown continent code '" + std::string(value) + "'");
+          }
+          depref.all_continents = false;
+          depref.continent = *c;
+          return true;
+        }
+        break;
+      case Section::kFlash:
+        if (key == "country") {
+          const auto x = parse_int(value);
+          if (!x || *x < 0) {
+            return fail("bad country '" + std::string(value) + "'");
+          }
+          flash.country = static_cast<std::uint32_t>(*x);
+          return true;
+        }
+        if (key == "multiplier") return number(value, flash.multiplier);
+        if (key == "jitter") return number(value, flash.jitter);
+        if (key == "start_window") return integer(value, flash.start_window);
+        if (key == "end_window") return integer(value, flash.end_window);
+        if (key == "congestion_delay_ms") {
+          return millis(value, flash.congestion_delay);
+        }
+        if (key == "congestion_loss") {
+          return number(value, flash.congestion_loss);
+        }
+        break;
+      case Section::kCableCut:
+        if (key == "continents") {
+          // "EU-AF": an unordered continent pair.
+          const auto dash = value.find('-');
+          if (dash == std::string_view::npos) {
+            return fail("continents must look like 'EU-AF'");
+          }
+          const auto a = continent_from_code(trim(value.substr(0, dash)));
+          const auto b = continent_from_code(trim(value.substr(dash + 1)));
+          if (!a || !b) {
+            return fail("unknown continent code in '" + std::string(value) +
+                        "'");
+          }
+          cut.a = *a;
+          cut.b = *b;
+          return true;
+        }
+        if (key == "extra_rtt_ms") return millis(value, cut.extra_rtt);
+        if (key == "extra_loss") return number(value, cut.extra_loss);
+        if (key == "start_window") return integer(value, cut.start_window);
+        if (key == "end_window") return integer(value, cut.end_window);
+        break;
+    }
+    return fail("unknown key '" + std::string(key) + "'");
+  }
+};
+
+}  // namespace
+
+ScenarioParseResult parse_scenario(const std::string& text) {
+  ScenarioParseResult result;
+  Parser p;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t len =
+        (eol == std::string::npos ? text.size() : eol) - pos;
+    std::string_view line = trim(std::string_view(text).substr(pos, len));
+    ++p.line_no;
+    pos = (eol == std::string::npos) ? text.size() + 1 : eol + 1;
+
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        p.fail("unterminated section header");
+        break;
+      }
+      if (!p.open_section(trim(line.substr(1, line.size() - 2)))) break;
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      p.fail("expected 'key = value'");
+      break;
+    }
+    if (!p.keyval(trim(line.substr(0, eq)), trim(line.substr(eq + 1)))) break;
+  }
+  if (!p.error.empty()) {
+    result.error = p.error;
+    return result;
+  }
+  p.close_section();
+  result.ok = true;
+  result.pack = std::move(p.pack);
+  return result;
+}
+
+std::string serialize_scenario(const ScenarioPack& pack) {
+  std::string out;
+  char buf[64];
+  const auto num = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof buf, "%s = %.17g\n", key, v);
+    out += buf;
+  };
+  const auto integer = [&](const char* key, long long v) {
+    std::snprintf(buf, sizeof buf, "%s = %lld\n", key, v);
+    out += buf;
+  };
+  out += "[scenario]\n";
+  out += "name = " + pack.name + "\n";
+  integer("seed", static_cast<long long>(pack.seed));
+  for (const auto& d : pack.drains) {
+    out += "\n[drain]\n";
+    out += "pop = " + d.pop + "\n";
+    integer("start_window", d.start_window);
+    integer("end_window", d.end_window);
+    num("reroute_rtt_min_ms", d.reroute_rtt_min * 1e3);
+    num("reroute_rtt_max_ms", d.reroute_rtt_max * 1e3);
+    num("reroute_loss", d.reroute_loss);
+  }
+  for (const auto& d : pack.deprefs) {
+    out += "\n[depref]\n";
+    integer("asn", d.asn);
+    out += "continent = ";
+    out += d.all_continents ? "all" : std::string(to_code(d.continent));
+    out += "\n";
+  }
+  for (const auto& d : pack.flash_crowds) {
+    out += "\n[flash_crowd]\n";
+    integer("country", d.country);
+    num("multiplier", d.multiplier);
+    num("jitter", d.jitter);
+    if (d.start_window >= 0) {
+      integer("start_window", d.start_window);
+      integer("end_window", d.end_window);
+    }
+    num("congestion_delay_ms", d.congestion_delay * 1e3);
+    num("congestion_loss", d.congestion_loss);
+  }
+  for (const auto& d : pack.cable_cuts) {
+    out += "\n[cable_cut]\n";
+    out += "continents = ";
+    out += std::string(to_code(d.a)) + "-" + std::string(to_code(d.b)) + "\n";
+    num("extra_rtt_ms", d.extra_rtt * 1e3);
+    num("extra_loss", d.extra_loss);
+    integer("start_window", d.start_window);
+    integer("end_window", d.end_window);
+  }
+  return out;
+}
+
+}  // namespace fbedge

@@ -29,6 +29,7 @@
 #include "runtime/thread_pool.h"
 #include "sampler/io.h"
 #include "sampler/sampler.h"
+#include "scenario/scenario.h"
 #include "stream/monitor_pipeline.h"
 #include "workload/generator.h"
 #include "workload/world.h"
@@ -106,6 +107,10 @@ void expect_counters_eq(const FaultCounters& a, const FaultCounters& b) {
   EXPECT_EQ(a.task_aborts, b.task_aborts);
   EXPECT_EQ(a.task_retries, b.task_retries);
   EXPECT_EQ(a.lost_groups, b.lost_groups);
+  EXPECT_EQ(a.scenario_drained_groups, b.scenario_drained_groups);
+  EXPECT_EQ(a.scenario_depref_groups, b.scenario_depref_groups);
+  EXPECT_EQ(a.scenario_flash_groups, b.scenario_flash_groups);
+  EXPECT_EQ(a.scenario_cable_cut_groups, b.scenario_cable_cut_groups);
 }
 
 void expect_results_eq(const EdgeAnalysisResult& a, const EdgeAnalysisResult& b) {
@@ -697,6 +702,104 @@ TEST(FaultsimEndToEnd, CountersMatchInjectedFaultsExactly) {
   EXPECT_TRUE(result.faults.any());
   EXPECT_GT(result.faults.lost_groups, 0u);
   EXPECT_LT(result.faults.lost_groups, world.groups.size());
+}
+
+TEST(FaultsimEndToEnd, ScenarioCountersMatchAppliedDeltasExactly) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  // One delta per scenario site, targets chosen so each actually fires.
+  ScenarioPack pack;
+  pack.seed = 321;
+  DrainDelta drain;
+  drain.pop = "EU-pop1";
+  drain.start_window = 8;
+  drain.end_window = 24;
+  pack.drains.push_back(drain);
+  DepreferDelta depref;
+  depref.asn = 0;  // filled below with a transit ASN the world uses
+  pack.deprefs.push_back(depref);
+  FlashCrowdDelta flash;
+  flash.country = world.groups.front().key.country.value;
+  flash.multiplier = 5.0;
+  flash.jitter = 0.2;
+  pack.flash_crowds.push_back(flash);
+  CableCutDelta cut;
+  cut.a = Continent::kEurope;
+  cut.b = Continent::kAfrica;
+  cut.end_window = 96;
+  pack.cable_cuts.push_back(cut);
+
+  // Recompute every application decision outside apply_scenario. Scenario
+  // deltas are structural (pure in pack x world), so this is exact.
+  auto pop_continent = [&](PopId id) {
+    for (const auto& pop : world.pops) {
+      if (pop.id == id) return pop.continent;
+    }
+    ADD_FAILURE() << "unknown pop";
+    return Continent::kNorthAmerica;
+  };
+  PopId drained_pop{};
+  for (const auto& pop : world.pops) {
+    if (pop.name == drain.pop) drained_pop = pop.id;
+  }
+  for (const auto& group : world.groups) {
+    if (!group.routes.empty() &&
+        group.routes[0].route.relationship == Relationship::kTransit &&
+        !group.routes[0].route.as_path.empty()) {
+      depref.asn = group.routes[0].route.as_path.front();
+      break;
+    }
+  }
+  ASSERT_NE(depref.asn, 0u) << "world has no transit-preferred group";
+  pack.deprefs[0] = depref;
+
+  FaultCounters expected;
+  for (const auto& group : world.groups) {
+    if (group.key.pop == drained_pop) ++expected.scenario_drained_groups;
+    if (group.key.country.value == flash.country) {
+      ++expected.scenario_flash_groups;
+    }
+    if (group.remote_served) {
+      const Continent pc = pop_continent(group.key.pop);
+      if ((group.continent == cut.a && pc == cut.b) ||
+          (group.continent == cut.b && pc == cut.a)) {
+        ++expected.scenario_cable_cut_groups;
+      }
+    }
+    // Depref changes a group's route order iff a demoted route precedes a
+    // kept one (the stable partition is otherwise the identity).
+    bool seen_kept = false;
+    bool changed = false;
+    for (auto it = group.routes.rbegin(); it != group.routes.rend(); ++it) {
+      const bool demoted =
+          it->route.relationship == Relationship::kTransit &&
+          !it->route.as_path.empty() &&
+          it->route.as_path.front() == depref.asn;
+      if (!demoted) {
+        seen_kept = true;
+      } else if (seen_kept) {
+        changed = true;
+      }
+    }
+    if (changed) ++expected.scenario_depref_groups;
+  }
+  ASSERT_GT(expected.scenario_drained_groups, 0u);
+  ASSERT_GT(expected.scenario_depref_groups, 0u);
+  ASSERT_GT(expected.scenario_flash_groups, 0u);
+
+  FaultCounters applied;
+  apply_scenario(world, pack, &applied);
+  expect_counters_eq(applied, expected);
+
+  // The pipeline surfaces the same counts, and they ride along unchanged
+  // at any thread count.
+  for (const int n : {1, 4}) {
+    const auto result = run_edge_analysis(world, dc, {}, {}, {},
+                                          RuntimeOptions{n}, nullptr, {}, {},
+                                          pack);
+    expect_counters_eq(result.faults, expected);
+  }
 }
 
 TEST(FaultsimStream, StreamCountersMatchInjectedFaultsExactly) {
