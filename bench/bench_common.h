@@ -156,7 +156,6 @@ inline void add_runtime_json(JsonOutput& json, const RunStats& stats) {
   json.add("runtime_wall_seconds", stats.wall_seconds);
   json.add("runtime_cpu_seconds", stats.cpu_seconds);
   json.add("runtime_alloc_count", static_cast<double>(stats.alloc_count));
-  json.add("runtime_peak_rss_bytes", static_cast<double>(stats.peak_rss_bytes));
   json.add("runtime_rss_peak", static_cast<double>(stats.rss_sampled_peak_bytes));
   json.add("runtime_steals", static_cast<double>(stats.steals));
   json.add("runtime_cache_hits", static_cast<double>(stats.cache_hits));

@@ -5,11 +5,15 @@
 // individually so perf wins/regressions are attributable.
 //
 // Usage: micro_hotpath [--json PATH]   (other common flags are ignored)
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 
 #include "agg/aggregation.h"
 #include "agg/series_io.h"
+#include "analysis/edge_reduce.h"
+#include "analysis/ingest_cache.h"
 #include "bench_common.h"
 #include "goodput/hdratio.h"
 #include "goodput/tmodel.h"
@@ -192,6 +196,62 @@ int main(int argc, char** argv) {
     g_sink = static_cast<double>(loaded_series.windows.size());
   });
 
+  // ---- artifact reduce path (distrib shard coordinator) -------------------
+  // The two per-group constants of the coordinator's warm reduce: validating
+  // and indexing a shard artifact (checksum + blob table, amortized over its
+  // groups), and analyzing one group straight from its serialized blob then
+  // folding the partial (EdgeReducer's whole per-group cost).
+  char artifact_path[128];
+  std::snprintf(artifact_path, sizeof(artifact_path),
+                "/tmp/fbedge-micro-hotpath-%ld.fbecache",
+                static_cast<long>(::getpid()));
+  const std::size_t artifact_groups = 64;
+  {
+    const std::vector<std::string> blobs(artifact_groups, series_writer.data());
+    write_ingest_artifact(artifact_path, 1234, blobs);
+  }
+  IngestArtifactReader micro_reader;
+  std::string micro_blob;
+  const double artifact_load_ns =
+      time_per_op(20, [&](int) {
+        micro_reader.open(artifact_path, 1234, artifact_groups);
+        double bytes = 0;
+        for (std::size_t g = 0; g < artifact_groups; ++g) {
+          micro_reader.next(micro_blob);
+          bytes += static_cast<double>(micro_blob.size());
+        }
+        g_sink = bytes;
+      }) /
+      static_cast<double>(artifact_groups);
+  std::remove(artifact_path);
+
+  WorldConfig reduce_wc;
+  reduce_wc.seed = 2019;
+  reduce_wc.groups_per_continent = 2;
+  reduce_wc.days = 1;
+  const World reduce_world = build_world(reduce_wc);
+  DatasetConfig reduce_dc;
+  reduce_dc.seed = 2019;
+  reduce_dc.days = 1;
+  reduce_dc.session_scale = 0.1;
+  std::vector<std::string> group_blobs(reduce_world.groups.size());
+  ingest_range_to_blobs(
+      reduce_world, reduce_dc, {}, ShardRange{0, reduce_world.groups.size()},
+      RuntimeOptions::sequential(),
+      [&](std::size_t g, std::string&& blob) { group_blobs[g] = std::move(blob); });
+  const double reduce_fold_ns =
+      time_per_op(20, [&](int) {
+        EdgeReducer reducer(reduce_world, reduce_dc, {}, {}, {});
+        reducer.reduce_range(
+            ShardRange{0, group_blobs.size()},
+            [&](std::size_t g) {
+              return GroupBlobRef{group_blobs[g].data(), group_blobs[g].size()};
+            },
+            RuntimeOptions::sequential());
+        g_sink = static_cast<double>(reducer.finish().groups_analyzed);
+      }) /
+      static_cast<double>(group_blobs.size());
+
   // ---- response coalescing -----------------------------------------------
   const auto writes = make_writes(64);
   CoalescedSession scratch;
@@ -256,6 +316,10 @@ int main(int argc, char** argv) {
   std::printf("  agg_add_session       %10.1f\n", agg_ns);
   std::printf("  series_save           %10.1f  (960-window series)\n", series_save_ns);
   std::printf("  series_load           %10.1f  (960-window series)\n", series_load_ns);
+  std::printf("  artifact_group_load   %10.1f  (64-group shard artifact)\n",
+              artifact_load_ns);
+  std::printf("  reduce_fold_per_group %10.1f  (blob -> analyze -> fold)\n",
+              reduce_fold_ns);
   std::printf("  coalesce_session      %10.1f  (64 writes)\n", coalesce_ns);
   std::printf("  hd_batch_per_session  %10.1f  (4096-row batch)\n",
               hd_batch_per_session_ns);
@@ -276,6 +340,8 @@ int main(int argc, char** argv) {
   json.add("agg_add_session_ns", agg_ns);
   json.add("series_save_ns", series_save_ns);
   json.add("series_load_ns", series_load_ns);
+  json.add("artifact_group_load_ns", artifact_load_ns);
+  json.add("reduce_fold_per_group_ns", reduce_fold_ns);
   json.add("coalesce_session_ns", coalesce_ns);
   json.add("hd_batch_per_session_ns", hd_batch_per_session_ns);
   json.add("batch_append_ns", batch_append_ns);

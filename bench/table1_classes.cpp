@@ -11,46 +11,6 @@
 
 using namespace fbedge;
 
-namespace {
-
-constexpr TemporalClass kClasses[] = {TemporalClass::kUneventful,
-                                      TemporalClass::kContinuous,
-                                      TemporalClass::kDiurnal, TemporalClass::kEpisodic};
-
-void print_analysis(const EdgeAnalysisResult& result, AnalysisKind kind,
-                    const std::vector<std::string>& threshold_labels) {
-  print_header(std::string("Table 1: ") + to_string(kind));
-  std::printf("%-12s %-6s", "class", "scope");
-  for (const auto& label : threshold_labels) std::printf("  %14s", label.c_str());
-  std::printf("\n");
-
-  for (const TemporalClass cls : kClasses) {
-    // Overall row then per-continent rows.
-    for (int scope = -1; scope < kNumContinents; ++scope) {
-      bool any = false;
-      for (std::size_t t = 0; t < threshold_labels.size(); ++t) {
-        if (result.table1.count({kind, static_cast<int>(t), cls, scope})) any = true;
-      }
-      if (!any && scope >= 0) continue;
-      std::printf("%-12s %-6s", scope == -1 ? to_string(cls) : "",
-                  scope == -1 ? "all"
-                              : std::string(to_code(static_cast<Continent>(scope))).c_str());
-      for (std::size_t t = 0; t < threshold_labels.size(); ++t) {
-        const auto it = result.table1.find({kind, static_cast<int>(t), cls, scope});
-        if (it == result.table1.end()) {
-          std::printf("  %14s", ".000 .000");
-        } else {
-          std::printf("     %.3f %.3f", it->second.group_traffic,
-                      it->second.event_traffic);
-        }
-      }
-      std::printf("\n");
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto rc = bench::edge_run(argc, argv);
   const World world = build_world(rc.world);
@@ -64,12 +24,12 @@ int main(int argc, char** argv) {
       "episodic classes are widespread but carry little event traffic; "
       "uneventful rows dominate (57-93% of traffic depending on threshold)");
 
-  print_analysis(result, AnalysisKind::kDegradationRtt,
-                 {"+5ms", "+10ms", "+20ms", "+50ms"});
-  print_analysis(result, AnalysisKind::kDegradationHd,
-                 {"-0.05", "-0.1", "-0.2", "-0.5"});
-  print_analysis(result, AnalysisKind::kOpportunityRtt, {"-5ms", "-10ms"});
-  print_analysis(result, AnalysisKind::kOpportunityHd, {"+0.05"});
+  print_table1(result, AnalysisKind::kDegradationRtt,
+               {"+5ms", "+10ms", "+20ms", "+50ms"});
+  print_table1(result, AnalysisKind::kDegradationHd,
+               {"-0.05", "-0.1", "-0.2", "-0.5"});
+  print_table1(result, AnalysisKind::kOpportunityRtt, {"-5ms", "-10ms"});
+  print_table1(result, AnalysisKind::kOpportunityHd, {"+0.05"});
 
   std::printf("\ngroups analyzed: %d\n", result.groups_analyzed);
   stats.print("table1_classes");

@@ -6,6 +6,8 @@
 #include <optional>
 #include <string>
 
+#include "analysis/edge_reduce.h"
+
 #include "agg/series_io.h"
 #include "agg/window_columns.h"
 #include "faultsim/fault_injector.h"
@@ -223,6 +225,7 @@ struct EdgePartial {
     }
     res.total_traffic += other.res.total_traffic;
     res.groups_analyzed += other.res.groups_analyzed;
+    res.sessions_analyzed += other.res.sessions_analyzed;
     res.faults.accumulate(other.res.faults);
     table1.merge(other.table1);
 
@@ -316,6 +319,9 @@ void analyze_series_into(EdgeScratch& scratch, const GroupSeries& series,
   for (const auto& [w, agg] : series.windows) {
     if (const RouteWindowAgg* pref = agg.route(0)) {
       part.preferred_traffic_total += static_cast<double>(pref->traffic());
+    }
+    for (const RouteWindowAgg& cell : agg.routes) {
+      out.sessions_analyzed += static_cast<std::uint64_t>(cell.sessions());
     }
   }
   ++out.groups_analyzed;
@@ -535,151 +541,23 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-}  // namespace
-
-EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& config,
-                                     const AnalysisThresholds& thresholds,
-                                     const ComparisonConfig& comparison,
-                                     GoodputConfig goodput,
-                                     const RuntimeOptions& runtime,
-                                     RunStats* stats, const FaultPlan& faults,
-                                     const IngestCacheOptions& cache,
-                                     const ScenarioPack& scenario) {
-  // Scenario runs recurse with the perturbed world and an empty pack; the
-  // scenario-free path below is exactly the pre-scenario code, so an empty
-  // pack is byte-identical to a build without the subsystem.
-  if (!scenario.empty()) {
-    FaultCounters applied;
-    const World perturbed = apply_scenario(world, scenario, &applied);
-    EdgeAnalysisResult out =
-        run_edge_analysis(perturbed, config, thresholds, comparison, goodput,
-                          runtime, stats, faults, cache);
-    out.faults.accumulate(applied);
-    if (stats) stats->faults.accumulate(applied);
-    return out;
-  }
-
+/// Classifier knobs derived from the study span (shared by every reduce
+/// path so a distributed run classifies exactly like an in-process one).
+ClassifierConfig make_classifier_config(const DatasetConfig& config) {
   ClassifierConfig classifier_config;
   classifier_config.total_windows = config.days * 96;
   // Diurnal detection needs the pattern to repeat on multiple days; scale
   // the day requirement to the study span (the paper's 5 of 10 days).
   classifier_config.diurnal_days = std::max(2, (config.days + 1) / 2);
+  return classifier_config;
+}
 
-  DatasetGenerator generator(world, config);
-
-  // Faulted runs bypass the cache entirely — no read, no write. A faulted
-  // series must never be persisted (it would poison fault-free runs), and
-  // serving a clean artifact to a faulted run would silently disable the
-  // injection under test.
-  const bool use_cache = cache.enabled() && !faults.enabled();
-  const std::size_t group_count = world.groups.size();
-  std::uint64_t cache_key = 0;
-  std::string artifact_path;
-  IngestArtifact artifact;
-  bool warm = false;
-  if (use_cache) {
-    cache_key = ingest_cache_key(world, config, goodput);
-    artifact_path = ingest_artifact_path(cache.dir, cache_key);
-    const auto t0 = std::chrono::steady_clock::now();
-    warm = read_ingest_artifact(artifact_path, cache_key, group_count, artifact);
-    if (stats) stats->cache_load_seconds += seconds_since(t0);
-  }
-
-  // Map every group to its contribution on the pool, fold in group-id
-  // order: the result does not depend on the thread count.
-  EdgePartial total;
-  if (!faults.runtime_faults()) {
-    // Per-worker EdgeScratch: each worker's batching arenas persist across
-    // every group it processes, so the steady-state loop allocates only
-    // while an arena is still growing toward its high-water mark.
-    //
-    // Cache plumbing rides the same schedule: on a warm run each group
-    // deserializes its blob instead of ingesting (falling back to cold
-    // ingest if its blob is structurally invalid); on a cold cache-enabled
-    // run each group additionally serializes its series into `blobs[g]`
-    // (each slot written by exactly one task). Both side vectors are
-    // indexed by group id, so neither introduces any cross-thread order
-    // dependence — warm, cold, and uncached runs stay byte-identical.
-    std::vector<std::string> blobs;
-    std::vector<std::uint8_t> blob_loaded;
-    if (use_cache && !warm) blobs.resize(group_count);
-    if (warm) blob_loaded.assign(group_count, 0);
-    total = shard_map_reduce_scratch<EdgeScratch>(
-        world, runtime, EdgePartial{},
-        [&](EdgeScratch& scratch, const UserGroupProfile& group, std::size_t g) {
-          if (warm) {
-            const auto [offset, length] = artifact.blobs[g];
-            ByteReader r(artifact.bytes.data() + offset, length);
-            if (load_group_series(r, scratch.series, &scratch.pool) &&
-                r.remaining() == 0) {
-              blob_loaded[g] = 1;
-              EdgePartial part;
-              analyze_series_into(scratch, scratch.series, group, thresholds,
-                                  comparison, classifier_config, part);
-              return part;
-            }
-            // Unusable blob: fall through to cold ingest for this group.
-          }
-          EdgePartial part;
-          ingest_group(scratch, generator, group, goodput, faults, part.res.faults);
-          if (use_cache && !warm) {
-            scratch.writer.clear();
-            save_group_series(scratch.series, scratch.writer);
-            blobs[g] = scratch.writer.data();
-          }
-          analyze_series_into(scratch, scratch.series, group, thresholds,
-                              comparison, classifier_config, part);
-          return part;
-        },
-        [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
-        stats);
-    if (use_cache && stats) {
-      if (warm) {
-        std::uint64_t hits = 0;
-        for (const std::uint8_t ok : blob_loaded) hits += ok;
-        stats->cache_hits += hits;
-        stats->cache_misses += static_cast<std::uint64_t>(group_count) - hits;
-      } else {
-        stats->cache_misses += static_cast<std::uint64_t>(group_count);
-      }
-    }
-    if (use_cache && !warm) {
-      const auto t0 = std::chrono::steady_clock::now();
-      write_ingest_artifact(artifact_path, cache_key, blobs);
-      if (stats) stats->cache_save_seconds += seconds_since(t0);
-    }
-  } else {
-    // Shard tasks can abort; each group gets the plan's attempt budget and
-    // is skipped (reported as lost) when every attempt fails. The abort
-    // decision is a pure function of (plan, group, attempt), so which
-    // groups are lost — and hence the merged result — is identical for any
-    // thread count.
-    RunStats local;
-    total = shard_map_reduce_failable(
-        world, runtime,
-        RetryPolicy{faults.task_max_attempts, faults.task_backoff_seconds},
-        EdgePartial{},
-        [&](const UserGroupProfile& group, std::size_t,
-            int attempt) -> std::optional<EdgePartial> {
-          if (task_abort_decision(faults, group_fault_key(group.key), attempt)) {
-            return std::nullopt;
-          }
-          // Fault runs are not perf-critical; a per-attempt scratch keeps
-          // the failable path simple.
-          EdgeScratch scratch;
-          return analyze_group(scratch, generator, group, thresholds, comparison,
-                               goodput, classifier_config, faults);
-        },
-        [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
-        [](EdgePartial&, std::size_t) { /* lost group: contributes nothing */ },
-        &local);
-    total.res.faults.accumulate(local.faults);
-    if (stats) stats->accumulate(local);
-  }
-
+/// The final normalizations: raw merged sums -> the fractions the paper
+/// reports. One implementation for every reduce path (in-process, failable,
+/// artifact-driven), so a distributed run cannot drift from a local one.
+EdgeAnalysisResult finalize_edge_result(EdgePartial&& total) {
   EdgeAnalysisResult out = std::move(total.res);
 
-  // ---- normalizations ----------------------------------------------------
   total.table1.normalize_into(out.table1);
   for (auto* rows : {&out.table2_rtt, &out.table2_hd}) {
     for (auto& [pair, row] : *rows) {
@@ -716,6 +594,248 @@ EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& co
   out.hd_improvable_005 =
       total.improvable_hd_traffic / std::max(1.0, total.opp_valid_hd_traffic);
   return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EdgeReducer: the group-id-order fold behind both run_edge_analysis and
+// the multi-process coordinator (analysis/edge_reduce.h).
+// ---------------------------------------------------------------------------
+
+struct EdgeReducer::Impl {
+  const World& world;
+  DatasetConfig config;
+  AnalysisThresholds thresholds;
+  ComparisonConfig comparison;
+  GoodputConfig goodput;
+  FaultPlan faults;
+  ClassifierConfig classifier_config;
+  DatasetGenerator generator;
+  EdgePartial total;
+  std::uint64_t blob_groups{0};
+
+  Impl(const World& world_in, const DatasetConfig& config_in,
+       const AnalysisThresholds& thresholds_in,
+       const ComparisonConfig& comparison_in, GoodputConfig goodput_in,
+       const FaultPlan& faults_in)
+      : world(world_in),
+        config(config_in),
+        thresholds(thresholds_in),
+        comparison(comparison_in),
+        goodput(goodput_in),
+        faults(faults_in),
+        classifier_config(make_classifier_config(config_in)),
+        generator(world_in, config) {}
+};
+
+EdgeReducer::EdgeReducer(const World& world, const DatasetConfig& config,
+                         const AnalysisThresholds& thresholds,
+                         const ComparisonConfig& comparison,
+                         GoodputConfig goodput, const FaultPlan& faults)
+    : impl_(std::make_unique<Impl>(world, config, thresholds, comparison,
+                                   goodput, faults)) {}
+
+EdgeReducer::~EdgeReducer() = default;
+
+void EdgeReducer::reduce_range(const ShardRange& range, const BlobFn& blob,
+                               const RuntimeOptions& runtime, RunStats* stats,
+                               const SaveFn* save) {
+  Impl& im = *impl_;
+  FBEDGE_EXPECT(range.end <= im.world.groups.size(),
+                "reduce range exceeds the world's group count");
+  const std::size_t n = range.size();
+  if (n == 0) return;
+  // Per-group flags live in a side vector (each slot written by exactly
+  // one task) so blob accounting never introduces cross-thread order
+  // dependence.
+  std::vector<std::uint8_t> from_blob(n, 0);
+  auto partials = parallel_map_scratch<EdgeScratch>(
+      n, runtime,
+      [&](EdgeScratch& scratch, std::size_t i) {
+        const std::size_t g = range.begin + i;
+        const UserGroupProfile& group = im.world.groups[g];
+        if (blob) {
+          const GroupBlobRef b = blob(g);
+          if (!b.empty()) {
+            ByteReader r(b.data, b.size);
+            if (load_group_series(r, scratch.series, &scratch.pool) &&
+                r.remaining() == 0) {
+              from_blob[i] = 1;
+              EdgePartial part;
+              analyze_series_into(scratch, scratch.series, group, im.thresholds,
+                                  im.comparison, im.classifier_config, part);
+              return part;
+            }
+            // Unusable blob: fall through to cold ingest for this group.
+          }
+        }
+        EdgePartial part;
+        ingest_group(scratch, im.generator, group, im.goodput, im.faults,
+                     part.res.faults);
+        if (save != nullptr && *save) {
+          scratch.writer.clear();
+          save_group_series(scratch.series, scratch.writer);
+          std::string bytes = scratch.writer.data();  // keep writer capacity
+          (*save)(g, std::move(bytes));
+        }
+        analyze_series_into(scratch, scratch.series, group, im.thresholds,
+                            im.comparison, im.classifier_config, part);
+        return part;
+      },
+      stats);
+  // The determinism rule: fold in ascending group-id order, always.
+  for (std::size_t i = 0; i < n; ++i) {
+    im.total.merge(partials[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) im.blob_groups += from_blob[i];
+}
+
+std::uint64_t EdgeReducer::blob_groups() const { return impl_->blob_groups; }
+
+EdgeAnalysisResult EdgeReducer::finish() {
+  return finalize_edge_result(std::move(impl_->total));
+}
+
+void ingest_range_to_blobs(
+    const World& world, const DatasetConfig& config, GoodputConfig goodput,
+    const ShardRange& range, const RuntimeOptions& runtime,
+    const std::function<void(std::size_t group, std::string&& blob)>& sink,
+    RunStats* stats, std::size_t chunk_groups) {
+  FBEDGE_EXPECT(range.end <= world.groups.size(),
+                "ingest range exceeds the world's group count");
+  FBEDGE_EXPECT(chunk_groups >= 1, "ingest chunk must hold at least one group");
+  DatasetGenerator generator(world, config);
+  const FaultPlan no_faults;
+  for (std::size_t at = range.begin; at < range.end; at += chunk_groups) {
+    const std::size_t n = std::min(chunk_groups, range.end - at);
+    auto blobs = parallel_map_scratch<EdgeScratch>(
+        n, runtime,
+        [&](EdgeScratch& scratch, std::size_t i) {
+          FaultCounters none;
+          ingest_group(scratch, generator, world.groups[at + i], goodput,
+                       no_faults, none);
+          scratch.writer.clear();
+          save_group_series(scratch.series, scratch.writer);
+          return std::string(scratch.writer.data());
+        },
+        stats);
+    for (std::size_t i = 0; i < n; ++i) sink(at + i, std::move(blobs[i]));
+  }
+}
+
+EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& config,
+                                     const AnalysisThresholds& thresholds,
+                                     const ComparisonConfig& comparison,
+                                     GoodputConfig goodput,
+                                     const RuntimeOptions& runtime,
+                                     RunStats* stats, const FaultPlan& faults,
+                                     const IngestCacheOptions& cache,
+                                     const ScenarioPack& scenario) {
+  // Scenario runs recurse with the perturbed world and an empty pack; the
+  // scenario-free path below is exactly the pre-scenario code, so an empty
+  // pack is byte-identical to a build without the subsystem.
+  if (!scenario.empty()) {
+    FaultCounters applied;
+    const World perturbed = apply_scenario(world, scenario, &applied);
+    EdgeAnalysisResult out =
+        run_edge_analysis(perturbed, config, thresholds, comparison, goodput,
+                          runtime, stats, faults, cache);
+    out.faults.accumulate(applied);
+    if (stats) stats->faults.accumulate(applied);
+    return out;
+  }
+
+  // Faulted runs bypass the cache entirely — no read, no write. A faulted
+  // series must never be persisted (it would poison fault-free runs), and
+  // serving a clean artifact to a faulted run would silently disable the
+  // injection under test.
+  const bool use_cache = cache.enabled() && !faults.enabled();
+  const std::size_t group_count = world.groups.size();
+  std::uint64_t cache_key = 0;
+  std::string artifact_path;
+  IngestArtifact artifact;
+  bool warm = false;
+  if (use_cache) {
+    cache_key = ingest_cache_key(world, config, goodput);
+    artifact_path = ingest_artifact_path(cache.dir, cache_key);
+    const auto t0 = std::chrono::steady_clock::now();
+    warm = read_ingest_artifact(artifact_path, cache_key, group_count, artifact);
+    if (stats) stats->cache_load_seconds += seconds_since(t0);
+  }
+
+  if (!faults.runtime_faults()) {
+    // One EdgeReducer pass over [0, n): per-worker EdgeScratch arenas
+    // persist across every group a worker processes, and partials fold in
+    // group-id order — the result does not depend on the thread count.
+    //
+    // Cache plumbing rides the same schedule: on a warm run each group
+    // deserializes its blob instead of ingesting (falling back to cold
+    // ingest if its blob is structurally invalid); on a cold cache-enabled
+    // run each group additionally serializes its series into `blobs[g]`
+    // (each slot written by exactly one task). Neither introduces any
+    // cross-thread order dependence — warm, cold, and uncached runs stay
+    // byte-identical.
+    EdgeReducer reducer(world, config, thresholds, comparison, goodput, faults);
+    EdgeReducer::BlobFn blob_fn;
+    if (warm) {
+      blob_fn = [&artifact](std::size_t g) {
+        const auto [offset, length] = artifact.blobs[g];
+        return GroupBlobRef{artifact.bytes.data() + offset, length};
+      };
+    }
+    std::vector<std::string> blobs;
+    EdgeReducer::SaveFn save_fn;
+    if (use_cache && !warm) {
+      blobs.resize(group_count);
+      save_fn = [&blobs](std::size_t g, std::string&& blob) {
+        blobs[g] = std::move(blob);
+      };
+    }
+    reducer.reduce_range(ShardRange{0, group_count}, blob_fn, runtime, stats,
+                         save_fn ? &save_fn : nullptr);
+    if (use_cache && stats) {
+      const std::uint64_t hits = reducer.blob_groups();
+      stats->cache_hits += hits;
+      stats->cache_misses += static_cast<std::uint64_t>(group_count) - hits;
+    }
+    if (use_cache && !warm) {
+      const auto t0 = std::chrono::steady_clock::now();
+      write_ingest_artifact(artifact_path, cache_key, blobs);
+      if (stats) stats->cache_save_seconds += seconds_since(t0);
+    }
+    return reducer.finish();
+  }
+
+  // Shard tasks can abort; each group gets the plan's attempt budget and
+  // is skipped (reported as lost) when every attempt fails. The abort
+  // decision is a pure function of (plan, group, attempt), so which
+  // groups are lost — and hence the merged result — is identical for any
+  // thread count.
+  const ClassifierConfig classifier_config = make_classifier_config(config);
+  DatasetGenerator generator(world, config);
+  RunStats local;
+  EdgePartial total = shard_map_reduce_failable(
+      world, runtime,
+      RetryPolicy{faults.task_max_attempts, faults.task_backoff_seconds},
+      EdgePartial{},
+      [&](const UserGroupProfile& group, std::size_t,
+          int attempt) -> std::optional<EdgePartial> {
+        if (task_abort_decision(faults, group_fault_key(group.key), attempt)) {
+          return std::nullopt;
+        }
+        // Fault runs are not perf-critical; a per-attempt scratch keeps
+        // the failable path simple.
+        EdgeScratch scratch;
+        return analyze_group(scratch, generator, group, thresholds, comparison,
+                             goodput, classifier_config, faults);
+      },
+      [](EdgePartial& acc, EdgePartial&& part, std::size_t) { acc.merge(part); },
+      [](EdgePartial&, std::size_t) { /* lost group: contributes nothing */ },
+      &local);
+  total.res.faults.accumulate(local.faults);
+  if (stats) stats->accumulate(local);
+  return finalize_edge_result(std::move(total));
 }
 
 }  // namespace fbedge

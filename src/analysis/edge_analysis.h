@@ -110,6 +110,11 @@ struct EdgeAnalysisResult {
 
   double total_traffic{0};
   int groups_analyzed{0};
+  /// Sessions aggregated across every (window, route) cell analyzed — the
+  /// throughput denominator for sessions/s scale tracking. Counted from
+  /// the series (not at ingest), so warm/artifact-served runs report the
+  /// same number as cold runs.
+  std::uint64_t sessions_analyzed{0};
 
   /// Injected-fault tally for this run (all zeros on a fault-free run):
   /// sampler/aggregation counters summed over groups in group-id order,

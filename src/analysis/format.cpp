@@ -43,4 +43,40 @@ void print_fraction_at(const std::string& label, const WeightedCdf& cdf,
   std::printf("\n");
 }
 
+void print_table1(const EdgeAnalysisResult& result, AnalysisKind kind,
+                  const std::vector<std::string>& threshold_labels) {
+  constexpr TemporalClass kClasses[] = {
+      TemporalClass::kUneventful, TemporalClass::kContinuous,
+      TemporalClass::kDiurnal, TemporalClass::kEpisodic};
+
+  print_header(std::string("Table 1: ") + to_string(kind));
+  std::printf("%-12s %-6s", "class", "scope");
+  for (const auto& label : threshold_labels) std::printf("  %14s", label.c_str());
+  std::printf("\n");
+
+  for (const TemporalClass cls : kClasses) {
+    // Overall row then per-continent rows.
+    for (int scope = -1; scope < kNumContinents; ++scope) {
+      bool any = false;
+      for (std::size_t t = 0; t < threshold_labels.size(); ++t) {
+        if (result.table1.count({kind, static_cast<int>(t), cls, scope})) any = true;
+      }
+      if (!any && scope >= 0) continue;
+      std::printf("%-12s %-6s", scope == -1 ? to_string(cls) : "",
+                  scope == -1 ? "all"
+                              : std::string(to_code(static_cast<Continent>(scope))).c_str());
+      for (std::size_t t = 0; t < threshold_labels.size(); ++t) {
+        const auto it = result.table1.find({kind, static_cast<int>(t), cls, scope});
+        if (it == result.table1.end()) {
+          std::printf("  %14s", ".000 .000");
+        } else {
+          std::printf("     %.3f %.3f", it->second.group_traffic,
+                      it->second.event_traffic);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+}
+
 }  // namespace fbedge

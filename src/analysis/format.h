@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/edge_analysis.h"
 #include "stats/cdf.h"
 
 namespace fbedge {
@@ -26,5 +27,12 @@ void print_quantile_summary(const std::string& label, const WeightedCdf& cdf,
 /// Prints "fraction of weight <= x" probes.
 void print_fraction_at(const std::string& label, const WeightedCdf& cdf,
                        const std::vector<double>& xs, double value_scale = 1.0);
+
+/// Prints one Table 1 block: class x scope rows (overall then per
+/// continent), one "group event" traffic-fraction pair per threshold.
+/// Shared by bench/table1_classes and tools/fbedge_scale so the two emit
+/// byte-identical tables — which is what the scale-equivalence check diffs.
+void print_table1(const EdgeAnalysisResult& result, AnalysisKind kind,
+                  const std::vector<std::string>& threshold_labels);
 
 }  // namespace fbedge

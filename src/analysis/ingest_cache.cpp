@@ -1,9 +1,12 @@
 #include "analysis/ingest_cache.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include "agg/series_io.h"
 #include "util/binio.h"
@@ -180,21 +183,146 @@ bool read_ingest_artifact(const std::string& path, std::uint64_t key,
   return true;
 }
 
+void IngestArtifactReader::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  groups_ = 0;
+  remaining_groups_ = 0;
+  body_remaining_ = 0;
+}
+
+bool IngestArtifactReader::open(const std::string& path, std::uint64_t key,
+                                std::size_t expected_groups) {
+  close();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  if (file_size < static_cast<long>(kHeaderBytes + kChecksumBytes)) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+
+  // Checksum the whole body in fixed-size chunks (the header rides along
+  // in the first chunk — kHeaderBytes <= body is guaranteed by the size
+  // check above), then compare against the trailing u64. Memory stays
+  // O(chunk) no matter how large the artifact is.
+  const std::size_t body =
+      static_cast<std::size_t>(file_size) - kChecksumBytes;
+  char header[kHeaderBytes];
+  char buf[1 << 16];
+  Fnv64 sum;
+  std::size_t hashed = 0;
+  while (hashed < body) {
+    const std::size_t want = std::min(body - hashed, sizeof(buf));
+    if (std::fread(buf, 1, want, f) != want) {
+      std::fclose(f);
+      return false;
+    }
+    if (hashed == 0) std::memcpy(header, buf, kHeaderBytes);
+    sum.bytes(buf, want);
+    hashed += want;
+  }
+  char tail_bytes[kChecksumBytes];
+  if (std::fread(tail_bytes, 1, kChecksumBytes, f) != kChecksumBytes) {
+    std::fclose(f);
+    return false;
+  }
+  ByteReader tail(tail_bytes, kChecksumBytes);
+  if (tail.u64() != sum.value()) {
+    std::fclose(f);
+    return false;
+  }
+
+  ByteReader r(header, kHeaderBytes);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  const std::uint32_t epoch = r.u32();
+  const std::uint64_t stored_key = r.u64();
+  const std::uint64_t groups = r.u64();
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || !r.ok() ||
+      epoch != kIngestArtifactEpoch || stored_key != key ||
+      (expected_groups != kAnyGroupCount && groups != expected_groups) ||
+      groups > (body - kHeaderBytes) / 8 ||
+      std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  file_ = f;
+  groups_ = groups;
+  remaining_groups_ = groups;
+  body_remaining_ = body - kHeaderBytes;
+  return true;
+}
+
+bool IngestArtifactReader::next(std::string& blob) {
+  blob.clear();
+  if (file_ == nullptr || remaining_groups_ == 0) {
+    close();
+    return false;
+  }
+  char len_bytes[8];
+  if (body_remaining_ < 8 ||
+      std::fread(len_bytes, 1, sizeof(len_bytes), file_) !=
+          sizeof(len_bytes)) {
+    close();
+    return false;
+  }
+  body_remaining_ -= 8;
+  ByteReader r(len_bytes, sizeof(len_bytes));
+  const std::uint64_t len = r.u64();
+  if (len > body_remaining_) {
+    close();
+    return false;
+  }
+  blob.resize(static_cast<std::size_t>(len));
+  if (len > 0 && std::fread(blob.data(), 1, blob.size(), file_) !=
+                     blob.size()) {
+    blob.clear();
+    close();
+    return false;
+  }
+  body_remaining_ -= len;
+  --remaining_groups_;
+  if (remaining_groups_ == 0) {
+    // The checksum vouched for the bytes; the lengths must still tile the
+    // body exactly (a hand-built file could checksum fine yet lie).
+    const bool clean = body_remaining_ == 0;
+    close();
+    if (!clean) {
+      blob.clear();
+      return false;
+    }
+  }
+  return true;
+}
+
 bool write_ingest_artifact(const std::string& path, std::uint64_t key,
                            const std::vector<std::string>& blobs) {
-  ByteWriter w;
-  w.bytes(kMagic, sizeof(kMagic));
-  w.u32(kIngestArtifactEpoch);
-  w.u64(key);
-  w.u64(blobs.size());
+  IngestArtifactWriter w;
+  if (!w.open(path, key, blobs.size())) return false;
   for (const std::string& blob : blobs) {
-    w.u64(blob.size());
-    w.bytes(blob.data(), blob.size());
+    if (!w.append(blob)) return false;
   }
-  Fnv64 sum;
-  sum.bytes(w.data().data(), w.size());
-  w.u64(sum.value());
+  return w.finish();
+}
 
+IngestArtifactWriter::~IngestArtifactWriter() { abandon(); }
+
+void IngestArtifactWriter::abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_.c_str());
+  }
+}
+
+bool IngestArtifactWriter::open(const std::string& path, std::uint64_t key,
+                                std::uint64_t groups) {
+  abandon();
   // Ensure the directory exists (single level is enough for the common
   // `--cache-dir some/dir` case; deeper prefixes must pre-exist).
   const std::size_t slash = path.rfind('/');
@@ -202,17 +330,72 @@ bool write_ingest_artifact(const std::string& path, std::uint64_t key,
     ::mkdir(path.substr(0, slash).c_str(), 0777);  // EEXIST is fine
   }
 
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
-  const std::size_t put = std::fwrite(w.data().data(), 1, w.size(), f);
-  const bool flushed = std::fclose(f) == 0 && put == w.size();
-  if (!flushed) {
-    std::remove(tmp.c_str());
+  // Unique temp name per writer: pid separates racing processes, the
+  // sequence number separates racing writers inside one process. A shared
+  // temp name would let two same-key writers interleave into one file and
+  // publish a corrupt (checksum-rejected) artifact.
+  static std::atomic<std::uint64_t> sequence{0};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    sequence.fetch_add(1, std::memory_order_relaxed)));
+  path_ = path;
+  tmp_ = path + suffix;
+  expected_groups_ = groups;
+  appended_ = 0;
+  checksum_ = Fnv64{};
+  failed_ = false;
+
+  file_ = std::fopen(tmp_.c_str(), "wb");
+  if (file_ == nullptr) return false;
+
+  ByteWriter header;
+  header.bytes(kMagic, sizeof(kMagic));
+  header.u32(kIngestArtifactEpoch);
+  header.u64(key);
+  header.u64(groups);
+  checksum_.bytes(header.data().data(), header.size());
+  if (std::fwrite(header.data().data(), 1, header.size(), file_) !=
+      header.size()) {
+    abandon();
     return false;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  return true;
+}
+
+bool IngestArtifactWriter::append(const std::string& blob) {
+  if (file_ == nullptr || failed_) return false;
+  ByteWriter len;
+  len.u64(blob.size());
+  checksum_.bytes(len.data().data(), len.size());
+  checksum_.bytes(blob.data(), blob.size());
+  if (std::fwrite(len.data().data(), 1, len.size(), file_) != len.size() ||
+      std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    failed_ = true;
+    return false;
+  }
+  ++appended_;
+  return true;
+}
+
+bool IngestArtifactWriter::finish() {
+  if (file_ == nullptr || failed_ || appended_ != expected_groups_) {
+    abandon();
+    return false;
+  }
+  ByteWriter tail;
+  tail.u64(checksum_.value());
+  const bool wrote =
+      std::fwrite(tail.data().data(), 1, tail.size(), file_) == tail.size();
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!wrote || !closed) {
+    std::remove(tmp_.c_str());
+    return false;
+  }
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
     return false;
   }
   return true;

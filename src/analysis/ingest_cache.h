@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "goodput/hdratio.h"
+#include "util/binio.h"
 #include "workload/generator.h"
 #include "workload/world.h"
 
@@ -73,5 +75,88 @@ bool read_ingest_artifact(const std::string& path, std::uint64_t key,
 /// Returns false on I/O failure (the run simply stays uncached).
 bool write_ingest_artifact(const std::string& path, std::uint64_t key,
                            const std::vector<std::string>& blobs);
+
+/// Streaming reader for the artifact format: open() validates the header
+/// and the whole-file checksum in one bounded-memory pass (no blob is ever
+/// resident), then next() yields each group's blob in group-id order into
+/// a caller-owned buffer. The reduce-side twin of IngestArtifactWriter:
+/// the shard coordinator (src/distrib/) streams artifacts through this so
+/// its peak RSS is bounded by a chunk of blobs, never a whole shard —
+/// read_ingest_artifact would materialize gigabytes for a big shard.
+/// Same failure policy as the bulk reader: anything missing, truncated,
+/// corrupt, wrong-epoch, or wrong-key fails open(); a next() that runs
+/// into structural inconsistency closes the reader and returns false, and
+/// the caller falls back to cold ingest for the groups it didn't get.
+class IngestArtifactReader {
+ public:
+  IngestArtifactReader() = default;
+  ~IngestArtifactReader() { close(); }
+
+  IngestArtifactReader(const IngestArtifactReader&) = delete;
+  IngestArtifactReader& operator=(const IngestArtifactReader&) = delete;
+
+  /// Validates the artifact at `path` (kAnyGroupCount accepts any count).
+  /// On success the reader is positioned at the first blob.
+  bool open(const std::string& path, std::uint64_t key,
+            std::size_t expected_groups);
+
+  /// Blob count from the validated header (0 when not open).
+  std::uint64_t groups() const { return groups_; }
+
+  /// Reads the next blob in group-id order; call at most groups() times.
+  bool next(std::string& blob);
+
+  void close();
+
+ private:
+  std::FILE* file_{nullptr};
+  std::uint64_t groups_{0};
+  std::uint64_t remaining_groups_{0};
+  std::uint64_t body_remaining_{0};
+};
+
+/// Streaming writer for the same artifact format: blobs are appended one at
+/// a time (in group-id order) straight to a temp file, so a writer's memory
+/// stays bounded by one group's blob no matter how many groups the artifact
+/// holds — the property the multi-process shard workers (src/distrib/)
+/// rely on for flat per-worker RSS. The temp name embeds the pid plus a
+/// process-wide sequence number, so any number of writers racing on the
+/// same destination path each stream into a private file and the winner is
+/// whichever rename lands last — readers only ever observe complete,
+/// checksummed artifacts. finish() publishes atomically; abandoning the
+/// writer (destruction without finish) removes the temp file and leaves the
+/// destination untouched.
+class IngestArtifactWriter {
+ public:
+  IngestArtifactWriter() = default;
+  ~IngestArtifactWriter();
+
+  IngestArtifactWriter(const IngestArtifactWriter&) = delete;
+  IngestArtifactWriter& operator=(const IngestArtifactWriter&) = delete;
+
+  /// Starts an artifact for exactly `groups` blobs. Returns false on I/O
+  /// failure (writer stays closed).
+  bool open(const std::string& path, std::uint64_t key, std::uint64_t groups);
+
+  /// Appends the next group's serialized series. Must be called exactly
+  /// `groups` times, in group-id order.
+  bool append(const std::string& blob);
+
+  /// Writes the trailing checksum, closes, and atomically renames into
+  /// place. Returns false (removing the temp file) on any failure or if
+  /// the number of append() calls does not match open()'s group count.
+  bool finish();
+
+ private:
+  void abandon();
+
+  std::FILE* file_{nullptr};
+  std::string path_;
+  std::string tmp_;
+  std::uint64_t expected_groups_{0};
+  std::uint64_t appended_{0};
+  Fnv64 checksum_;
+  bool failed_{false};
+};
 
 }  // namespace fbedge

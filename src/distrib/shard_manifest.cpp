@@ -1,0 +1,115 @@
+#include "distrib/shard_manifest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/binio.h"
+#include "util/rng.h"
+
+namespace fbedge {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'B', 'E', 'S', 'H', 'A', 'R', 'D'};
+
+std::string encode_payload(const ShardManifest& m) {
+  ByteWriter w;
+  w.u64(m.base_key);
+  w.u32(m.shard_index);
+  w.u32(m.worker_count);
+  w.u64(m.group_begin);
+  w.u64(m.group_end);
+  w.u64(m.artifact_key);
+  return w.take();
+}
+
+}  // namespace
+
+std::uint64_t shard_artifact_key(std::uint64_t base_key,
+                                 std::size_t group_begin,
+                                 std::size_t group_end) {
+  return hash_combine(base_key,
+                      hash_combine(static_cast<std::uint64_t>(group_begin),
+                                   static_cast<std::uint64_t>(group_end)));
+}
+
+std::string shard_manifest_path(const std::string& dir, std::uint64_t base_key,
+                                int shard, int workers) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "shard-%016llx-%04dof%04d.fbeshard",
+                static_cast<unsigned long long>(base_key), shard, workers);
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  path += name;
+  return path;
+}
+
+bool write_shard_manifest(const std::string& path, const ShardManifest& manifest) {
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0777);  // EEXIST is fine
+  }
+
+  // Same unique-temp discipline as IngestArtifactWriter: pid separates
+  // racing processes, the sequence number racing writers in one process.
+  static std::atomic<std::uint64_t> sequence{0};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    sequence.fetch_add(1, std::memory_order_relaxed)));
+  const std::string tmp = path + suffix;
+
+  const std::string record =
+      frame_record(kMagic, kShardManifestEpoch, encode_payload(manifest));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(record.data(), 1, record.size(), f) == record.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_shard_manifest(const std::string& path, ShardManifest& manifest) {
+  manifest = ShardManifest{};
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  // A manifest is a small fixed-size record; reject anything implausibly
+  // large before buffering it (a foreign file at this path, say).
+  if (file_size < 0 || file_size > 4096) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<std::size_t>(file_size), '\0');
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return false;
+
+  std::string payload;
+  if (!unframe_record(bytes.data(), bytes.size(), kMagic, kShardManifestEpoch,
+                      payload)) {
+    return false;
+  }
+  ByteReader r(payload.data(), payload.size());
+  manifest.base_key = r.u64();
+  manifest.shard_index = r.u32();
+  manifest.worker_count = r.u32();
+  manifest.group_begin = r.u64();
+  manifest.group_end = r.u64();
+  manifest.artifact_key = r.u64();
+  if (!r.ok() || r.remaining() != 0) {
+    manifest = ShardManifest{};
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fbedge

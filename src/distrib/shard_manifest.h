@@ -1,0 +1,61 @@
+// Shard manifests: the completion markers of the multi-process coordinator.
+//
+// A shard worker streams its group range into an ingest artifact
+// (analysis/ingest_cache.h) under a shard-specific key, then — only after
+// the artifact has been atomically published — writes a manifest recording
+// exactly what it produced: which base run (ingest_cache_key of the whole
+// world), which shard of how many workers, which contiguous group range,
+// and the artifact key the blobs live under. The coordinator treats a
+// valid, matching manifest as "this shard's artifact is complete"; a
+// missing, truncated, foreign-epoch, or checksum-failing manifest reads as
+// "not done" and the shard is reduced via cold ingest instead — the same
+// silent-fallback policy as a stale ingest artifact, so a half-written
+// cache directory can slow a run down but never corrupt or kill it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fbedge {
+
+/// Manifest format epoch; bump when the payload layout changes. Files
+/// carrying a foreign epoch are rejected exactly like stale artifacts.
+inline constexpr std::uint32_t kShardManifestEpoch = 1;
+
+/// One shard's completion record. All fields are validated against the
+/// coordinator's expectation — a manifest from a different base run, shard
+/// layout, or group range never vouches for an artifact.
+struct ShardManifest {
+  std::uint64_t base_key{0};      // ingest_cache_key of the full run
+  std::uint32_t shard_index{0};   // this shard, in [0, worker_count)
+  std::uint32_t worker_count{0};  // shards in the partition
+  std::uint64_t group_begin{0};   // half-open global group range
+  std::uint64_t group_end{0};
+  std::uint64_t artifact_key{0};  // key of the shard's ingest artifact
+
+  friend bool operator==(const ShardManifest&, const ShardManifest&) = default;
+};
+
+/// Key of a shard's ingest artifact: the base run key combined with the
+/// shard's group range, so artifacts from different partitions of the same
+/// run (or the single-process whole-run artifact) can never collide.
+std::uint64_t shard_artifact_key(std::uint64_t base_key,
+                                 std::size_t group_begin,
+                                 std::size_t group_end);
+
+/// Manifest file path inside `dir` for (base run, shard, worker count).
+std::string shard_manifest_path(const std::string& dir, std::uint64_t base_key,
+                                int shard, int workers);
+
+/// Atomically writes a manifest (framed record, temp file + rename — the
+/// same unique-temp scheme as IngestArtifactWriter, so racing writers each
+/// stream into a private file). Returns false on I/O failure.
+bool write_shard_manifest(const std::string& path, const ShardManifest& manifest);
+
+/// Loads and validates a manifest. Returns false — leaving `manifest`
+/// zeroed — on a missing file, wrong magic, foreign epoch, truncation,
+/// trailing garbage, or checksum failure.
+bool read_shard_manifest(const std::string& path, ShardManifest& manifest);
+
+}  // namespace fbedge

@@ -1,0 +1,55 @@
+#include "distrib/subprocess.h"
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fbedge {
+
+WorkerExit spawn_worker(const std::vector<std::string>& argv) {
+  WorkerExit result;
+  if (argv.empty()) return result;
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  // fork+exec, not posix_spawn: glibc's posix_spawn shares the parent mm
+  // (CLONE_VM) until exec, so the child's ru_maxrss inherits the
+  // coordinator's RSS *high-water* mark; fork resets the child's
+  // accounting to the parent's current RSS instead. Either way the
+  // reported worker peak has the coordinator's resident size as a floor —
+  // one reason the coordinator itself must stay flat (streamed reduce).
+  const pid_t pid = ::fork();
+  if (pid < 0) return result;
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; nothing else is safe in the child
+  }
+
+  int status = 0;
+  struct rusage usage{};
+  if (::wait4(pid, &status, 0, &usage) != pid) return result;
+  result.spawned = true;
+  // ru_maxrss is in kilobytes on Linux.
+  result.max_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ULL;
+  if (WIFEXITED(status)) {
+    result.status = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.status = 128 + WTERMSIG(status);
+  } else {
+    result.status = 127;
+  }
+  return result;
+}
+
+std::string self_executable_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+}  // namespace fbedge

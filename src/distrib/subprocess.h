@@ -1,0 +1,36 @@
+// Minimal worker-process launcher: fork + execv + wait4.
+//
+// The coordinator runs shard workers as real OS processes so each worker's
+// address space — and therefore its peak RSS — is genuinely independent of
+// the others and of the coordinator, which is the property the "flat
+// per-worker memory at 100x scale" claim is measured by (ru_maxrss of the
+// child, reported by wait4, not a sampled in-process estimate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbedge {
+
+/// Outcome of one worker attempt.
+struct WorkerExit {
+  /// fork/exec succeeded and the child was reaped. False means the launch
+  /// itself failed (status is then 127).
+  bool spawned{false};
+  /// Child exit code; signal deaths map to 128 + signal number so every
+  /// abnormal end is a distinct nonzero status.
+  int status{127};
+  /// Child peak RSS (ru_maxrss) in bytes.
+  std::uint64_t max_rss_bytes{0};
+};
+
+/// Runs `argv` (argv[0] = executable path) to completion and reaps it.
+/// Blocking; safe to call concurrently from multiple threads.
+WorkerExit spawn_worker(const std::vector<std::string>& argv);
+
+/// Path of the current executable (/proc/self/exe), for self re-invocation
+/// in worker mode; falls back to `argv0` when the link cannot be read.
+std::string self_executable_path(const char* argv0);
+
+}  // namespace fbedge

@@ -76,6 +76,17 @@ struct FaultPlan {
   /// Base backoff between attempts (doubles per retry); 0 = no sleep.
   double task_backoff_seconds{0};
 
+  // ---- distrib layer (per (shard, attempt)) ------------------------------
+  /// Probability that a shard worker process crashes on a given attempt —
+  /// before publishing anything, so a crashed attempt can never leave a
+  /// partial artifact or manifest behind. The coordinator re-spawns up to
+  /// worker_max_attempts total attempts, then degrades the shard to cold
+  /// ingest during the reduce (output stays byte-identical; the loss is
+  /// counted in FaultCounters::degraded_shards).
+  double worker_crash_rate{0};
+  /// Spawn attempts per shard before it is degraded (>= 1).
+  int worker_max_attempts{2};
+
   bool sampler_faults() const {
     return truncate_rate > 0 || corrupt_rate > 0 || duplicate_rate > 0 ||
            skew_rate > 0 || thin_rate > 0 || pop_outage_rate > 0;
@@ -85,9 +96,10 @@ struct FaultPlan {
     return stream_late_rate > 0 || stream_duplicate_rate > 0;
   }
   bool runtime_faults() const { return task_abort_rate > 0; }
+  bool worker_faults() const { return worker_crash_rate > 0; }
   bool enabled() const {
     return sampler_faults() || agg_faults() || stream_faults() ||
-           runtime_faults();
+           runtime_faults() || worker_faults();
   }
 };
 
@@ -109,6 +121,7 @@ constexpr std::uint64_t kTaskAbort = 0x7461736b61626f72ULL;    // "taskabor"
 constexpr std::uint64_t kStreamLate = 0x7374726d6c617465ULL;   // "strmlate"
 constexpr std::uint64_t kStreamLateDelay = 0x7374726d64656c79ULL;  // "strmdely"
 constexpr std::uint64_t kStreamDup = 0x7374726d64757031ULL;    // "strmdup1"
+constexpr std::uint64_t kWorkerCrash = 0x776f726b63726173ULL;  // "workcras"
 // Scenario-pack perturbation sites (src/scenario/): same purity rule as the
 // fault sites above, but seeded from ScenarioPack::seed instead of a
 // FaultPlan. kScenarioDepref is structural (no draw today) and reserved so
@@ -159,6 +172,21 @@ inline bool task_abort_decision(const FaultPlan& plan, std::uint64_t group_key,
   return fault_decision(plan, faultsite::kTaskAbort,
                         hash_combine(group_key, static_cast<std::uint64_t>(attempt)),
                         plan.task_abort_rate);
+}
+
+/// Whether the worker process for shard `shard` crashes on `attempt`
+/// (distrib layer). Deterministic in (plan, shard, attempt) — independent
+/// of pids, spawn order, and wall time — so a shard is degraded iff the
+/// decision holds for every attempt 0..worker_max_attempts-1, and any test
+/// can recount coordinator crash/retry/degrade tallies exactly from the
+/// plan and the shard count alone. The worker checks this before touching
+/// the cache directory, so a crashed attempt never publishes an artifact
+/// or manifest.
+inline bool worker_crash_decision(const FaultPlan& plan, int shard, int attempt) {
+  return fault_decision(plan, faultsite::kWorkerCrash,
+                        hash_combine(static_cast<std::uint64_t>(shard),
+                                     static_cast<std::uint64_t>(attempt)),
+                        plan.worker_crash_rate);
 }
 
 }  // namespace fbedge

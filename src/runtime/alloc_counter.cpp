@@ -1,6 +1,5 @@
 #include "runtime/alloc_counter.h"
 
-#include <sys/resource.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -106,13 +105,6 @@ AllocCounters alloc_counters_now() {
     total.bytes += node->bytes.load(std::memory_order_relaxed);
   }
   return total;
-}
-
-std::uint64_t peak_rss_bytes() {
-  struct rusage ru;
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
-  // Linux reports ru_maxrss in kilobytes.
-  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
 }
 
 namespace {

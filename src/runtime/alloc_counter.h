@@ -28,15 +28,10 @@ struct AllocCounters {
 /// ones that have exited). Two snapshots bracket a phase; subtract.
 AllocCounters alloc_counters_now();
 
-/// Peak resident set size of the process in bytes (getrusage ru_maxrss).
-/// Monotone over the process lifetime — a high-water mark, not a phase
-/// delta.
-std::uint64_t peak_rss_bytes();
-
 /// Current resident set size in bytes (/proc/self/statm); 0 if unreadable.
-/// Unlike peak_rss_bytes this goes *down* when memory is returned to the
-/// kernel, so periodic samples of it distinguish "flat working set" from
-/// "grew once, never shrank".
+/// Unlike getrusage's monotone ru_maxrss this goes *down* when memory is
+/// returned to the kernel, so periodic samples of it distinguish "flat
+/// working set" from "grew once, never shrank".
 std::uint64_t current_rss_bytes();
 
 /// Samples current_rss_bytes() into a process-wide monotone watermark and

@@ -47,6 +47,12 @@ struct FaultCounters {
   std::uint64_t task_aborts{0};   // failed shard-task attempts
   std::uint64_t task_retries{0};  // re-executions after an abort
   std::uint64_t lost_groups{0};   // groups that exhausted every attempt
+  // Distrib-layer injections (src/distrib/): worker processes killed by the
+  // kWorkerCrash site before publishing anything.
+  std::uint64_t worker_crashes{0};   // injected worker-process deaths
+  std::uint64_t worker_retries{0};   // re-spawns after a crashed attempt
+  std::uint64_t degraded_shards{0};  // shards that exhausted every attempt
+                                     // (reduced via cold ingest instead)
   // Scenario-pack perturbations (src/scenario/): one count per (group,
   // delta) application, so tests can recount every injected perturbation
   // exactly from the pack alone.
@@ -61,6 +67,7 @@ struct FaultCounters {
            thinned_sessions || pop_outage_groups || dropped_windows ||
            stream_late_batches || stream_duplicate_batches ||
            stream_dropped_rows || task_aborts || task_retries || lost_groups ||
+           worker_crashes || worker_retries || degraded_shards ||
            scenario_drained_groups || scenario_depref_groups ||
            scenario_flash_groups || scenario_cable_cut_groups;
   }
@@ -81,6 +88,9 @@ struct FaultCounters {
     task_aborts += other.task_aborts;
     task_retries += other.task_retries;
     lost_groups += other.lost_groups;
+    worker_crashes += other.worker_crashes;
+    worker_retries += other.worker_retries;
+    degraded_shards += other.degraded_shards;
     scenario_drained_groups += other.scenario_drained_groups;
     scenario_depref_groups += other.scenario_depref_groups;
     scenario_flash_groups += other.scenario_flash_groups;
@@ -101,13 +111,12 @@ struct RunStats {
   /// against these: at steady state they scale with windows, not sessions.
   std::uint64_t alloc_count{0};
   std::uint64_t alloc_bytes{0};
-  /// Process peak RSS observed at the end of the run (monotone high-water
-  /// mark, not a per-phase delta).
-  std::uint64_t peak_rss_bytes{0};
   /// Sampled-RSS high-water mark (runtime/alloc_counter.h rss_sample()):
   /// the largest *current* RSS observed at the sampling points the run
   /// actually passed through (task boundaries, stream window seals). This
-  /// is the number the streaming monitor's flat-memory claim is judged by.
+  /// is the single RSS counter every bench reports (`runtime_rss_peak` in
+  /// --json) and the number the streaming monitor's and the shard
+  /// coordinator's flat-memory claims are judged by.
   std::uint64_t rss_sampled_peak_bytes{0};
   /// Streaming-monitor observability (src/stream/); all zero for runs that
   /// never touch the stream pipeline.
@@ -124,6 +133,14 @@ struct RunStats {
   /// Wall time spent reading/validating and writing cache artifacts.
   double cache_load_seconds{0};
   double cache_save_seconds{0};
+  /// Multi-process shard-coordinator observability (src/distrib/): worker
+  /// subprocesses launched (including re-spawns), worker attempts that
+  /// exited nonzero (or were signal-killed), and the largest peak RSS any
+  /// single worker process reported (ru_maxrss). All zero for in-process
+  /// runs.
+  std::uint64_t workers_spawned{0};
+  std::uint64_t worker_failures{0};
+  std::uint64_t worker_rss_peak_bytes{0};
   /// Which columnar-kernel path the run dispatched to (util/simd.h):
   /// 1 = AVX2, 0 = scalar reference, -1 = unknown (stats assembled outside
   /// the sharded runtime). Carried through so benches and --verbose can
@@ -149,7 +166,6 @@ struct RunStats {
     cpu_seconds += other.cpu_seconds;
     alloc_count += other.alloc_count;
     alloc_bytes += other.alloc_bytes;
-    if (other.peak_rss_bytes > peak_rss_bytes) peak_rss_bytes = other.peak_rss_bytes;
     if (other.rss_sampled_peak_bytes > rss_sampled_peak_bytes) {
       rss_sampled_peak_bytes = other.rss_sampled_peak_bytes;
     }
@@ -162,6 +178,11 @@ struct RunStats {
     cache_misses += other.cache_misses;
     cache_load_seconds += other.cache_load_seconds;
     cache_save_seconds += other.cache_save_seconds;
+    workers_spawned += other.workers_spawned;
+    worker_failures += other.worker_failures;
+    if (other.worker_rss_peak_bytes > worker_rss_peak_bytes) {
+      worker_rss_peak_bytes = other.worker_rss_peak_bytes;
+    }
     if (other.simd_avx2 >= 0) simd_avx2 = other.simd_avx2;
     faults.accumulate(other.faults);
     if (shards.size() < other.shards.size()) shards.resize(other.shards.size());
@@ -178,13 +199,12 @@ struct RunStats {
     std::fprintf(out,
                  "[runtime] %s: threads=%d tasks=%llu steals=%llu "
                  "wall=%.3fs cpu=%.3fs util=%.1f%% allocs=%llu "
-                 "alloc_mb=%.1f peak_rss_mb=%.1f rss_sampled_mb=%.1f simd=%s\n",
+                 "alloc_mb=%.1f rss_peak_mb=%.1f simd=%s\n",
                  label, threads, static_cast<unsigned long long>(tasks),
                  static_cast<unsigned long long>(steals), wall_seconds,
                  cpu_seconds, 100.0 * utilization(),
                  static_cast<unsigned long long>(alloc_count),
                  static_cast<double>(alloc_bytes) / (1024.0 * 1024.0),
-                 static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0),
                  static_cast<double>(rss_sampled_peak_bytes) / (1024.0 * 1024.0),
                  simd_avx2 == 1 ? "avx2" : simd_avx2 == 0 ? "scalar" : "unknown");
     if (stream_windows_sealed > 0 || stream_watermark_advances > 0) {
@@ -201,6 +221,14 @@ struct RunStats {
                    static_cast<unsigned long long>(cache_hits),
                    static_cast<unsigned long long>(cache_misses),
                    cache_load_seconds, cache_save_seconds);
+    }
+    if (workers_spawned > 0) {
+      std::fprintf(out,
+                   "[runtime]   workers: spawned=%llu failures=%llu "
+                   "worker_rss_peak_mb=%.1f\n",
+                   static_cast<unsigned long long>(workers_spawned),
+                   static_cast<unsigned long long>(worker_failures),
+                   static_cast<double>(worker_rss_peak_bytes) / (1024.0 * 1024.0));
     }
     for (std::size_t s = 0; s < shards.size(); ++s) {
       std::fprintf(out, "[runtime]   shard %zu: tasks=%llu steals=%llu busy=%.3fs\n",
@@ -230,6 +258,15 @@ struct RunStats {
           static_cast<unsigned long long>(faults.task_aborts),
           static_cast<unsigned long long>(faults.task_retries),
           static_cast<unsigned long long>(faults.lost_groups));
+    }
+    if (faults.worker_crashes || faults.worker_retries || faults.degraded_shards) {
+      std::fprintf(
+          out,
+          "[runtime]   worker faults: crashes=%llu retries=%llu "
+          "degraded_shards=%llu\n",
+          static_cast<unsigned long long>(faults.worker_crashes),
+          static_cast<unsigned long long>(faults.worker_retries),
+          static_cast<unsigned long long>(faults.degraded_shards));
     }
     if (faults.scenario_drained_groups || faults.scenario_depref_groups ||
         faults.scenario_flash_groups || faults.scenario_cable_cut_groups) {

@@ -170,7 +170,6 @@ RunStats ThreadPool::parallel_for_workers(const ShardPlan& plan, const WorkerTas
   const AllocCounters alloc_end = alloc_counters_now();
   rs.alloc_count = alloc_end.count - alloc_start.count;
   rs.alloc_bytes = alloc_end.bytes - alloc_start.bytes;
-  rs.peak_rss_bytes = peak_rss_bytes();
   rs.rss_sampled_peak_bytes = rss_sample();
   rs.shards = job_stats_;
   for (const auto& st : rs.shards) {

@@ -134,4 +134,58 @@ class ByteReader {
   bool ok_{true};
 };
 
+// ---------------------------------------------------------------------------
+// Framed records: the shared envelope for small on-disk metadata files
+// (shard manifests, and any future sidecar record). Layout:
+//
+//   magic[8] | epoch u32 | payload_size u64 | payload bytes | fnv64 checksum
+//
+// where the trailing checksum covers every byte before it. Rejection
+// semantics mirror stale ingest artifacts: wrong magic, foreign epoch,
+// truncation, trailing garbage, or a flipped bit anywhere all read as "no
+// record here" — callers fall back as if the file were absent.
+// ---------------------------------------------------------------------------
+
+/// Encodes `payload` inside a framed envelope. `magic` must be exactly 8
+/// bytes (not NUL-terminated).
+inline std::string frame_record(const char magic[8], std::uint32_t epoch,
+                                const std::string& payload) {
+  ByteWriter w;
+  w.reserve(8 + 4 + 8 + payload.size() + 8);
+  w.bytes(magic, 8);
+  w.u32(epoch);
+  w.u64(payload.size());
+  w.bytes(payload.data(), payload.size());
+  Fnv64 sum;
+  sum.bytes(w.data().data(), w.size());
+  w.u64(sum.value());
+  return w.take();
+}
+
+/// Validates a framed envelope and extracts its payload. Returns false —
+/// leaving `payload` empty — on wrong magic, epoch mismatch, truncation,
+/// size/trailer inconsistency, or checksum failure. Never reads out of
+/// bounds on corrupt input.
+inline bool unframe_record(const void* data, std::size_t n, const char magic[8],
+                           std::uint32_t epoch, std::string& payload) {
+  payload.clear();
+  constexpr std::size_t kEnvelope = 8 + 4 + 8 + 8;
+  if (n < kEnvelope) return false;
+  const char* bytes = static_cast<const char*>(data);
+  const std::size_t body = n - 8;
+  Fnv64 sum;
+  sum.bytes(bytes, body);
+  ByteReader tail(bytes + body, 8);
+  if (tail.u64() != sum.value()) return false;
+  ByteReader r(bytes, body);
+  char got[8];
+  for (char& c : got) c = static_cast<char>(r.u8());
+  if (std::memcmp(got, magic, 8) != 0) return false;
+  if (r.u32() != epoch) return false;
+  const std::uint64_t size = r.u64();
+  if (!r.ok() || size != r.remaining()) return false;
+  payload.assign(bytes + r.position(), static_cast<std::size_t>(size));
+  return true;
+}
+
 }  // namespace fbedge

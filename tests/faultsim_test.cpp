@@ -23,6 +23,7 @@
 #include "agg/monitor.h"
 #include "agg/rollup.h"
 #include "analysis/edge_analysis.h"
+#include "distrib/coordinator.h"
 #include "faultsim/fault_injector.h"
 #include "goodput/hdratio.h"
 #include "runtime/shard_plan.h"
@@ -107,6 +108,9 @@ void expect_counters_eq(const FaultCounters& a, const FaultCounters& b) {
   EXPECT_EQ(a.task_aborts, b.task_aborts);
   EXPECT_EQ(a.task_retries, b.task_retries);
   EXPECT_EQ(a.lost_groups, b.lost_groups);
+  EXPECT_EQ(a.worker_crashes, b.worker_crashes);
+  EXPECT_EQ(a.worker_retries, b.worker_retries);
+  EXPECT_EQ(a.degraded_shards, b.degraded_shards);
   EXPECT_EQ(a.scenario_drained_groups, b.scenario_drained_groups);
   EXPECT_EQ(a.scenario_depref_groups, b.scenario_depref_groups);
   EXPECT_EQ(a.scenario_flash_groups, b.scenario_flash_groups);
@@ -115,6 +119,7 @@ void expect_counters_eq(const FaultCounters& a, const FaultCounters& b) {
 
 void expect_results_eq(const EdgeAnalysisResult& a, const EdgeAnalysisResult& b) {
   EXPECT_EQ(a.groups_analyzed, b.groups_analyzed);
+  EXPECT_EQ(a.sessions_analyzed, b.sessions_analyzed);
   EXPECT_EQ(a.total_traffic, b.total_traffic);
   EXPECT_EQ(a.degr_valid_traffic_rtt, b.degr_valid_traffic_rtt);
   EXPECT_EQ(a.degr_valid_traffic_hd, b.degr_valid_traffic_hd);
@@ -702,6 +707,56 @@ TEST(FaultsimEndToEnd, CountersMatchInjectedFaultsExactly) {
   EXPECT_TRUE(result.faults.any());
   EXPECT_GT(result.faults.lost_groups, 0u);
   EXPECT_LT(result.faults.lost_groups, world.groups.size());
+}
+
+TEST(FaultsimEndToEnd, WorkerCrashCountersMatchInjectedFaultsExactly) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.worker_crash_rate = 0.6;
+  plan.worker_max_attempts = 2;
+
+  // Recount the coordinator's spawn-phase tallies from the (pure) crash
+  // decisions alone: a shard retries after each crashed attempt and is
+  // degraded when every attempt crashed.
+  const int workers = 5;
+  FaultCounters expected;
+  for (int shard = 0; shard < workers; ++shard) {
+    int failed_attempts = 0;
+    while (failed_attempts < plan.worker_max_attempts &&
+           worker_crash_decision(plan, shard, failed_attempts)) {
+      ++failed_attempts;
+    }
+    expected.worker_crashes += static_cast<std::uint64_t>(failed_attempts);
+    if (failed_attempts == plan.worker_max_attempts) {
+      expected.worker_retries += static_cast<std::uint64_t>(failed_attempts - 1);
+      ++expected.degraded_shards;
+    } else {
+      expected.worker_retries += static_cast<std::uint64_t>(failed_attempts);
+    }
+  }
+  EXPECT_GT(expected.worker_crashes, 0u);
+
+  ScaleOptions options;
+  options.workers = workers;
+  options.cache_dir = ::testing::TempDir() + "fbedge-workercrash-recount";
+  options.faults = plan;
+  RunStats stats;
+  const auto result =
+      run_scale_analysis(world, dc, {}, {}, {}, options, &stats);
+  expect_counters_eq(result.faults, expected);
+  expect_counters_eq(stats.faults, expected);
+  EXPECT_EQ(stats.worker_failures, expected.worker_crashes);
+
+  // Degraded shards are cold-ingested during the reduce: the measurement
+  // payload is byte-identical to a run that never mentioned workers.
+  const auto plain = run_edge_analysis(world, dc, {}, {}, {},
+                                       RuntimeOptions::sequential());
+  auto normalized = result;
+  normalized.faults = FaultCounters{};
+  expect_results_eq(plain, normalized);
 }
 
 TEST(FaultsimEndToEnd, ScenarioCountersMatchAppliedDeltasExactly) {
