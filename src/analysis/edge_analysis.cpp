@@ -724,6 +724,34 @@ void ingest_range_to_blobs(
   }
 }
 
+void ingest_groups_to_blobs(
+    const World& world, const DatasetConfig& config, GoodputConfig goodput,
+    const std::vector<std::size_t>& groups, const RuntimeOptions& runtime,
+    const std::function<void(std::size_t group, std::string&& blob)>& sink,
+    RunStats* stats, std::size_t chunk_groups) {
+  FBEDGE_EXPECT(chunk_groups >= 1, "ingest chunk must hold at least one group");
+  DatasetGenerator generator(world, config);
+  const FaultPlan no_faults;
+  for (std::size_t at = 0; at < groups.size(); at += chunk_groups) {
+    const std::size_t n = std::min(chunk_groups, groups.size() - at);
+    auto blobs = parallel_map_scratch<EdgeScratch>(
+        n, runtime,
+        [&](EdgeScratch& scratch, std::size_t i) {
+          const std::size_t g = groups[at + i];
+          FBEDGE_EXPECT(g < world.groups.size(),
+                        "ingest group id exceeds the world's group count");
+          FaultCounters none;
+          ingest_group(scratch, generator, world.groups[g], goodput, no_faults,
+                       none);
+          scratch.writer.clear();
+          save_group_series(scratch.series, scratch.writer);
+          return std::string(scratch.writer.data());
+        },
+        stats);
+    for (std::size_t i = 0; i < n; ++i) sink(groups[at + i], std::move(blobs[i]));
+  }
+}
+
 EdgeAnalysisResult run_edge_analysis(const World& world, const DatasetConfig& config,
                                      const AnalysisThresholds& thresholds,
                                      const ComparisonConfig& comparison,

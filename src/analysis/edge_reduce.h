@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/edge_analysis.h"
 #include "runtime/shard_plan.h"
@@ -102,6 +103,20 @@ class EdgeReducer {
 void ingest_range_to_blobs(
     const World& world, const DatasetConfig& config, GoodputConfig goodput,
     const ShardRange& range, const RuntimeOptions& runtime,
+    const std::function<void(std::size_t group, std::string&& blob)>& sink,
+    RunStats* stats = nullptr, std::size_t chunk_groups = 64);
+
+/// Group-list variant of ingest_range_to_blobs for the scenario-sweep
+/// workers: a sweep shard's work is a slice of the (usually
+/// non-contiguous) ascending affected-group list, not a contiguous range.
+/// Ingests exactly `groups` in list order, handing each blob to `sink`
+/// with its global group id; same chunked memory model as the range
+/// variant. Per-group ingest is seeded from the group key alone, so the
+/// blobs are identical to what a whole-world ingest would produce for
+/// those groups.
+void ingest_groups_to_blobs(
+    const World& world, const DatasetConfig& config, GoodputConfig goodput,
+    const std::vector<std::size_t>& groups, const RuntimeOptions& runtime,
     const std::function<void(std::size_t group, std::string&& blob)>& sink,
     RunStats* stats = nullptr, std::size_t chunk_groups = 64);
 

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
+#include <unordered_map>
 
 #include "agg/series_io.h"
 #include "util/binio.h"
@@ -65,7 +67,47 @@ void hash_group(Fnv64& h, const UserGroupProfile& g) {
   for (const RouteProfile& rp : g.routes) hash_route(h, rp);
 }
 
+// Validated-artifact memo for IngestArtifactReader::open(): maps a path to
+// the file identity that passed the full checksum pass and the header
+// values read during it. A hit skips re-hashing the whole file — the
+// warm-path cost that dominated repeated artifact opens — while key and
+// group-count checks still run against the memoized header. Only fully
+// successful validations are stored; identity is (dev, ino, size,
+// mtime_ns), so any rewrite, truncation, or rename-over misses.
+struct ReaderMemo {
+  dev_t dev{};
+  ino_t ino{};
+  std::int64_t size{0};
+  std::int64_t mtime_ns{0};
+  std::uint64_t key{0};
+  std::uint64_t groups{0};
+};
+
+std::mutex g_reader_memo_mutex;
+std::unordered_map<std::string, ReaderMemo>& reader_memo() {
+  static auto* memo = new std::unordered_map<std::string, ReaderMemo>();
+  return *memo;
+}
+std::atomic<std::uint64_t> g_reader_checksum_passes{0};
+// Artifacts are few (one per cache key / shard); the bound only guards
+// against pathological path churn.
+constexpr std::size_t kReaderMemoMaxEntries = 256;
+
+std::int64_t stat_mtime_ns(const struct stat& st) {
+  return static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+         static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+}
+
 }  // namespace
+
+std::uint64_t ingest_reader_checksum_passes() {
+  return g_reader_checksum_passes.load(std::memory_order_relaxed);
+}
+
+void ingest_reader_memo_clear() {
+  std::lock_guard<std::mutex> lock(g_reader_memo_mutex);
+  reader_memo().clear();
+}
 
 std::uint64_t ingest_cache_key(const World& world, const DatasetConfig& config,
                                const GoodputConfig& goodput) {
@@ -198,20 +240,49 @@ bool IngestArtifactReader::open(const std::string& path, std::uint64_t key,
   close();
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return false;
-  std::fseek(f, 0, SEEK_END);
-  const long file_size = std::ftell(f);
+  struct stat st{};
+  if (::fstat(::fileno(f), &st) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  const auto file_size = static_cast<long>(st.st_size);
   if (file_size < static_cast<long>(kHeaderBytes + kChecksumBytes)) {
     std::fclose(f);
     return false;
   }
-  std::fseek(f, 0, SEEK_SET);
+  const std::size_t body =
+      static_cast<std::size_t>(file_size) - kChecksumBytes;
+
+  // Memo hit: this exact file (device, inode, size, mtime) already passed
+  // a full validating pass in this process. Skip the checksum; the key /
+  // group-count checks still run, against the memoized header.
+  {
+    std::lock_guard<std::mutex> lock(g_reader_memo_mutex);
+    const auto it = reader_memo().find(path);
+    if (it != reader_memo().end() && it->second.dev == st.st_dev &&
+        it->second.ino == st.st_ino &&
+        it->second.size == static_cast<std::int64_t>(st.st_size) &&
+        it->second.mtime_ns == stat_mtime_ns(st)) {
+      const std::uint64_t groups = it->second.groups;
+      if (it->second.key != key ||
+          (expected_groups != kAnyGroupCount && groups != expected_groups) ||
+          std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+        std::fclose(f);
+        return false;
+      }
+      file_ = f;
+      groups_ = groups;
+      remaining_groups_ = groups;
+      body_remaining_ = body - kHeaderBytes;
+      return true;
+    }
+  }
 
   // Checksum the whole body in fixed-size chunks (the header rides along
   // in the first chunk — kHeaderBytes <= body is guaranteed by the size
   // check above), then compare against the trailing u64. Memory stays
   // O(chunk) no matter how large the artifact is.
-  const std::size_t body =
-      static_cast<std::size_t>(file_size) - kChecksumBytes;
+  g_reader_checksum_passes.fetch_add(1, std::memory_order_relaxed);
   char header[kHeaderBytes];
   char buf[1 << 16];
   Fnv64 sum;
@@ -250,6 +321,26 @@ bool IngestArtifactReader::open(const std::string& path, std::uint64_t key,
       std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
     std::fclose(f);
     return false;
+  }
+  {
+    // Memoize only this fully validated identity. Re-stat the open fd so a
+    // concurrent rename-over between the first fstat and here cannot pin a
+    // stale identity to the path (the fd still reads the old inode, whose
+    // bytes are the ones that just validated — but the *path* may now name
+    // a different file, so the memo must record what we actually hashed;
+    // a mismatch on the next open's fstat then misses as intended).
+    struct stat vst{};
+    if (::fstat(::fileno(f), &vst) == 0) {
+      std::lock_guard<std::mutex> lock(g_reader_memo_mutex);
+      if (reader_memo().size() >= kReaderMemoMaxEntries) reader_memo().clear();
+      ReaderMemo& m = reader_memo()[path];
+      m.dev = vst.st_dev;
+      m.ino = vst.st_ino;
+      m.size = static_cast<std::int64_t>(vst.st_size);
+      m.mtime_ns = stat_mtime_ns(vst);
+      m.key = stored_key;
+      m.groups = groups;
+    }
   }
   file_ = f;
   groups_ = groups;

@@ -87,6 +87,19 @@ bool write_ingest_artifact(const std::string& path, std::uint64_t key,
 /// corrupt, wrong-epoch, or wrong-key fails open(); a next() that runs
 /// into structural inconsistency closes the reader and returns false, and
 /// the caller falls back to cold ingest for the groups it didn't get.
+///
+/// Warm-path amortization: a successful open() memoizes the artifact's
+/// validated identity — (device, inode, size, mtime_ns) -> (key, groups) —
+/// in a process-wide table, and a later open() of the same unchanged file
+/// skips the whole-file checksum pass (which dominated warm loads) while
+/// still enforcing the key / group-count checks against the memoized
+/// header. Any change to the file (rewrite, truncation, rename-over — all
+/// of which move size, inode, or mtime) misses the memo and takes the full
+/// validating pass; a failed open is never memoized, so cold and
+/// corruption rejection behave exactly as before. In-place corruption
+/// within the kernel's mtime granularity is outrun by the atomic
+/// temp+rename publish protocol: a published artifact is never modified in
+/// place by any writer in this codebase.
 class IngestArtifactReader {
  public:
   IngestArtifactReader() = default;
@@ -114,6 +127,15 @@ class IngestArtifactReader {
   std::uint64_t remaining_groups_{0};
   std::uint64_t body_remaining_{0};
 };
+
+/// Number of full checksum-validation passes IngestArtifactReader::open()
+/// has run in this process (memo hits don't count). Tests pin the
+/// amortization by diffing this across repeated opens.
+std::uint64_t ingest_reader_checksum_passes();
+
+/// Drops every memoized artifact identity (test isolation hook; also
+/// called internally to bound the table).
+void ingest_reader_memo_clear();
 
 /// Streaming writer for the same artifact format: blobs are appended one at
 /// a time (in group-id order) straight to a temp file, so a writer's memory

@@ -37,6 +37,38 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+std::vector<FleetShardOutcome> run_worker_fleet(
+    int shards, const FaultPlan& faults,
+    const std::function<WorkerExit(int shard, int attempt)>& launch) {
+  FBEDGE_EXPECT(shards >= 1, "fleet needs at least one shard");
+  FBEDGE_EXPECT(static_cast<bool>(launch), "fleet needs a launcher");
+  const int max_attempts = std::max(1, faults.worker_max_attempts);
+  const RuntimeOptions spawn_runtime{shards};
+  return parallel_map(
+      static_cast<std::size_t>(shards), spawn_runtime, [&](std::size_t s) {
+        FleetShardOutcome out;
+        const int shard = static_cast<int>(s);
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          if (attempt > 0) ++out.retries;
+          ++out.spawned;
+          const WorkerExit exit = launch(shard, attempt);
+          if (exit.max_rss_bytes > out.rss_peak) out.rss_peak = exit.max_rss_bytes;
+          if (exit.status == 0) {
+            out.published = true;
+            break;
+          }
+          ++out.failures;
+          // Attribute the failure to the injected site by recomputing the
+          // decision (never by trusting an exit code a real bug could
+          // collide with).
+          if (worker_crash_decision(faults, shard, attempt)) {
+            ++out.crashes;
+          }
+        }
+        return out;
+      });
+}
+
 int run_shard_worker(const World& world, const DatasetConfig& config,
                      GoodputConfig goodput, const WorkerSpec& spec,
                      const FaultPlan& faults, const RuntimeOptions& runtime,
@@ -103,66 +135,34 @@ EdgeAnalysisResult run_scale_analysis(const World& world,
   FBEDGE_EXPECT(!options.faults.sampler_faults() && !options.faults.agg_faults(),
                 "scale runs must not inject data faults (shared cache)");
 
-  const int max_attempts = std::max(1, options.faults.worker_max_attempts);
   const std::uint64_t base_key = ingest_cache_key(world, config, goodput);
   const ShardPlan plan = ShardPlan::make(world.groups.size(), options.workers);
 
-  // ---- Spawn phase: every shard gets its own retry loop, run in parallel
-  // (one slot per shard; a slot blocks in wait4 while its worker process
-  // runs). Outcomes are collected per shard and folded in shard order
-  // below, so the counters are independent of completion order.
-  struct ShardOutcome {
-    bool published{false};
-    std::uint64_t spawned{0};
-    std::uint64_t failures{0};
-    std::uint64_t crashes{0};
-    std::uint64_t retries{0};
-    std::uint64_t rss_peak{0};
+  // ---- Spawn phase: the shared per-shard retry loop (run_worker_fleet),
+  // launching through options.launcher when set, else running the worker
+  // body in-process. Outcomes come back in shard order, so the counters
+  // are independent of completion order.
+  const auto launch = [&](int shard, int attempt) {
+    if (options.launcher) return options.launcher(shard, attempt);
+    WorkerSpec spec;
+    spec.shard = shard;
+    spec.workers = options.workers;
+    spec.attempt = attempt;
+    spec.cache_dir = options.cache_dir;
+    WorkerExit exit;
+    exit.spawned = true;
+    exit.status = run_shard_worker(world, config, goodput, spec, options.faults,
+                                   RuntimeOptions{options.worker_threads});
+    return exit;
   };
-  const RuntimeOptions spawn_runtime{options.workers};
-  auto outcomes = parallel_map(
-      static_cast<std::size_t>(plan.shard_count()), spawn_runtime,
-      [&](std::size_t s) {
-        ShardOutcome out;
-        const int shard = static_cast<int>(s);
-        for (int attempt = 0; attempt < max_attempts; ++attempt) {
-          if (attempt > 0) ++out.retries;
-          ++out.spawned;
-          WorkerExit exit;
-          if (options.launcher) {
-            exit = options.launcher(shard, attempt);
-          } else {
-            WorkerSpec spec;
-            spec.shard = shard;
-            spec.workers = options.workers;
-            spec.attempt = attempt;
-            spec.cache_dir = options.cache_dir;
-            exit.spawned = true;
-            exit.status =
-                run_shard_worker(world, config, goodput, spec, options.faults,
-                                 RuntimeOptions{options.worker_threads});
-          }
-          if (exit.max_rss_bytes > out.rss_peak) out.rss_peak = exit.max_rss_bytes;
-          if (exit.status == 0) {
-            out.published = true;
-            break;
-          }
-          ++out.failures;
-          // Attribute the failure to the injected site by recomputing the
-          // decision (never by trusting an exit code a real bug could
-          // collide with).
-          if (worker_crash_decision(options.faults, shard, attempt)) {
-            ++out.crashes;
-          }
-        }
-        return out;
-      });
+  const auto outcomes =
+      run_worker_fleet(plan.shard_count(), options.faults, launch);
 
   FaultCounters worker_faults;
   std::uint64_t spawned = 0;
   std::uint64_t failures = 0;
   std::uint64_t rss_peak = 0;
-  for (const ShardOutcome& out : outcomes) {
+  for (const FleetShardOutcome& out : outcomes) {
     spawned += out.spawned;
     failures += out.failures;
     worker_faults.worker_crashes += out.crashes;

@@ -23,6 +23,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/edge_analysis.h"
 #include "distrib/subprocess.h"
@@ -57,6 +58,30 @@ int run_shard_worker(const World& world, const DatasetConfig& config,
                      const FaultPlan& faults = {},
                      const RuntimeOptions& runtime = RuntimeOptions::sequential(),
                      RunStats* stats = nullptr);
+
+/// Outcome of one shard's spawn-retry loop (run_worker_fleet).
+struct FleetShardOutcome {
+  bool published{false};
+  std::uint64_t spawned{0};
+  std::uint64_t failures{0};
+  std::uint64_t crashes{0};
+  std::uint64_t retries{0};
+  std::uint64_t rss_peak{0};
+};
+
+/// The shared spawn phase: runs `shards` independent retry loops in
+/// parallel (one slot per shard; a slot blocks while its worker attempt
+/// runs), each retrying up to the fault plan's worker_max_attempts.
+/// `launch(shard, attempt)` runs one attempt and blocks until it exits;
+/// status 0 marks the shard published. Injected crashes are attributed by
+/// recomputing worker_crash_decision — never by trusting an exit code a
+/// real bug could collide with. Outcomes come back in shard order, so
+/// folding them is independent of completion order. Both the scale
+/// coordinator and the scenario-sweep fleet (sweep_fleet.h) run their
+/// workers through this loop.
+std::vector<FleetShardOutcome> run_worker_fleet(
+    int shards, const FaultPlan& faults,
+    const std::function<WorkerExit(int shard, int attempt)>& launch);
 
 /// Coordinator knobs.
 struct ScaleOptions {

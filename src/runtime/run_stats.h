@@ -60,6 +60,14 @@ struct FaultCounters {
   std::uint64_t scenario_depref_groups{0};     // groups with routes demoted
   std::uint64_t scenario_flash_groups{0};      // flash-crowd load multipliers
   std::uint64_t scenario_cable_cut_groups{0};  // continent-pair RTT episodes
+  // Incremental sweep decisions (analysis/sweep.h): per scenario of a
+  // sweep, groups spliced from the baseline artifact because they lie
+  // outside the scenario's affected_groups() footprint vs. groups
+  // re-ingested under the perturbed world. reused + recomputed sums to
+  // (scenario count) x (group count); both stay zero outside sweeps and in
+  // faulted runs (which bypass reuse in both directions).
+  std::uint64_t scenario_groups_reused{0};
+  std::uint64_t scenario_groups_recomputed{0};
 
   bool any() const {
     return truncated_records || corrupt_records || rejected_records ||
@@ -69,7 +77,8 @@ struct FaultCounters {
            stream_dropped_rows || task_aborts || task_retries || lost_groups ||
            worker_crashes || worker_retries || degraded_shards ||
            scenario_drained_groups || scenario_depref_groups ||
-           scenario_flash_groups || scenario_cable_cut_groups;
+           scenario_flash_groups || scenario_cable_cut_groups ||
+           scenario_groups_reused || scenario_groups_recomputed;
   }
 
   void accumulate(const FaultCounters& other) {
@@ -95,6 +104,8 @@ struct FaultCounters {
     scenario_depref_groups += other.scenario_depref_groups;
     scenario_flash_groups += other.scenario_flash_groups;
     scenario_cable_cut_groups += other.scenario_cable_cut_groups;
+    scenario_groups_reused += other.scenario_groups_reused;
+    scenario_groups_recomputed += other.scenario_groups_recomputed;
   }
 };
 
@@ -278,6 +289,12 @@ struct RunStats {
           static_cast<unsigned long long>(faults.scenario_depref_groups),
           static_cast<unsigned long long>(faults.scenario_flash_groups),
           static_cast<unsigned long long>(faults.scenario_cable_cut_groups));
+    }
+    if (faults.scenario_groups_reused || faults.scenario_groups_recomputed) {
+      std::fprintf(
+          out, "[runtime]   sweep: groups_reused=%llu groups_recomputed=%llu\n",
+          static_cast<unsigned long long>(faults.scenario_groups_reused),
+          static_cast<unsigned long long>(faults.scenario_groups_recomputed));
     }
   }
 };

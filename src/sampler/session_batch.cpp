@@ -50,7 +50,10 @@ void SessionBatch::begin_row(SessionId sid, SimTime at, int route, std::uint32_t
 void coalesce_batch(const SessionBatch& batch, const std::uint8_t* skip,
                     CoalescedBatch& out, CoalescerConfig config) {
 #if FBEDGE_HAVE_AVX2
-  if (simd::avx2_active()) {
+  // The AVX2 coalesce kernel loses to scalar at every measured batch size
+  // (see kCoalesceAvx2MinWrites), so `auto` dispatch never takes it here;
+  // forced dispatch still does.
+  if (simd::avx2_batch_active(batch.writes.size(), simd::kCoalesceAvx2MinWrites)) {
     coalesce_batch_avx2(batch, skip, out, config);
     return;
   }

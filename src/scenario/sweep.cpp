@@ -1,0 +1,143 @@
+// Footprint resolution for the incremental scenario-sweep engine.
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/binio.h"
+#include "util/expect.h"
+
+namespace fbedge {
+
+namespace {
+
+const PopInfo* find_pop(const World& world, const std::string& name) {
+  for (const auto& pop : world.pops) {
+    if (pop.name == name) return &pop;
+  }
+  return nullptr;
+}
+
+Continent pop_continent(const World& world, PopId id) {
+  for (const auto& pop : world.pops) {
+    if (pop.id == id) return pop.continent;
+  }
+  FBEDGE_EXPECT(false, "group served by a PoP the world does not know");
+  return Continent::kNorthAmerica;
+}
+
+/// Whether the canonical depref sequence changes this group's route
+/// ranking. Mirrors scenario.cpp's depref_group permutation on a cheap
+/// (demotable?, front-asn) tag vector: the permutation depends only on
+/// each route's relationship and first AS hop, so simulating on tags is
+/// bitwise-faithful to simulating on the full RouteProfile vector.
+bool depref_changes_group(const UserGroupProfile& group,
+                          const std::vector<DepreferDelta>& deprefs) {
+  if (deprefs.empty() || group.routes.size() < 2) {
+    // 0- and 1-route groups admit no reordering; apply_scenario's
+    // permutation is always the identity for them.
+    return false;
+  }
+  struct Tag {
+    bool transit_with_path;
+    std::uint32_t front_asn;
+  };
+  std::vector<Tag> tags;
+  tags.reserve(group.routes.size());
+  for (const auto& r : group.routes) {
+    tags.push_back({r.route.relationship == Relationship::kTransit &&
+                        !r.route.as_path.empty(),
+                    r.route.as_path.empty() ? 0u : r.route.as_path.front()});
+  }
+  for (const auto& d : deprefs) {
+    if (!d.all_continents && group.continent != d.continent) continue;
+    const auto demoted = [&](const Tag& t) {
+      return t.transit_with_path && t.front_asn == d.asn;
+    };
+    // Stable partition index map, exactly as depref_group builds it.
+    int next = 0;
+    bool changed = false;
+    std::vector<int> new_index(tags.size());
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (!demoted(tags[i])) new_index[i] = next++;
+    }
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (demoted(tags[i])) new_index[i] = next++;
+      if (new_index[i] != static_cast<int>(i)) changed = true;
+    }
+    // The first delta that permutes anything marks the group affected;
+    // later deltas cannot un-touch it.
+    if (changed) return true;
+    // Identity permutation: the next delta sees the same order, so no
+    // tag shuffle is needed before continuing.
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioFootprint scenario_footprint(const World& world,
+                                     const ScenarioPack& pack) {
+  ScenarioFootprint fp;
+  if (pack.empty()) return fp;
+  validate_scenario(world, pack);
+  for (const auto& d : pack.drains) {
+    fp.drain_pops.push_back(find_pop(world, d.pop)->id);
+  }
+  fp.depref_routes = pack.deprefs;
+  // apply_scenario's canonical within-type order (scenario.cpp
+  // sort_canonical): membership simulation must walk the same sequence.
+  std::stable_sort(fp.depref_routes.begin(), fp.depref_routes.end(),
+                   [](const DepreferDelta& x, const DepreferDelta& y) {
+                     return std::tie(x.asn, x.all_continents, x.continent) <
+                            std::tie(y.asn, y.all_continents, y.continent);
+                   });
+  for (const auto& d : pack.flash_crowds) {
+    fp.flash_countries.push_back(d.country);
+  }
+  for (const auto& d : pack.cable_cuts) {
+    fp.cut_paths.emplace_back(std::min(d.a, d.b), std::max(d.a, d.b));
+  }
+  return fp;
+}
+
+bool footprint_covers_group(const World& world, const ScenarioFootprint& fp,
+                            const UserGroupProfile& group) {
+  for (const PopId pop : fp.drain_pops) {
+    if (group.key.pop == pop) return true;
+  }
+  for (const std::uint32_t country : fp.flash_countries) {
+    if (group.key.country.value == country) return true;
+  }
+  if (!fp.cut_paths.empty() && group.remote_served) {
+    const Continent serving = pop_continent(world, group.key.pop);
+    const Continent lo = std::min(group.continent, serving);
+    const Continent hi = std::max(group.continent, serving);
+    for (const auto& [a, b] : fp.cut_paths) {
+      if (a == lo && b == hi) return true;
+    }
+  }
+  return depref_changes_group(group, fp.depref_routes);
+}
+
+std::vector<std::size_t> affected_groups(const World& world,
+                                         const ScenarioPack& pack) {
+  std::vector<std::size_t> out;
+  if (pack.empty()) return out;
+  const ScenarioFootprint fp = scenario_footprint(world, pack);
+  for (std::size_t g = 0; g < world.groups.size(); ++g) {
+    if (footprint_covers_group(world, fp, world.groups[g])) out.push_back(g);
+  }
+  return out;
+}
+
+std::uint64_t scenario_pack_hash(const ScenarioPack& pack) {
+  const std::string canon = serialize_scenario(pack);
+  Fnv64 h;
+  h.u64(pack.seed);
+  h.u64(canon.size());
+  h.bytes(canon.data(), canon.size());
+  return h.value();
+}
+
+}  // namespace fbedge

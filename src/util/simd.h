@@ -25,6 +25,8 @@
 // FBEDGE_SIMD=avx2.
 #pragma once
 
+#include <cstddef>
+
 namespace fbedge::simd {
 
 enum class Path { kScalar = 0, kAvx2 = 1 };
@@ -42,6 +44,21 @@ bool cpu_supports_avx2();
 Path active_path();
 
 inline bool avx2_active() { return active_path() == Path::kAvx2; }
+
+/// Per-call batch-size gate for kernels whose AVX2 setup cost can exceed
+/// the lane win. Under `auto` dispatch the AVX2 variant is taken only when
+/// the call carries at least `min_items` work items; an explicit
+/// FBEDGE_SIMD=avx2 or force_path(kAvx2) always takes it (the CI rot guard
+/// and the differential tests must still reach the kernel regardless of
+/// batch size). Always false when AVX2 is inactive.
+bool avx2_batch_active(std::size_t work_items, std::size_t min_items);
+
+/// Coalesce threshold: benchmarked on micro_hotpath, the AVX2 coalesce
+/// kernel trails scalar at every measured batch size (1-256 rows x 1-64
+/// writes; gather/mask setup dominates the short per-row write lists), so
+/// `auto` never selects it. Forced dispatch still exercises the kernel.
+inline constexpr std::size_t kCoalesceAvx2MinWrites =
+    static_cast<std::size_t>(-1);
 
 /// Test hook: overrides the resolved path for the rest of the process (the
 /// differential tests run both kernels side by side through the public

@@ -6,6 +6,7 @@
 // artifacts) falling back to cold ingest instead of drifting or dying.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -20,6 +21,9 @@
 #include "distrib/coordinator.h"
 #include "distrib/shard_manifest.h"
 #include "distrib/subprocess.h"
+#include "distrib/sweep_fleet.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
 #include "workload/world.h"
 
 namespace fbedge {
@@ -377,6 +381,92 @@ TEST(IngestArtifactReader, TruncationAndBitFlipsFailOpen) {
   }
 }
 
+TEST(IngestArtifactReader, RepeatOpenSkipsChecksumViaMemo) {
+  const std::string dir = fresh_dir("reader-memo");
+  const std::string path = ingest_artifact_path(dir, 31);
+  const std::vector<std::string> blobs = {"alpha", std::string(5000, 'z')};
+  ASSERT_TRUE(write_ingest_artifact(path, 31, blobs));
+  ingest_reader_memo_clear();
+
+  const std::uint64_t cold = ingest_reader_checksum_passes();
+  {
+    IngestArtifactReader reader;
+    ASSERT_TRUE(reader.open(path, 31, blobs.size()));
+  }
+  EXPECT_EQ(ingest_reader_checksum_passes(), cold + 1);
+
+  // Warm opens skip the whole-file checksum but still stream the exact
+  // bytes and still enforce the key / group-count contract.
+  std::string blob;
+  for (int round = 0; round < 3; ++round) {
+    IngestArtifactReader warm;
+    ASSERT_TRUE(warm.open(path, 31, blobs.size()));
+    for (std::size_t g = 0; g < blobs.size(); ++g) {
+      ASSERT_TRUE(warm.next(blob)) << "blob " << g;
+      EXPECT_EQ(blob, blobs[g]) << "blob " << g;
+    }
+    IngestArtifactReader wrong_key, wrong_count;
+    EXPECT_FALSE(wrong_key.open(path, 32, blobs.size()));
+    EXPECT_FALSE(wrong_count.open(path, 31, blobs.size() + 1));
+  }
+  IngestArtifactReader any;
+  ASSERT_TRUE(any.open(path, 31, kAnyGroupCount));
+  EXPECT_EQ(any.groups(), blobs.size());
+  EXPECT_EQ(ingest_reader_checksum_passes(), cold + 1);
+  ingest_reader_memo_clear();
+}
+
+TEST(IngestArtifactReader, ModifiedArtifactIsNeverServedFromMemo) {
+  const std::string dir = fresh_dir("reader-memo-mod");
+  const std::string path = ingest_artifact_path(dir, 33);
+  ASSERT_TRUE(write_ingest_artifact(path, 33, {"alpha", "beta-beta"}));
+  ingest_reader_memo_clear();
+  {
+    IngestArtifactReader reader;
+    ASSERT_TRUE(reader.open(path, 33, 2));  // memoize the valid identity
+  }
+
+  // Flip one byte in place (same size, same inode) and bump the mtime
+  // explicitly — the filesystem's timestamp granularity could otherwise
+  // hide an immediate rewrite, a hazard the real publish protocol avoids
+  // by never modifying a published artifact in place.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  ASSERT_NE(std::fputc(byte ^ 0x40, f), EOF);
+  std::fclose(f);
+  struct timespec times[2];
+  times[0].tv_sec = 1000000;
+  times[0].tv_nsec = 0;
+  times[1].tv_sec = 1000000;
+  times[1].tv_nsec = 123456789;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  IngestArtifactReader corrupt;
+  EXPECT_FALSE(corrupt.open(path, 33, 2));
+
+  // A failed open is never memoized: republishing a good artifact (new
+  // inode via temp+rename) validates and opens again.
+  ASSERT_TRUE(write_ingest_artifact(path, 33, {"alpha", "beta-beta"}));
+  {
+    IngestArtifactReader fixed;
+    EXPECT_TRUE(fixed.open(path, 33, 2));
+  }
+
+  // Truncation changes the size, so it misses the memo and is rejected
+  // even with the mtime pinned back to the memoized value.
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), 12), 0);
+  times[1] = st.st_mtim;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  IngestArtifactReader trunc;
+  EXPECT_FALSE(trunc.open(path, 33, 2));
+  ingest_reader_memo_clear();
+}
+
 // ---------------------------------------------------------------------------
 // Worker semantics.
 // ---------------------------------------------------------------------------
@@ -560,6 +650,164 @@ TEST(ScaleAnalysis, WarmRerunServesEveryGroupFromShardArtifacts) {
                                            &repaired_stats);
   expect_results_eq(cold, repaired);
   EXPECT_EQ(repaired_stats.cache_hits, world.groups.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep fleet: per-scenario affected ingest over shard workers.
+// ---------------------------------------------------------------------------
+
+ScenarioPack sweep_drain_pack() {
+  ScenarioPack p;
+  p.name = "fleet-drain";
+  p.seed = 7;
+  DrainDelta d;
+  d.pop = "EU-pop1";
+  d.start_window = 8;
+  d.end_window = 24;
+  p.drains.push_back(d);
+  return p;
+}
+
+ScenarioPack sweep_flash_pack(const World& world) {
+  ScenarioPack p;
+  p.name = "fleet-flash";
+  p.seed = 7;
+  FlashCrowdDelta f;
+  f.country = world.groups.front().key.country.value;
+  f.multiplier = 4.0;
+  f.jitter = 0.1;
+  p.flash_crowds.push_back(f);
+  return p;
+}
+
+TEST(SweepFleet, MatchesIndependentRunsForAnyWorkerCount) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+  std::vector<ScenarioPack> packs = {sweep_drain_pack(),
+                                     sweep_flash_pack(world)};
+  packs.emplace_back();  // empty pack: no fleet, pure splice
+  packs.back().name = "fleet-empty";
+
+  const auto baseline = run_edge_analysis(world, dc, {}, {}, {},
+                                          RuntimeOptions::sequential());
+  std::vector<EdgeAnalysisResult> independent;
+  for (const ScenarioPack& pack : packs) {
+    independent.push_back(run_edge_analysis(world, dc, {}, {}, {},
+                                            RuntimeOptions::sequential(),
+                                            nullptr, {}, {}, pack));
+  }
+
+  // 3 > the drain's affected-group count, so an empty slice rides along.
+  for (const int workers : {1, 2, 3}) {
+    const std::string dir =
+        fresh_dir("sweep-fleet-eq-" + std::to_string(workers));
+    SweepFleetOptions options;
+    options.workers = workers;
+    options.cache_dir = dir;
+    options.reduce_runtime = RuntimeOptions{workers % 3 + 1};
+    RunStats stats;
+    const SweepOutcome outcome =
+        run_sweep_analysis(world, dc, {}, {}, {}, packs, options, &stats);
+
+    expect_results_eq(baseline, outcome.baseline);
+    ASSERT_EQ(outcome.scenarios.size(), packs.size());
+    for (std::size_t k = 0; k < packs.size(); ++k) {
+      expect_results_eq(independent[k], outcome.scenarios[k].result);
+      const std::size_t affected = outcome.scenarios[k].affected.size();
+      EXPECT_EQ(outcome.scenarios[k].result.faults.scenario_groups_recomputed,
+                affected);
+      EXPECT_EQ(outcome.scenarios[k].result.faults.scenario_groups_reused,
+                world.groups.size() - affected);
+      if (!packs[k].empty()) {
+        EXPECT_GT(affected, 0u) << packs[k].name;
+      }
+    }
+    // One fleet per non-empty pack, every shard spawned exactly once.
+    EXPECT_EQ(stats.workers_spawned, 2u * static_cast<unsigned>(workers));
+    EXPECT_EQ(stats.worker_failures, 0u);
+    EXPECT_EQ(stats.faults.degraded_shards, 0u);
+  }
+}
+
+TEST(SweepFleet, AllWorkersCrashedStillMatchesIndependentRuns) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+  const std::vector<ScenarioPack> packs = {sweep_drain_pack(),
+                                           sweep_flash_pack(world)};
+  std::vector<EdgeAnalysisResult> independent;
+  for (const ScenarioPack& pack : packs) {
+    independent.push_back(run_edge_analysis(world, dc, {}, {}, {},
+                                            RuntimeOptions::sequential(),
+                                            nullptr, {}, {}, pack));
+  }
+
+  SweepFleetOptions options;
+  options.workers = 2;
+  options.cache_dir = fresh_dir("sweep-fleet-crash");
+  options.faults.seed = 17;
+  options.faults.worker_crash_rate = 1.0;
+  options.faults.worker_max_attempts = 2;
+  RunStats stats;
+  const SweepOutcome outcome =
+      run_sweep_analysis(world, dc, {}, {}, {}, packs, options, &stats);
+
+  // Every attempt of every shard crashed before touching the cache: all
+  // shards degrade, the affected groups cold-ingest in-process, and both
+  // the measurement payload and the reuse decisions are unchanged —
+  // worker crashes never widen the recompute set.
+  EXPECT_EQ(stats.faults.worker_crashes, 8u);
+  EXPECT_EQ(stats.faults.worker_retries, 4u);
+  EXPECT_EQ(stats.faults.degraded_shards, 4u);
+  EXPECT_EQ(stats.workers_spawned, 8u);
+  EXPECT_EQ(stats.worker_failures, 8u);
+  ASSERT_EQ(outcome.scenarios.size(), packs.size());
+  for (std::size_t k = 0; k < packs.size(); ++k) {
+    expect_results_eq(independent[k], outcome.scenarios[k].result);
+    EXPECT_EQ(outcome.scenarios[k].result.faults.scenario_groups_recomputed,
+              outcome.scenarios[k].affected.size());
+  }
+}
+
+TEST(SweepFleet, WarmRerunIsIdempotentAndVandalismIsRepaired) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+  const std::vector<ScenarioPack> packs = {sweep_drain_pack()};
+  const std::string dir = fresh_dir("sweep-fleet-warm");
+
+  SweepFleetOptions options;
+  options.workers = 2;
+  options.cache_dir = dir;
+  RunStats cold_stats;
+  const SweepOutcome cold =
+      run_sweep_analysis(world, dc, {}, {}, {}, packs, options, &cold_stats);
+  RunStats warm_stats;
+  const SweepOutcome warm =
+      run_sweep_analysis(world, dc, {}, {}, {}, packs, options, &warm_stats);
+  expect_results_eq(cold.baseline, warm.baseline);
+  ASSERT_EQ(warm.scenarios.size(), 1u);
+  expect_results_eq(cold.scenarios[0].result, warm.scenarios[0].result);
+  EXPECT_EQ(warm_stats.worker_failures, 0u);
+  EXPECT_EQ(warm_stats.faults.degraded_shards, 0u);
+
+  // Truncate the first published slice artifact in place: the idempotence
+  // probe rejects it (size change misses the reader memo), the worker
+  // rebuilds both files, and the result is unchanged.
+  const World perturbed = apply_scenario(world, packs[0]);
+  const std::vector<std::size_t> affected = affected_groups(world, packs[0]);
+  ASSERT_GT(affected.size(), 0u);
+  const std::uint64_t base_key = sweep_base_key(perturbed, dc, {}, packs[0]);
+  const ShardRange slice = ShardPlan::make(affected.size(), 2).shard(0);
+  ASSERT_FALSE(slice.empty());
+  const std::string artifact_path = ingest_artifact_path(
+      dir, shard_artifact_key(base_key, slice.begin, slice.end));
+  ASSERT_TRUE(file_exists(artifact_path));
+  ASSERT_EQ(::truncate(artifact_path.c_str(), 12), 0);
+  RunStats repaired_stats;
+  const SweepOutcome repaired = run_sweep_analysis(world, dc, {}, {}, {},
+                                                   packs, options,
+                                                   &repaired_stats);
+  expect_results_eq(cold.scenarios[0].result, repaired.scenarios[0].result);
+  EXPECT_EQ(repaired_stats.worker_failures, 0u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "agg/monitor.h"
 #include "agg/rollup.h"
 #include "analysis/edge_analysis.h"
+#include "analysis/sweep.h"
 #include "distrib/coordinator.h"
 #include "faultsim/fault_injector.h"
 #include "goodput/hdratio.h"
@@ -115,6 +116,8 @@ void expect_counters_eq(const FaultCounters& a, const FaultCounters& b) {
   EXPECT_EQ(a.scenario_depref_groups, b.scenario_depref_groups);
   EXPECT_EQ(a.scenario_flash_groups, b.scenario_flash_groups);
   EXPECT_EQ(a.scenario_cable_cut_groups, b.scenario_cable_cut_groups);
+  EXPECT_EQ(a.scenario_groups_reused, b.scenario_groups_reused);
+  EXPECT_EQ(a.scenario_groups_recomputed, b.scenario_groups_recomputed);
 }
 
 void expect_results_eq(const EdgeAnalysisResult& a, const EdgeAnalysisResult& b) {
@@ -855,6 +858,98 @@ TEST(FaultsimEndToEnd, ScenarioCountersMatchAppliedDeltasExactly) {
                                           pack);
     expect_counters_eq(result.faults, expected);
   }
+}
+
+TEST(FaultsimEndToEnd, SweepDecisionCountersMatchFootprintExactly) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  ScenarioPack pack;
+  pack.seed = 77;
+  DrainDelta drain;
+  drain.pop = "EU-pop1";
+  drain.start_window = 8;
+  drain.end_window = 24;
+  pack.drains.push_back(drain);
+  FlashCrowdDelta flash;
+  flash.country = world.groups.front().key.country.value;
+  flash.multiplier = 3.0;
+  pack.flash_crowds.push_back(flash);
+
+  // Recount every sweep decision outside the engine: a group is recomputed
+  // iff it matches any delta's footprint (pure in pack x world), reused
+  // otherwise. scenario_groups_reused + scenario_groups_recomputed must
+  // tile the world exactly.
+  PopId drained_pop{};
+  for (const auto& pop : world.pops) {
+    if (pop.name == drain.pop) drained_pop = pop.id;
+  }
+  std::uint64_t expected_recomputed = 0;
+  for (const auto& group : world.groups) {
+    if (group.key.pop == drained_pop ||
+        group.key.country.value == flash.country) {
+      ++expected_recomputed;
+    }
+  }
+  ASSERT_GT(expected_recomputed, 0u);
+  ASSERT_LT(expected_recomputed, world.groups.size());
+  const std::uint64_t expected_reused =
+      world.groups.size() - expected_recomputed;
+  EXPECT_EQ(affected_groups(world, pack).size(), expected_recomputed);
+
+  for (const int n : {1, 4}) {
+    RunStats stats;
+    const SweepOutcome outcome = run_scenario_sweep(
+        world, dc, {}, {}, {}, {pack}, RuntimeOptions{n}, &stats);
+    ASSERT_EQ(outcome.scenarios.size(), 1u);
+    const FaultCounters& faults = outcome.scenarios[0].result.faults;
+    EXPECT_EQ(faults.scenario_groups_recomputed, expected_recomputed);
+    EXPECT_EQ(faults.scenario_groups_reused, expected_reused);
+    EXPECT_EQ(stats.faults.scenario_groups_recomputed, expected_recomputed);
+    EXPECT_EQ(stats.faults.scenario_groups_reused, expected_reused);
+    // The baseline carries no sweep decisions.
+    EXPECT_EQ(outcome.baseline.faults.scenario_groups_reused, 0u);
+    EXPECT_EQ(outcome.baseline.faults.scenario_groups_recomputed, 0u);
+  }
+}
+
+TEST(FaultsimEndToEnd, FaultedSweepBypassesReuseBothDirections) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  ScenarioPack pack;
+  pack.seed = 77;
+  DrainDelta drain;
+  drain.pop = "EU-pop1";
+  drain.start_window = 8;
+  drain.end_window = 24;
+  pack.drains.push_back(drain);
+
+  FaultPlan faults;
+  faults.seed = 99;
+  faults.truncate_rate = 0.3;
+  faults.thin_rate = 0.2;
+
+  RunStats stats;
+  const SweepOutcome outcome = run_scenario_sweep(
+      world, dc, {}, {}, {}, {pack}, RuntimeOptions::sequential(), &stats,
+      faults);
+  // Reuse is bypassed: no splice decisions were made anywhere.
+  EXPECT_EQ(stats.faults.scenario_groups_reused, 0u);
+  EXPECT_EQ(stats.faults.scenario_groups_recomputed, 0u);
+  EXPECT_EQ(outcome.scenarios[0].result.faults.scenario_groups_reused, 0u);
+  EXPECT_EQ(outcome.scenarios[0].result.faults.scenario_groups_recomputed, 0u);
+  EXPECT_TRUE(outcome.scenarios[0].affected.empty());
+
+  // And the outputs are exactly the independent faulted runs.
+  const auto base = run_edge_analysis(world, dc, {}, {}, {},
+                                      RuntimeOptions::sequential(), nullptr,
+                                      faults);
+  const auto scen = run_edge_analysis(world, dc, {}, {}, {},
+                                      RuntimeOptions::sequential(), nullptr,
+                                      faults, {}, pack);
+  expect_counters_eq(outcome.baseline.faults, base.faults);
+  expect_counters_eq(outcome.scenarios[0].result.faults, scen.faults);
 }
 
 TEST(FaultsimStream, StreamCountersMatchInjectedFaultsExactly) {

@@ -21,8 +21,11 @@
 #include <vector>
 
 #include "analysis/edge_analysis.h"
+#include "analysis/edge_reduce.h"
+#include "analysis/sweep.h"
 #include "analysis/whatif.h"
 #include "scenario/scenario.h"
+#include "scenario/sweep.h"
 #include "util/binio.h"
 #include "workload/world.h"
 
@@ -682,6 +685,231 @@ TEST(ScenarioApply, DepreferReordersRoutesAndRemapsEpisodes) {
                   before.routes[bidx].rtt_offset);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental sweep: footprint exactness and splice equivalence.
+// ---------------------------------------------------------------------------
+
+// Digest of one group's ingest-relevant structure (the per-group slice of
+// world_digest). Equal digests mean the generator sees identical input —
+// and per-group ingest is seeded from the group key alone, so the blobs
+// are identical too.
+std::uint64_t group_digest(const UserGroupProfile& g) {
+  Fnv64 h;
+  h.u64(group_fault_key(g.key));
+  h.f64(g.sessions_per_window);
+  h.u64(g.routes.size());
+  for (const auto& r : g.routes) {
+    h.u64(r.route.as_path.size());
+    for (const std::uint32_t asn : r.route.as_path) h.u32(asn);
+    h.f64(r.rtt_offset);
+    h.f64(r.base_loss);
+  }
+  h.u64(g.episodes.size());
+  for (const auto& e : g.episodes) {
+    h.i64(e.start_window);
+    h.i64(e.end_window);
+    h.i64(e.route_index);
+    h.f64(e.extra_delay);
+    h.f64(e.extra_loss);
+  }
+  return h.value();
+}
+
+const std::string& pop_name(const World& world, PopId id) {
+  for (const auto& pop : world.pops) {
+    if (pop.id == id) return pop.name;
+  }
+  ADD_FAILURE() << "unknown pop id";
+  static const std::string kNone;
+  return kNone;
+}
+
+// One delta of every kind, targets cycled by `seed` so 100 iterations walk
+// many distinct footprints.
+ScenarioPack seeded_pack(const World& world, std::uint64_t seed) {
+  constexpr std::uint32_t kTier1[] = {3356, 1299, 174, 2914, 6762, 3257};
+  const std::size_t n = world.groups.size();
+  ScenarioPack pack;
+  pack.seed = seed;
+  DrainDelta drain;
+  drain.pop = pop_name(world, world.groups[seed % n].key.pop);
+  drain.start_window = 0;
+  drain.end_window = 96;
+  drain.reroute_rtt_min = 0.020;
+  drain.reroute_rtt_max = 0.045;
+  drain.reroute_loss = 0.002;
+  pack.drains.push_back(drain);
+  DepreferDelta depref;
+  depref.asn = kTier1[seed % (sizeof(kTier1) / sizeof(kTier1[0]))];
+  depref.all_continents = true;
+  pack.deprefs.push_back(depref);
+  FlashCrowdDelta flash;
+  flash.country = world.groups[(seed * 7 + 3) % n].key.country.value;
+  flash.multiplier = 4.0;
+  pack.flash_crowds.push_back(flash);
+  CableCutDelta cut;
+  cut.a = world.groups[(seed * 5 + 1) % n].continent;
+  cut.b = cut.a == Continent::kEurope ? Continent::kAfrica : Continent::kEurope;
+  cut.extra_rtt = 0.060;
+  cut.extra_loss = 0.002;
+  cut.start_window = 0;
+  cut.end_window = 96;
+  pack.cable_cuts.push_back(cut);
+  return pack;
+}
+
+TEST(ScenarioSweep, HundredSeedsFootprintIsExactOnGroupStructure) {
+  // golden_world rather than small_world: the 2-group-per-continent world
+  // has no remote-served groups, so cable cuts could never fire. All
+  // checks here are structural (no ingest), so the bigger world is cheap.
+  const World world = build_world(golden_world());
+  const std::size_t n = world.groups.size();
+  std::vector<std::uint64_t> baseline_digests(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    baseline_digests[g] = group_digest(world.groups[g]);
+  }
+
+  bool saw_drain = false, saw_depref = false, saw_flash = false,
+       saw_cut = false;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ScenarioPack pack = seeded_pack(world, seed);
+    const std::vector<std::size_t> affected = affected_groups(world, pack);
+    ASSERT_FALSE(affected.empty());
+    std::vector<bool> inside(n, false);
+    for (const std::size_t g : affected) inside[g] = true;
+
+    FaultCounters applied;
+    const World perturbed = apply_scenario(world, pack, &applied);
+    saw_drain = saw_drain || applied.scenario_drained_groups > 0;
+    saw_depref = saw_depref || applied.scenario_depref_groups > 0;
+    saw_flash = saw_flash || applied.scenario_flash_groups > 0;
+    saw_cut = saw_cut || applied.scenario_cable_cut_groups > 0;
+
+    for (std::size_t g = 0; g < n; ++g) {
+      if (inside[g]) {
+        // Exact, not just conservative: every group the footprint names
+        // was actually perturbed.
+        EXPECT_NE(group_digest(perturbed.groups[g]), baseline_digests[g])
+            << "seed " << seed << " group " << g
+            << " inside the footprint but structurally untouched";
+      } else {
+        EXPECT_EQ(group_digest(perturbed.groups[g]), baseline_digests[g])
+            << "seed " << seed << " group " << g
+            << " outside the footprint but perturbed";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_drain && saw_depref && saw_flash && saw_cut)
+      << "100 seeds never exercised some delta kind";
+}
+
+TEST(ScenarioSweep, OutsideBlobsBitwiseIdenticalInsideBlobsDiffer) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+  const std::size_t n = world.groups.size();
+  std::vector<std::size_t> all_groups(n);
+  for (std::size_t g = 0; g < n; ++g) all_groups[g] = g;
+
+  const auto ingest_all = [&](const World& w) {
+    std::vector<std::string> blobs(n);
+    ingest_groups_to_blobs(w, dc, {}, all_groups, threads(1),
+                           [&](std::size_t g, std::string&& blob) {
+                             blobs[g] = std::move(blob);
+                           });
+    return blobs;
+  };
+  const std::vector<std::string> baseline = ingest_all(world);
+
+  // The ingest-level twin of the digest property, on a few seeds (ingest
+  // is the expensive part): under the perturbed world, every group outside
+  // affected_groups() produces a bitwise-identical artifact blob, and for
+  // each delta kind at least one group inside produces a different one.
+  for (const std::uint64_t seed : {5ull, 21ull, 64ull}) {
+    const ScenarioPack pack = seeded_pack(world, seed);
+    const std::vector<std::size_t> affected = affected_groups(world, pack);
+    std::vector<bool> inside(n, false);
+    for (const std::size_t g : affected) inside[g] = true;
+    const World perturbed = apply_scenario(world, pack);
+    const std::vector<std::string> blobs = ingest_all(perturbed);
+
+    const ScenarioFootprint fp = scenario_footprint(world, pack);
+    bool drain_differs = false, flash_differs = false, cut_differs = false,
+         depref_differs = false;
+    for (std::size_t g = 0; g < n; ++g) {
+      if (!inside[g]) {
+        EXPECT_EQ(blobs[g], baseline[g])
+            << "seed " << seed << " group " << g
+            << " outside the footprint but its blob changed";
+        continue;
+      }
+      if (blobs[g] == baseline[g]) continue;
+      const auto& group = world.groups[g];
+      for (const PopId pop : fp.drain_pops) {
+        if (group.key.pop == pop) drain_differs = true;
+      }
+      for (const std::uint32_t country : fp.flash_countries) {
+        if (group.key.country.value == country) flash_differs = true;
+      }
+      if (!fp.cut_paths.empty() && group.remote_served) cut_differs = true;
+      if (!fp.depref_routes.empty()) depref_differs = true;
+    }
+    EXPECT_TRUE(flash_differs) << "seed " << seed;
+    EXPECT_TRUE(drain_differs) << "seed " << seed;
+    EXPECT_TRUE(depref_differs) << "seed " << seed;
+    (void)cut_differs;  // corridor may legitimately be empty for a seed
+  }
+}
+
+TEST(ScenarioSweep, SweepVerdictsMatchIndependentRunsAtAnyThreadCount) {
+  const World world = build_world(small_world());
+  const DatasetConfig dc = small_dataset();
+
+  std::vector<ScenarioPack> packs;
+  packs.push_back(seeded_pack(world, 9));
+  {
+    ScenarioPack flash_only;
+    flash_only.seed = 13;
+    FlashCrowdDelta flash;
+    flash.country = world.groups.front().key.country.value;
+    flash.multiplier = 6.0;
+    flash.jitter = 0.1;
+    flash_only.flash_crowds.push_back(flash);
+    packs.push_back(flash_only);
+  }
+  packs.push_back(ScenarioPack{});  // empty pack: zero recomputed groups
+
+  // Independent full runs, once, at one thread: the reference verdicts.
+  const std::uint64_t base_hash =
+      whatif_report(run_edge_analysis(world, dc, {}, {}, {}, threads(1)))
+          .verdict_hash;
+  std::vector<std::uint64_t> want;
+  for (const auto& pack : packs) {
+    want.push_back(whatif_report(run_edge_analysis(world, dc, {}, {}, {},
+                                                   threads(1), nullptr, {}, {},
+                                                   pack))
+                       .verdict_hash);
+  }
+
+  for (const int n : {1, 4}) {
+    const SweepOutcome outcome =
+        run_scenario_sweep(world, dc, {}, {}, {}, packs, threads(n));
+    EXPECT_EQ(whatif_report(outcome.baseline).verdict_hash, base_hash);
+    ASSERT_EQ(outcome.scenarios.size(), packs.size());
+    for (std::size_t k = 0; k < packs.size(); ++k) {
+      EXPECT_EQ(whatif_report(outcome.scenarios[k].result).verdict_hash,
+                want[k])
+          << "pack " << k << " at " << n << " threads";
+      const auto& faults = outcome.scenarios[k].result.faults;
+      EXPECT_EQ(faults.scenario_groups_reused +
+                    faults.scenario_groups_recomputed,
+                world.groups.size());
+    }
+    // The empty pack reuses everything.
+    EXPECT_EQ(
+        outcome.scenarios.back().result.faults.scenario_groups_recomputed, 0u);
   }
 }
 

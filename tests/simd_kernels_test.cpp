@@ -264,6 +264,32 @@ TEST(SimdCoalesce, ExactGapBoundaryTies) {
   expect_coalesce_identical(b, nullptr, config, 0);
 }
 
+TEST(SimdCoalesce, AutoDispatchNeverTakesAvx2Coalesce) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host/build";
+  // Runs before any force_path() test so it sees the env-resolved dispatch.
+  // The coalesce threshold is "never" (kCoalesceAvx2MinWrites, benchmarked
+  // slower than scalar at every size), so under auto the batch gate keeps
+  // the public entry on the scalar kernel for any realistic batch.
+  const char* source = simd::dispatch_source();
+  if (std::strcmp(source, "auto") == 0) {
+    EXPECT_FALSE(simd::avx2_batch_active(0, simd::kCoalesceAvx2MinWrites));
+    EXPECT_FALSE(
+        simd::avx2_batch_active(1u << 20, simd::kCoalesceAvx2MinWrites));
+    EXPECT_TRUE(simd::avx2_batch_active(simd::kCoalesceAvx2MinWrites,
+                                        simd::kCoalesceAvx2MinWrites));
+    // Generic gate semantics: inclusive >= threshold boundary.
+    EXPECT_FALSE(simd::avx2_batch_active(3, 4));
+    EXPECT_TRUE(simd::avx2_batch_active(4, 4));
+    EXPECT_TRUE(simd::avx2_batch_active(5, 4));
+  } else if (std::strcmp(source, "avx2") == 0) {
+    // Explicit FBEDGE_SIMD=avx2 is pass-through at any size (CI rot guard).
+    EXPECT_TRUE(simd::avx2_batch_active(0, simd::kCoalesceAvx2MinWrites));
+  } else {
+    // FBEDGE_SIMD=off: inactive regardless of batch size.
+    EXPECT_FALSE(simd::avx2_batch_active(1u << 20, 0));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // stream window-key bucketing
 // ---------------------------------------------------------------------------
@@ -407,6 +433,46 @@ TEST(SimdDispatch, PublicEntryFollowsForcedPath) {
     EXPECT_EQ(ref[i].achieved, via_dispatch[i].achieved) << i;
     EXPECT_EQ(ref[i].achieved_naive, via_dispatch[i].achieved_naive) << i;
   }
+}
+
+TEST(SimdDispatch, ForcedPathBypassesCoalesceBatchGate) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host/build";
+  Rng rng(7 ^ 0xc0a1e5ce);
+  std::vector<std::uint8_t> skip;
+  SessionBatch b = random_write_batch(rng, skip);
+  while (b.writes.empty()) {
+    skip.clear();
+    b = random_write_batch(rng, skip);
+  }
+
+  const auto expect_batches_eq = [](const CoalescedBatch& x,
+                                    const CoalescedBatch& y) {
+    ASSERT_EQ(x.txns.size(), y.txns.size());
+    EXPECT_EQ(std::memcmp(x.txns.data(), y.txns.data(),
+                          x.txns.size() * sizeof(TxnTiming)),
+              0);
+    EXPECT_EQ(x.offset, y.offset);
+    EXPECT_EQ(x.count, y.count);
+    EXPECT_EQ(x.ineligible_groups, y.ineligible_groups);
+    EXPECT_EQ(x.coalesced_writes, y.coalesced_writes);
+  };
+
+  CoalescedBatch ref, via_forced, via_scalar;
+  coalesce_batch_scalar(b, skip.data(), ref, CoalescerConfig{});
+  {
+    PathGuard guard(simd::Path::kAvx2);
+    // The coalesce "never" threshold only gates auto dispatch: a forced
+    // path must still reach the AVX2 kernel at any batch size, so the
+    // differential coverage cannot rot away.
+    EXPECT_TRUE(simd::avx2_batch_active(b.writes.size(),
+                                        simd::kCoalesceAvx2MinWrites));
+    coalesce_batch(b, skip.data(), via_forced, CoalescerConfig{});
+  }
+  EXPECT_FALSE(
+      simd::avx2_batch_active(b.writes.size(), simd::kCoalesceAvx2MinWrites));
+  coalesce_batch(b, skip.data(), via_scalar, CoalescerConfig{});
+  expect_batches_eq(ref, via_forced);
+  expect_batches_eq(ref, via_scalar);
 }
 
 }  // namespace
